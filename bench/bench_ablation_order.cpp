@@ -1,0 +1,62 @@
+// E10 — serial number generation: commit-time vs predefined order
+// (paper section 5.2).
+//
+// "A simple possibility is to guarantee that the transaction identifiers
+// are picked up from a totally ordered set ... This would be quite
+// restrictive, because it would require all global transactions to be
+// serialized in the same order even if they could not have caused any
+// problems." The ablation assigns SN at submission time (a predefined
+// total order) instead of at global-commit time and measures the extra
+// extension-refusals and commit-certification stalls.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace hermes {
+namespace {
+
+using workload::Driver;
+using workload::RunResult;
+using workload::WorkloadConfig;
+
+}  // namespace
+}  // namespace hermes
+
+int main() {
+  using namespace hermes;  // NOLINT
+  std::printf(
+      "E10 — SN at commit time (paper) vs SN at submit time (static\n"
+      "predefined order), sweeping transaction length\n\n");
+  bench::TablePrinter table({"sn policy", "cmds/txn", "committed", "aborted",
+                             "refuse ext", "commit retries", "tput/s",
+                             "mean lat ms", "history"});
+  for (int cmds : {2, 4, 8}) {
+    for (int mode = 0; mode < 2; ++mode) {
+      WorkloadConfig config;
+      config.seed = 3100 + static_cast<uint64_t>(cmds);
+      config.num_sites = 4;
+      config.rows_per_table = 64;
+      config.global_clients = 10;
+      config.target_global_txns = 120;
+      config.cmds_per_global_txn = cmds;
+      config.sn_at_submit = mode == 1;
+      config.p_prepared_abort = 0.05;
+      config.alive_check_interval = 10 * sim::kMillisecond;
+      const RunResult r = Driver::Run(config);
+      table.AddRow(mode == 0 ? "commit-time" : "submit-time", cmds,
+                   r.metrics.global_committed, r.metrics.global_aborted,
+                   r.metrics.refuse_extension,
+                   r.metrics.commit_cert_retries, r.CommitsPerSecond(),
+                   r.metrics.MeanLatencyMs(), bench::VerdictCell(r));
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: both variants stay correct, but submit-time\n"
+      "numbering suffers more extension refusals and commit stalls —\n"
+      "and the gap widens with transaction length, because long\n"
+      "transactions hold their (early) number while shorter, later-\n"
+      "numbered ones race ahead.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E8 — microbenchmarks of the certifier's data paths (google-benchmark).
+//
+// The paper emphasizes that the Certifier is built from "simple algorithms
+// that can be replicated onto as many sites as needed"; these benchmarks
+// quantify the per-operation cost of every certifier data structure: alive
+// interval certification, commit-certification SN scan, agent log append
+// and replay, serial number generation, and the commit-graph admission of
+// the CGM baseline for comparison.
+
+#include <benchmark/benchmark.h>
+
+#include "cgm/commit_graph.h"
+#include "core/agent_log.h"
+#include "core/alive_intervals.h"
+#include "core/serial_number.h"
+#include "history/graphs.h"
+#include "history/view_checker.h"
+#include "sim/event_loop.h"
+#include "sim/site_clock.h"
+
+namespace hermes {
+namespace {
+
+core::AliveIntervalTable MakeTable(int entries) {
+  core::AliveIntervalTable table;
+  for (int i = 0; i < entries; ++i) {
+    table.Insert(TxnId::MakeGlobal(0, i),
+                 core::AliveInterval{i * 10, i * 10 + 1000},
+                 core::SerialNumber{i, 0, 0});
+  }
+  return table;
+}
+
+void BM_AliveIntervalCertification(benchmark::State& state) {
+  const auto table = MakeTable(static_cast<int>(state.range(0)));
+  const core::AliveInterval candidate{500, 600};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.CertifiableAgainstAll(candidate));
+  }
+}
+BENCHMARK(BM_AliveIntervalCertification)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CommitCertificationSnScan(benchmark::State& state) {
+  const auto table = MakeTable(static_cast<int>(state.range(0)));
+  const TxnId self = TxnId::MakeGlobal(0, 0);  // smallest SN
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.SmallestSerialNumber(self));
+  }
+}
+BENCHMARK(BM_CommitCertificationSnScan)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_AliveIntervalInsertRemove(benchmark::State& state) {
+  auto table = MakeTable(static_cast<int>(state.range(0)));
+  const TxnId id = TxnId::MakeGlobal(1, 999);
+  for (auto _ : state) {
+    table.Insert(id, core::AliveInterval{0, 1}, core::SerialNumber{1, 1, 1});
+    table.Remove(id);
+  }
+}
+BENCHMARK(BM_AliveIntervalInsertRemove)->Arg(8)->Arg(512);
+
+void BM_AgentLogAppendCommand(benchmark::State& state) {
+  core::AgentLog log;
+  const TxnId gtid = TxnId::MakeGlobal(0, 1);
+  const db::Command cmd = db::MakeAddKey(0, 42, "v", db::Value(int64_t{1}));
+  for (auto _ : state) {
+    log.Append({.kind = core::LogRecordKind::kCommand,
+                .gtid = gtid,
+                .command = cmd});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AgentLogAppendCommand);
+
+void BM_AgentLogReplay(benchmark::State& state) {
+  core::AgentLog log;
+  const TxnId gtid = TxnId::MakeGlobal(0, 1);
+  for (int i = 0; i < state.range(0); ++i) {
+    log.Append({.kind = core::LogRecordKind::kCommand,
+                .gtid = gtid,
+                .command = db::MakeAddKey(0, i, "v", db::Value(int64_t{1}))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.CommandsOf(gtid));
+  }
+}
+BENCHMARK(BM_AgentLogReplay)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SerialNumberGeneration(benchmark::State& state) {
+  sim::EventLoop loop;
+  sim::SiteClock clock(&loop, 0, 100);
+  core::SerialNumberGenerator gen(3, &clock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_SerialNumberGeneration);
+
+void BM_CgmCommitGraphAdmission(benchmark::State& state) {
+  // Steady state: `range` transactions in commit processing across 16
+  // sites; measure one admission attempt (the paper's comparison point:
+  // the centralized structure every commit must consult).
+  const int txns = static_cast<int>(state.range(0));
+  cgm::CommitGraph graph;
+  for (int i = 0; i < txns; ++i) {
+    graph.TryAdd(TxnId::MakeGlobal(0, i),
+                 {static_cast<SiteId>((2 * i) % 16),
+                  static_cast<SiteId>((2 * i + 1) % 16)});
+  }
+  const TxnId probe = TxnId::MakeGlobal(1, 777);
+  for (auto _ : state) {
+    if (graph.TryAdd(probe, {0, 15})) graph.Remove(probe);
+  }
+}
+BENCHMARK(BM_CgmCommitGraphAdmission)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_CommitOrderGraphCheck(benchmark::State& state) {
+  // Oracle-side cost: CG construction + cycle check over a synthetic
+  // committed history of `range` transactions at 4 sites.
+  std::vector<history::Op> ops;
+  const int txns = static_cast<int>(state.range(0));
+  for (int i = 0; i < txns; ++i) {
+    for (SiteId s = 0; s < 4; ++s) {
+      history::Op op;
+      op.kind = history::OpKind::kLocalCommit;
+      op.subtxn = SubTxnId{TxnId::MakeGlobal(0, i), 0};
+      op.site = s;
+      op.seq = ops.size();
+      ops.push_back(op);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history::CommitGraphAcyclic(ops));
+  }
+}
+BENCHMARK(BM_CommitOrderGraphCheck)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace hermes
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E11 — deadlock resolution (paper section 6).
+//
+// "In 2CM, the timeout based deadlock resolution is assumed to be used. On
+// the other hand, CGM employs an elaborate combination of three graphs..."
+// This ablation compares timeout-only resolution against wait-for-graph
+// detection inside the LTMs on a hotspot workload, sweeping the lock wait
+// timeout. Detection resolves deadlocks promptly regardless of the timeout;
+// pure timeouts trade wasted waiting time against false-positive aborts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace hermes {
+namespace {
+
+using workload::Driver;
+using workload::RunResult;
+using workload::WorkloadConfig;
+
+}  // namespace
+}  // namespace hermes
+
+int main() {
+  using namespace hermes;  // NOLINT
+  std::printf(
+      "E11 — timeout-based vs wait-for-graph deadlock handling\n"
+      "(2 sites, 4 hot rows, write-heavy, 8 clients)\n\n");
+  bench::TablePrinter table({"resolution", "timeout ms", "committed",
+                             "aborted", "timeout aborts", "wfg victims",
+                             "tput/s", "mean lat ms"});
+  for (sim::Duration timeout :
+       {50 * sim::kMillisecond, 200 * sim::kMillisecond,
+        500 * sim::kMillisecond}) {
+    for (int mode = 0; mode < 2; ++mode) {
+      WorkloadConfig config;
+      config.seed = 8800 + static_cast<uint64_t>(timeout / 1000);
+      config.num_sites = 2;
+      config.rows_per_table = 4;  // hotspot
+      config.global_clients = 8;
+      config.target_global_txns = 100;
+      config.cmds_per_global_txn = 3;
+      config.global_write_fraction = 1.0;
+      config.lock_wait_timeout = timeout;
+      config.deadlock_detection = mode == 1;
+      config.deadlock_check_interval = 10 * sim::kMillisecond;
+      config.record_history = false;
+      const RunResult r = Driver::Run(config);
+      table.AddRow(mode == 0 ? "timeout" : "wfg",
+                   static_cast<double>(timeout) / 1000.0,
+                   r.metrics.global_committed, r.metrics.global_aborted,
+                   r.ltm.lock_timeout_aborts, r.ltm.deadlock_victim_aborts,
+                   r.CommitsPerSecond(), r.metrics.MeanLatencyMs());
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: with short timeouts, timeout-only resolution\n"
+      "aborts many non-deadlocked waiters; with long timeouts it wastes\n"
+      "latency whenever a real deadlock occurs. Wait-for-graph detection\n"
+      "is largely insensitive to the timeout value.\n");
+  return 0;
+}

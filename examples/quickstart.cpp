@@ -1,0 +1,71 @@
+// Quickstart: a two-site heterogeneous multidatabase running one global
+// funds transfer through the 2PC Agent method.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/mdbs.h"
+#include "history/projection.h"
+#include "history/view_checker.h"
+
+using namespace hermes;  // NOLINT — example brevity
+
+int main() {
+  // 1. A deterministic simulation hosts the whole multidatabase.
+  sim::EventLoop loop;
+
+  // 2. Two autonomous sites, each with its own storage, LTM (strict 2PL,
+  //    rigorous histories) and 2PC Agent running the full certifier.
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  core::Mdbs mdbs(config, &loop);
+
+  // 3. Create an `accounts` table at both sites and load one row each.
+  const db::TableId accounts = *mdbs.CreateTableEverywhere("accounts");
+  mdbs.LoadRow(/*site=*/0, accounts, /*key=*/1,
+               db::Row{{"owner", db::Value(std::string("alice"))},
+                       {"balance", db::Value(int64_t{1000})}});
+  mdbs.LoadRow(/*site=*/1, accounts, /*key=*/2,
+               db::Row{{"owner", db::Value(std::string("bob"))},
+                       {"balance", db::Value(int64_t{500})}});
+
+  // 4. A global transaction: move 200 from alice@site0 to bob@site1. The
+  //    coordinator decomposes it into one subtransaction per site and runs
+  //    the 2PC protocol against the agents.
+  core::GlobalTxnSpec transfer;
+  transfer.steps.push_back(
+      {0, db::MakeAddKey(accounts, 1, "balance", int64_t{-200})});
+  transfer.steps.push_back(
+      {1, db::MakeAddKey(accounts, 2, "balance", int64_t{200})});
+
+  mdbs.Submit(transfer, [](const core::GlobalTxnResult& result) {
+    std::printf("transfer %s: %s (latency %.2f ms)\n",
+                result.gtid.ToString().c_str(),
+                result.status.ToString().c_str(),
+                static_cast<double>(result.latency) / 1000.0);
+  });
+
+  // 5. Run the simulation to quiescence.
+  loop.Run();
+
+  // 6. Inspect the result and verify the recorded history against the
+  //    view-serializability oracle.
+  auto balance = [&](SiteId site, int64_t key) {
+    return std::get<int64_t>(
+        *mdbs.storage(site)->GetTable(accounts)->Get(key)->row->Get(
+            "balance"));
+  };
+  std::printf("alice@site0 = %lld, bob@site1 = %lld\n",
+              static_cast<long long>(balance(0, 1)),
+              static_cast<long long>(balance(1, 2)));
+
+  const auto committed =
+      history::CommittedProjection(mdbs.recorder().ops());
+  const auto check = history::CheckViewSerializability(committed);
+  std::printf("history: %zu ops, oracle verdict: %s\n", committed.size(),
+              history::VerdictName(check.verdict));
+  std::printf("messages exchanged: %lld\n",
+              static_cast<long long>(mdbs.network().messages_sent()));
+  return check.verdict == history::Verdict::kSerializable ? 0 : 1;
+}

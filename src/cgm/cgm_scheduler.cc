@@ -1,0 +1,63 @@
+#include "cgm/cgm_scheduler.h"
+
+namespace hermes::cgm {
+
+CgmScheduler::CgmScheduler(SiteId endpoint, SiteId client_endpoint,
+                           const CgmSchedulerConfig& config,
+                           sim::EventLoop* loop, net::Network* network,
+                           core::Metrics* metrics)
+    : endpoint_(endpoint),
+      client_endpoint_(client_endpoint),
+      config_(config),
+      loop_(loop),
+      network_(network),
+      metrics_(metrics),
+      locks_(config.lock_timeout, loop) {}
+
+void CgmScheduler::TryAdmission(const TxnId& gtid, std::vector<SiteId> sites,
+                                sim::Time deadline) {
+  if (graph_.TryAdd(gtid, sites)) {
+    network_->Send(endpoint_, client_endpoint_,
+                   CgmMessage{CommitCheckReplyMsg{gtid, Status::Ok()}});
+    return;
+  }
+  if (loop_->Now() >= deadline) {
+    ++metrics_->cgm_graph_rejections;
+    network_->Send(
+        endpoint_, client_endpoint_,
+        CgmMessage{CommitCheckReplyMsg{
+            gtid,
+            Status::Rejected("commit graph: admission would create a loop")}});
+    return;
+  }
+  loop_->ScheduleAfter(config_.admission_retry_interval,
+                       [this, gtid, sites = std::move(sites), deadline]() {
+                         TryAdmission(gtid, sites, deadline);
+                       });
+}
+
+void CgmScheduler::Handle(const net::Envelope& env) {
+  const auto* msg = std::any_cast<CgmMessage>(&env.payload);
+  if (msg == nullptr) return;
+
+  if (const auto* m = std::get_if<LockRequestMsg>(msg)) {
+    const TxnId gtid = m->gtid;
+    const uint64_t request_id = m->request_id;
+    locks_.AcquireAll(gtid, m->granules, [this, gtid, request_id](Status s) {
+      if (!s.ok()) ++metrics_->cgm_lock_timeouts;
+      network_->Send(endpoint_, client_endpoint_,
+                     CgmMessage{LockReplyMsg{gtid, request_id, s}});
+    });
+    return;
+  }
+  if (const auto* m = std::get_if<CommitCheckMsg>(msg)) {
+    TryAdmission(m->gtid, m->sites, loop_->Now() + config_.admission_timeout);
+    return;
+  }
+  if (const auto* m = std::get_if<FinishedMsg>(msg)) {
+    locks_.ReleaseAll(m->gtid);
+    graph_.Remove(m->gtid);
+  }
+}
+
+}  // namespace hermes::cgm

@@ -1,0 +1,93 @@
+// The centralized scheduler node of the CGM baseline.
+//
+// CGM's DTM runs a central component that (a) grants global S2PL locks on
+// coarse granules before a global subtransaction's commands execute, and
+// (b) admits transactions into commit processing only if their edges keep
+// the commit graph loop-free. The scheduler is a separate network node, so
+// every interaction costs real message latency — the price of
+// centralization the reproduced paper's decentralized design avoids
+// (benchmarked in bench_scaling).
+
+#ifndef HERMES_CGM_CGM_SCHEDULER_H_
+#define HERMES_CGM_CGM_SCHEDULER_H_
+
+#include <variant>
+#include <vector>
+
+#include "cgm/commit_graph.h"
+#include "cgm/global_locks.h"
+#include "core/metrics.h"
+#include "net/network.h"
+
+namespace hermes::cgm {
+
+struct LockRequestMsg {
+  TxnId gtid;
+  uint64_t request_id = 0;
+  std::vector<Granule> granules;
+};
+
+struct LockReplyMsg {
+  TxnId gtid;
+  uint64_t request_id = 0;
+  Status status;
+};
+
+struct CommitCheckMsg {
+  TxnId gtid;
+  std::vector<SiteId> sites;
+};
+
+struct CommitCheckReplyMsg {
+  TxnId gtid;
+  Status status;
+};
+
+// Transaction left commit processing (committed or aborted): release its
+// global locks and commit-graph edges.
+struct FinishedMsg {
+  TxnId gtid;
+};
+
+using CgmMessage = std::variant<LockRequestMsg, LockReplyMsg, CommitCheckMsg,
+                                CommitCheckReplyMsg, FinishedMsg>;
+
+struct CgmSchedulerConfig {
+  sim::Duration lock_timeout = 1 * sim::kSecond;
+  // Commit-graph admission is retried (commit processing *waits* for the
+  // loop to clear, as in the original CGM) until this deadline, after which
+  // the transaction is rejected.
+  sim::Duration admission_retry_interval = 5 * sim::kMillisecond;
+  sim::Duration admission_timeout = 500 * sim::kMillisecond;
+};
+
+class CgmScheduler {
+ public:
+  CgmScheduler(SiteId endpoint, SiteId client_endpoint,
+               const CgmSchedulerConfig& config, sim::EventLoop* loop,
+               net::Network* network, core::Metrics* metrics);
+
+  CgmScheduler(const CgmScheduler&) = delete;
+  CgmScheduler& operator=(const CgmScheduler&) = delete;
+
+  void Handle(const net::Envelope& env);
+
+  const CommitGraph& commit_graph() const { return graph_; }
+
+ private:
+  void TryAdmission(const TxnId& gtid, std::vector<SiteId> sites,
+                    sim::Time deadline);
+
+  SiteId endpoint_;
+  SiteId client_endpoint_;
+  CgmSchedulerConfig config_;
+  sim::EventLoop* loop_;
+  net::Network* network_;
+  core::Metrics* metrics_;
+  GlobalLockManager locks_;
+  CommitGraph graph_;
+};
+
+}  // namespace hermes::cgm
+
+#endif  // HERMES_CGM_CGM_SCHEDULER_H_

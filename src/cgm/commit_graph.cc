@@ -1,0 +1,57 @@
+#include "cgm/commit_graph.h"
+
+#include <numeric>
+
+#include "common/str.h"
+
+namespace hermes::cgm {
+
+namespace {
+
+// Union-find over site ids.
+class Dsu {
+ public:
+  int Find(SiteId s) {
+    auto [it, inserted] = parent_.try_emplace(s, s);
+    if (it->second == s) return s;
+    const SiteId root = Find(it->second);
+    parent_[s] = root;
+    return root;
+  }
+  void Union(SiteId a, SiteId b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::map<SiteId, SiteId> parent_;
+};
+
+}  // namespace
+
+bool CommitGraph::TryAdd(const TxnId& txn, const std::vector<SiteId>& sites) {
+  // Sites already connected through transactions in commit processing form
+  // components; admitting `txn` closes a loop iff two of its sites fall in
+  // the same component (including duplicates in `sites`).
+  Dsu dsu;
+  for (const auto& [t, t_sites] : edges_) {
+    for (size_t i = 1; i < t_sites.size(); ++i) {
+      dsu.Union(t_sites[0], t_sites[i]);
+    }
+  }
+  std::set<SiteId> roots;
+  for (SiteId s : sites) {
+    if (!roots.insert(dsu.Find(s)).second) return false;
+  }
+  edges_[txn] = sites;
+  return true;
+}
+
+void CommitGraph::Remove(const TxnId& txn) { edges_.erase(txn); }
+
+std::string CommitGraph::ToString() const {
+  std::string out;
+  for (const auto& [txn, sites] : edges_) {
+    StrAppend(out, txn.ToString(), " -- {", StrJoin(sites, ","), "}\n");
+  }
+  return out;
+}
+
+}  // namespace hermes::cgm

@@ -1,0 +1,66 @@
+// Seeded pseudo-random number generation for deterministic simulations.
+//
+// All randomness in the system (workload choices, failure injection, message
+// latency jitter) flows through Rng instances derived from one root seed, so
+// an entire multidatabase run is reproducible from a single uint64.
+
+#ifndef HERMES_COMMON_RNG_H_
+#define HERMES_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hermes {
+
+// xoshiro256** with a splitmix64 seeder. Small, fast, and good enough for
+// simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Derives an independent child generator; used to give each simulated
+  // actor its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed ranks in [0, n). theta = 0 degenerates to uniform;
+// theta around 0.8-1.2 models typical skewed database access.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  // Cumulative probability table for n <= kTableLimit; otherwise the
+  // rejection-free approximation of Gray et al. is used.
+  static constexpr uint64_t kTableLimit = 1 << 16;
+  std::vector<double> cdf_;
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+  double zeta2_ = 0;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_RNG_H_

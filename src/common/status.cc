@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include "common/ids.h"
+#include "common/str.h"
+
+namespace hermes {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kRejected:
+      return "REJECTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+std::string TxnId::ToString() const {
+  switch (kind) {
+    case Kind::kInvalid:
+      return "T?";
+    case Kind::kGlobal:
+      return StrCat("G", seq, "@", site);
+    case Kind::kLocal:
+      return StrCat("L", seq, "@", site);
+  }
+  return "T?";
+}
+
+std::ostream& operator<<(std::ostream& os, const TxnId& id) {
+  return os << id.ToString();
+}
+
+std::string SubTxnId::ToString() const {
+  return StrCat(txn.ToString(), ".", resubmission);
+}
+
+std::ostream& operator<<(std::ostream& os, const SubTxnId& id) {
+  return os << id.ToString();
+}
+
+std::string ItemId::ToString() const {
+  return StrCat("s", site, ".t", table, ".k", key);
+}
+
+std::ostream& operator<<(std::ostream& os, const ItemId& id) {
+  return os << id.ToString();
+}
+
+}  // namespace hermes

@@ -1,0 +1,126 @@
+// Lightweight Status / Result error-handling primitives (no exceptions on
+// normal control paths, per the project style).
+
+#ifndef HERMES_COMMON_STATUS_H_
+#define HERMES_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hermes {
+
+enum class StatusCode : int {
+  kOk = 0,
+  // The request is invalid regardless of system state.
+  kInvalidArgument,
+  // Referenced object (table, row, transaction) does not exist.
+  kNotFound,
+  // Object already exists (e.g. INSERT with duplicate key).
+  kAlreadyExists,
+  // The transaction was aborted (deadlock timeout, unilateral abort,
+  // certification failure, explicit rollback).
+  kAborted,
+  // A lock or resource could not be obtained within its deadline.
+  kTimeout,
+  // Operation rejected because it would violate a protocol rule
+  // (e.g. DLU: local update of bound data).
+  kRejected,
+  // Internal invariant violation; indicates a bug.
+  kInternal,
+  // The component is shutting down or the site has crashed.
+  kUnavailable,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic status. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Rejected(std::string m) {
+    return Status(StatusCode::kRejected, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_STATUS_H_

@@ -1,0 +1,4 @@
+#include "common/str.h"
+
+// All helpers are header-only templates; this translation unit exists so the
+// header participates in the build and stays self-contained.

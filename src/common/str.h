@@ -1,0 +1,63 @@
+// Minimal string formatting helpers (StrCat / StrAppend / Join) so the rest
+// of the codebase does not depend on iostream formatting in hot paths.
+
+#ifndef HERMES_COMMON_STR_H_
+#define HERMES_COMMON_STR_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hermes {
+
+namespace internal_str {
+
+inline void AppendPiece(std::string& out, std::string_view v) { out += v; }
+inline void AppendPiece(std::string& out, const char* v) { out += v; }
+inline void AppendPiece(std::string& out, const std::string& v) { out += v; }
+inline void AppendPiece(std::string& out, char v) { out += v; }
+inline void AppendPiece(std::string& out, bool v) {
+  out += v ? "true" : "false";
+}
+
+template <typename T>
+void AppendPiece(std::string& out, const T& v) {
+  if constexpr (std::is_integral_v<T> || std::is_floating_point_v<T>) {
+    out += std::to_string(v);
+  } else {
+    std::ostringstream oss;
+    oss << v;
+    out += oss.str();
+  }
+}
+
+}  // namespace internal_str
+
+template <typename... Args>
+void StrAppend(std::string& out, const Args&... args) {
+  (internal_str::AppendPiece(out, args), ...);
+}
+
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::string out;
+  StrAppend(out, args...);
+  return out;
+}
+
+// Joins container elements with `sep`, using operator<< for formatting.
+template <typename Container>
+std::string StrJoin(const Container& c, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& e : c) {
+    if (!first) out += sep;
+    first = false;
+    internal_str::AppendPiece(out, e);
+  }
+  return out;
+}
+
+}  // namespace hermes
+
+#endif  // HERMES_COMMON_STR_H_

@@ -1,0 +1,514 @@
+#include "core/agent.h"
+
+#include <cassert>
+
+#include "common/str.h"
+
+namespace hermes::core {
+
+const char* CertPolicyName(CertPolicy policy) {
+  switch (policy) {
+    case CertPolicy::kNone:
+      return "none";
+    case CertPolicy::kPrepareOnly:
+      return "prepare-only";
+    case CertPolicy::kPrepareExtended:
+      return "prepare-extended";
+    case CertPolicy::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+TwoPCAgent::TwoPCAgent(const AgentConfig& config, sim::EventLoop* loop,
+                       net::Network* network, ltm::Ltm* ltm, Metrics* metrics)
+    : config_(config),
+      loop_(loop),
+      network_(network),
+      ltm_(ltm),
+      metrics_(metrics) {
+  ltm_->SetUanListener(
+      [this](const SubTxnId& id, LtmTxnHandle handle) {
+        OnUnilateralAbort(id, handle);
+      });
+}
+
+TwoPCAgent::~TwoPCAgent() {
+  for (auto& [gtid, txn] : txns_) CancelTimers(txn);
+}
+
+TwoPCAgent::AgentTxn* TwoPCAgent::FindTxn(const TxnId& gtid) {
+  auto it = txns_.find(gtid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+LtmTxnHandle TwoPCAgent::HandleOf(const TxnId& gtid) const {
+  auto it = txns_.find(gtid);
+  return it == txns_.end() ? kInvalidLtmTxn : it->second.ltm_handle;
+}
+
+int TwoPCAgent::ResubmissionsOf(const TxnId& gtid) const {
+  auto it = txns_.find(gtid);
+  return it == txns_.end() ? 0 : it->second.resubmission;
+}
+
+void TwoPCAgent::Handle(SiteId from, const Message& msg) {
+  if (const auto* m = std::get_if<BeginMsg>(&msg)) {
+    OnBegin(from, *m);
+  } else if (const auto* m = std::get_if<DmlRequestMsg>(&msg)) {
+    OnDmlRequest(from, *m);
+  } else if (const auto* m = std::get_if<PrepareMsg>(&msg)) {
+    OnPrepare(from, *m);
+  } else if (const auto* m = std::get_if<DecisionMsg>(&msg)) {
+    OnDecision(from, *m);
+  }
+}
+
+// --- active state ----------------------------------------------------------
+
+void TwoPCAgent::OnBegin(SiteId from, const BeginMsg& msg) {
+  assert(txns_.count(msg.gtid) == 0);
+  AgentTxn& txn = txns_[msg.gtid];
+  txn.gtid = msg.gtid;
+  txn.coordinator = from;
+  txn.ltm_handle = ltm_->Begin(SubTxnId{msg.gtid, 0});
+  txn.last_completion = loop_->Now();
+  log_.Append(LogRecord{.kind = LogRecordKind::kBegin,
+                        .gtid = msg.gtid,
+                        .peer = from});
+}
+
+void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
+  AgentTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr || txn->phase != Phase::kActive) {
+    network_->Send(config_.site, from,
+                   Message{DmlResponseMsg{
+                       msg.gtid, msg.cmd_index,
+                       Status::Aborted("no active subtransaction"),
+                       db::CmdResult{}}});
+    return;
+  }
+  // Log the command first: it is the resubmission source.
+  log_.Append(LogRecord{.kind = LogRecordKind::kCommand,
+                        .gtid = msg.gtid,
+                        .command = msg.cmd});
+  if (!txn->alive) {
+    // Unilaterally aborted while still active: fail the command; the
+    // coordinator will roll the global transaction back. (Resubmission is
+    // reserved for the prepared state.)
+    network_->Send(config_.site, from,
+                   Message{DmlResponseMsg{
+                       msg.gtid, msg.cmd_index,
+                       Status::Aborted("subtransaction unilaterally aborted"),
+                       db::CmdResult{}}});
+    return;
+  }
+  const TxnId gtid = msg.gtid;
+  const int32_t index = msg.cmd_index;
+  ltm_->Execute(txn->ltm_handle, msg.cmd,
+                [this, gtid, index, from](const Status& status,
+                                          const db::CmdResult& result) {
+                  AgentTxn* t = FindTxn(gtid);
+                  if (t != nullptr && status.ok()) {
+                    t->last_completion = loop_->Now();
+                  }
+                  network_->Send(config_.site, from,
+                                 Message{DmlResponseMsg{gtid, index, status,
+                                                        result}});
+                });
+}
+
+// --- prepare certification (Appendix B) -------------------------------------
+
+void TwoPCAgent::Refuse(AgentTxn& txn, const Status& reason) {
+  if (ltm_->IsActive(txn.ltm_handle)) ltm_->Abort(txn.ltm_handle);
+  alive_table_.Remove(txn.gtid);
+  txn.phase = Phase::kAborted;
+  network_->Send(config_.site, txn.coordinator,
+                 Message{VoteMsg{txn.gtid, /*ready=*/false, reason}});
+}
+
+void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
+  ++metrics_->prepares_received;
+  AgentTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr) {
+    network_->Send(config_.site, from,
+                   Message{VoteMsg{msg.gtid, /*ready=*/false,
+                                   Status::NotFound("unknown transaction")}});
+    return;
+  }
+  txn->coordinator = from;
+  txn->sn = msg.sn;
+
+  const bool extension = config_.policy == CertPolicy::kPrepareExtended ||
+                         config_.policy == CertPolicy::kFull;
+  if (extension && msg.sn < max_committed_sn_) {
+    // Certification extension failed: a subtransaction with a bigger serial
+    // number is already committed here — this PREPARE arrived out of order
+    // and committing it later could close a cycle in CG(H).
+    ++metrics_->refuse_extension;
+    Refuse(*txn, Status::Rejected(
+                     StrCat("prepare certification extension: ",
+                            msg.sn.ToString(), " < committed ",
+                            max_committed_sn_.ToString())));
+    return;
+  }
+
+  // Refresh the stored intervals first: for every prepared subtransaction
+  // that is *currently* alive (known from UAN without touching the LDBS),
+  // the interval end extends to now. This keeps the certification exact
+  // between periodic alive checks — without it, a transaction preparing
+  // shortly after another's last alive check would be refused spuriously,
+  // violating the paper's failure-free-no-aborts property.
+  for (const auto& entry : alive_table_.Snapshot()) {
+    AgentTxn* other = FindTxn(entry.gtid);
+    if (other != nullptr && !other->resubmitting && other->alive &&
+        ltm_->IsActive(other->ltm_handle)) {
+      alive_table_.ExtendEnd(entry.gtid, loop_->Now());
+    }
+  }
+
+  // Basic prepare certification: the candidate's alive interval
+  // [last command completion, now] must intersect the alive interval of
+  // every subtransaction currently in the prepared state at this site.
+  const AliveInterval candidate{txn->last_completion, loop_->Now()};
+  if (config_.policy != CertPolicy::kNone &&
+      !alive_table_.CertifiableAgainstAll(candidate)) {
+    ++metrics_->refuse_interval;
+    Refuse(*txn,
+           Status::Rejected("basic prepare certification: alive intervals "
+                            "do not intersect"));
+    return;
+  }
+
+  // Insert into the alive interval table, then the alive check.
+  alive_table_.Insert(txn->gtid, candidate, msg.sn);
+  if (!txn->alive || !ltm_->IsActive(txn->ltm_handle)) {
+    ++metrics_->refuse_dead;
+    alive_table_.Remove(txn->gtid);
+    txn->phase = Phase::kAborted;
+    network_->Send(config_.site, from,
+                   Message{VoteMsg{txn->gtid, /*ready=*/false,
+                                   Status::Aborted(
+                                       "unilaterally aborted before "
+                                       "prepare")}});
+    return;
+  }
+
+  // Certification passed: force-write the prepare record, move to prepared.
+  log_.ForceAppend(LogRecord{.kind = LogRecordKind::kPrepare,
+                             .gtid = txn->gtid,
+                             .sn = msg.sn});
+  txn->phase = Phase::kPrepared;
+  ltm_->recorder()->RecordPrepare(SubTxnId{txn->gtid, txn->resubmission},
+                                  config_.site);
+  if (config_.bind_bound_data) BindAccessedItems(*txn);
+  network_->Send(config_.site, txn->coordinator,
+                 Message{VoteMsg{txn->gtid, /*ready=*/true, Status::Ok()}});
+  ScheduleAliveCheck(*txn);
+  if (prepared_hook_) prepared_hook_(txn->gtid, txn->ltm_handle);
+}
+
+// --- alive checks and resubmission (Appendix A) ------------------------------
+
+void TwoPCAgent::ScheduleAliveCheck(AgentTxn& txn) {
+  const TxnId gtid = txn.gtid;
+  txn.alive_timer = loop_->ScheduleAfter(
+      config_.alive_check_interval, [this, gtid]() { OnAliveCheck(gtid); });
+}
+
+void TwoPCAgent::OnAliveCheck(const TxnId& gtid) {
+  AgentTxn* txn = FindTxn(gtid);
+  if (txn == nullptr || txn->phase != Phase::kPrepared) return;
+  txn->alive_timer = sim::kInvalidEvent;
+  ++metrics_->alive_checks;
+  if (txn->resubmitting) {
+    ScheduleAliveCheck(*txn);
+    return;
+  }
+  if (txn->alive && ltm_->IsActive(txn->ltm_handle)) {
+    // No failure: extend the end of the alive time interval.
+    alive_table_.ExtendEnd(gtid, loop_->Now());
+  } else {
+    // Unilaterally aborted: resubmit the commands from the Agent log.
+    StartResubmission(*txn);
+  }
+  ScheduleAliveCheck(*txn);
+}
+
+void TwoPCAgent::StartResubmission(AgentTxn& txn) {
+  assert(txn.phase == Phase::kPrepared);
+  txn.resubmitting = true;
+  ++txn.resubmit_attempts;
+  ++metrics_->resubmissions;
+  if (txn.resubmit_attempts > config_.max_resubmission_attempts) {
+    // The TW assumption promises this does not happen; count it loudly if
+    // it ever does, and keep trying — a prepared transaction cannot be
+    // abandoned unilaterally by the agent.
+    ++metrics_->resubmission_failures;
+  }
+  ++txn.resubmission;
+  log_.Append(
+      LogRecord{.kind = LogRecordKind::kResubmission, .gtid = txn.gtid});
+  txn.alive = true;
+  txn.resubmit_next_cmd = 0;
+  txn.ltm_handle = ltm_->Begin(SubTxnId{txn.gtid, txn.resubmission});
+  RunNextResubmitCommand(txn.gtid);
+}
+
+void TwoPCAgent::RunNextResubmitCommand(const TxnId& gtid) {
+  AgentTxn* txn = FindTxn(gtid);
+  if (txn == nullptr) return;
+  if (txn->phase != Phase::kPrepared) {
+    // A rollback decision arrived mid-resubmission.
+    txn->resubmitting = false;
+    if (ltm_->IsActive(txn->ltm_handle)) ltm_->Abort(txn->ltm_handle);
+    return;
+  }
+  const std::vector<db::Command> commands = log_.CommandsOf(gtid);
+  if (txn->resubmit_next_cmd >= commands.size()) {
+    OnResubmissionComplete(*txn);
+    return;
+  }
+  const db::Command cmd = commands[txn->resubmit_next_cmd];
+  ltm_->Execute(
+      txn->ltm_handle, cmd,
+      [this, gtid](const Status& status, const db::CmdResult&) {
+        AgentTxn* t = FindTxn(gtid);
+        if (t == nullptr) return;
+        if (t->phase != Phase::kPrepared) {
+          t->resubmitting = false;
+          return;
+        }
+        if (status.ok()) {
+          ++t->resubmit_next_cmd;
+          RunNextResubmitCommand(gtid);
+          return;
+        }
+        // This resubmission attempt died (lock timeout or another injected
+        // failure). Back off and start a fresh attempt.
+        ++metrics_->resubmission_failures;
+        if (ltm_->IsActive(t->ltm_handle)) ltm_->Abort(t->ltm_handle);
+        const TxnId id = gtid;
+        t->resubmit_retry_timer = loop_->ScheduleAfter(
+            config_.resubmit_retry_interval, [this, id]() {
+              AgentTxn* t2 = FindTxn(id);
+              if (t2 == nullptr || t2->phase != Phase::kPrepared) return;
+              t2->resubmit_retry_timer = sim::kInvalidEvent;
+              StartResubmission(*t2);
+            });
+      });
+}
+
+void TwoPCAgent::OnResubmissionComplete(AgentTxn& txn) {
+  txn.resubmitting = false;
+  txn.resubmit_attempts = 0;
+  txn.last_completion = loop_->Now();
+  // "A new interval is always initiated after the resubmission of all the
+  // commands is complete."
+  alive_table_.Restart(txn.gtid, loop_->Now());
+  // The resubmitted decomposition may touch different rows: extend the
+  // bound-data set.
+  if (config_.bind_bound_data) BindAccessedItems(txn);
+  if (txn.commit_pending) TryCommit(txn);
+}
+
+// --- commit certification (Appendix C) ---------------------------------------
+
+void TwoPCAgent::OnDecision(SiteId from, const DecisionMsg& msg) {
+  AgentTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr) {
+    // Rollback of a transaction we refused (and already forgot): ack.
+    network_->Send(config_.site, from,
+                   Message{AckMsg{msg.gtid, msg.commit}});
+    return;
+  }
+  if (msg.commit) {
+    if (txn->phase == Phase::kCommitted) {
+      // Duplicate decision (e.g. the original COMMIT plus a recovery
+      // inquiry reply): re-ack idempotently.
+      network_->Send(config_.site, from, Message{AckMsg{msg.gtid, true}});
+      return;
+    }
+    if (txn->phase != Phase::kPrepared) return;
+    txn->commit_pending = true;
+    TryCommit(*txn);
+  } else {
+    if (txn->phase == Phase::kAborted) {
+      network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
+      return;
+    }
+    ProcessRollback(*txn);
+  }
+}
+
+void TwoPCAgent::TryCommit(AgentTxn& txn) {
+  if (txn.phase != Phase::kPrepared || !txn.commit_pending) return;
+  if (txn.resubmitting) return;  // OnResubmissionComplete re-enters
+
+  // Commit certification: all other prepared subtransactions at this agent
+  // must have a bigger serial number; otherwise retry later.
+  if (config_.policy == CertPolicy::kFull &&
+      !alive_table_.SmallestSerialNumber(txn.gtid)) {
+    ++metrics_->commit_cert_retries;
+    if (txn.commit_retry_timer == sim::kInvalidEvent) {
+      const TxnId gtid = txn.gtid;
+      txn.commit_retry_timer = loop_->ScheduleAfter(
+          config_.commit_retry_interval, [this, gtid]() {
+            AgentTxn* t = FindTxn(gtid);
+            if (t == nullptr) return;
+            t->commit_retry_timer = sim::kInvalidEvent;
+            TryCommit(*t);
+          });
+    }
+    return;
+  }
+
+  if (!txn.alive || !ltm_->IsActive(txn.ltm_handle)) {
+    // Unilaterally aborted after the last alive check: resubmit first, then
+    // commit (TW guarantees eventual success).
+    StartResubmission(txn);
+    return;
+  }
+
+  // Write the commit record to the Agent log, then commit locally.
+  log_.ForceAppend(
+      LogRecord{.kind = LogRecordKind::kCommit, .gtid = txn.gtid});
+  const Status status = ltm_->Commit(txn.ltm_handle);
+  if (!status.ok()) {
+    // Death discovered at commit: treat like a failed alive check.
+    txn.alive = false;
+    StartResubmission(txn);
+    return;
+  }
+  CompleteCommit(txn);
+}
+
+void TwoPCAgent::CompleteCommit(AgentTxn& txn) {
+  txn.phase = Phase::kCommitted;
+  txn.commit_pending = false;
+  CancelTimers(txn);
+  UnbindAll(txn);
+  alive_table_.Remove(txn.gtid);
+  if (max_committed_sn_ < txn.sn) max_committed_sn_ = txn.sn;
+  log_.Append(LogRecord{.kind = LogRecordKind::kComplete, .gtid = txn.gtid});
+  network_->Send(config_.site, txn.coordinator,
+                 Message{AckMsg{txn.gtid, /*commit=*/true}});
+}
+
+void TwoPCAgent::ProcessRollback(AgentTxn& txn) {
+  CancelTimers(txn);
+  txn.resubmitting = false;
+  txn.commit_pending = false;
+  if (ltm_->IsActive(txn.ltm_handle)) ltm_->Abort(txn.ltm_handle);
+  UnbindAll(txn);
+  alive_table_.Remove(txn.gtid);
+  txn.phase = Phase::kAborted;
+  log_.Append(LogRecord{.kind = LogRecordKind::kAbort, .gtid = txn.gtid});
+  network_->Send(config_.site, txn.coordinator,
+                 Message{AckMsg{txn.gtid, /*commit=*/false}});
+}
+
+// --- DLU bound data ----------------------------------------------------------
+
+void TwoPCAgent::BindAccessedItems(AgentTxn& txn) {
+  const ltm::LocalTxn* local = ltm_->Find(txn.ltm_handle);
+  if (local == nullptr) return;
+  std::vector<ItemId> fresh;
+  for (const auto& set : {local->read_set, local->write_set}) {
+    for (const ItemId& item : set) {
+      if (txn.bound_items.insert(item).second) fresh.push_back(item);
+    }
+  }
+  ltm_->BindItems(fresh);
+}
+
+void TwoPCAgent::UnbindAll(AgentTxn& txn) {
+  if (txn.bound_items.empty()) return;
+  ltm_->UnbindItems(
+      std::vector<ItemId>(txn.bound_items.begin(), txn.bound_items.end()));
+  txn.bound_items.clear();
+}
+
+// --- site crash recovery -------------------------------------------------------
+
+void TwoPCAgent::Crash() {
+  for (auto& [gtid, txn] : txns_) CancelTimers(txn);
+  txns_.clear();
+  alive_table_ = AliveIntervalTable();
+  max_committed_sn_ = SerialNumber{};
+}
+
+void TwoPCAgent::Recover() {
+  // Restore the extension high-water mark from completed transactions.
+  for (const LogRecord& record : log_.records()) {
+    if (record.kind == LogRecordKind::kPrepare &&
+        log_.HasComplete(record.gtid) && max_committed_sn_ < record.sn) {
+      max_committed_sn_ = record.sn;
+    }
+  }
+  // Rebuild every in-doubt subtransaction: prepared, not alive, with its
+  // logged serial number; resubmit, then finish via the logged decision or
+  // a coordinator inquiry.
+  for (const TxnId& gtid : log_.InDoubt()) {
+    AgentTxn& txn = txns_[gtid];
+    txn.gtid = gtid;
+    txn.coordinator = log_.CoordinatorOf(gtid);
+    txn.phase = Phase::kPrepared;
+    txn.alive = false;
+    txn.resubmission = log_.ResubmissionsOf(gtid);
+    const auto prepare = log_.PrepareRecordOf(gtid);
+    assert(prepare.has_value());
+    txn.sn = prepare->sn;
+    txn.last_completion = loop_->Now();
+    alive_table_.Insert(gtid, AliveInterval{loop_->Now(), loop_->Now()},
+                        txn.sn);
+    txn.commit_pending = log_.HasCommit(gtid);
+    StartResubmission(txn);
+    ScheduleAliveCheck(txn);
+    if (!txn.commit_pending) SendInquiry(gtid);
+  }
+}
+
+void TwoPCAgent::SendInquiry(const TxnId& gtid) {
+  AgentTxn* txn = FindTxn(gtid);
+  if (txn == nullptr || txn->phase != Phase::kPrepared ||
+      txn->commit_pending) {
+    return;
+  }
+  network_->Send(config_.site, txn->coordinator,
+                 Message{InquiryMsg{gtid}});
+  // Retry until a decision arrives (the coordinator stays silent while it
+  // is still collecting votes).
+  txn->inquiry_timer = loop_->ScheduleAfter(
+      4 * config_.commit_retry_interval,
+      [this, gtid]() { SendInquiry(gtid); });
+}
+
+// --- bookkeeping -------------------------------------------------------------
+
+void TwoPCAgent::CancelTimers(AgentTxn& txn) {
+  for (sim::EventId* timer :
+       {&txn.alive_timer, &txn.commit_retry_timer, &txn.resubmit_retry_timer,
+        &txn.inquiry_timer}) {
+    if (*timer != sim::kInvalidEvent) {
+      loop_->Cancel(*timer);
+      *timer = sim::kInvalidEvent;
+    }
+  }
+}
+
+void TwoPCAgent::OnUnilateralAbort(const SubTxnId& id,
+                                   LtmTxnHandle handle) {
+  AgentTxn* txn = FindTxn(id.txn);
+  if (txn == nullptr) return;
+  if (handle != txn->ltm_handle || id.resubmission != txn->resubmission) {
+    return;  // stale notification about a superseded local subtransaction
+  }
+  txn->alive = false;
+  // If a resubmission attempt is in flight its command callback handles the
+  // retry; otherwise the next alive check (or the commit attempt) triggers
+  // the resubmission — exactly the Appendix A/C algorithms.
+}
+
+}  // namespace hermes::core

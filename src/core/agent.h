@@ -1,0 +1,185 @@
+// The 2PC Agent (2PCA) with the prepare/commit Certifier — the paper's
+// core contribution.
+//
+// One agent is associated with each LTM. It plays the Participant role of
+// the 2PC protocol on behalf of an LDBS that has no prepared state of its
+// own: the prepared state is maintained *inside the agent*. If the LDBS
+// unilaterally aborts a prepared subtransaction, the agent resubmits the
+// subtransaction's DML commands from its Agent log, creating a new local
+// subtransaction that globally still belongs to the same transaction.
+//
+// The Certifier guards the serializability errors this can introduce:
+//  * basic prepare certification (section 4.2): a subtransaction moves to
+//    the prepared state only if its alive interval intersects the alive
+//    interval of every subtransaction already prepared at this site —
+//    under rigorous LTMs, simultaneous aliveness proves conflict-freeness;
+//  * extended prepare certification (section 5.3): REFUSE any PREPARE whose
+//    serial number is smaller than the largest serial number already
+//    committed at this agent (a COMMIT overtook a PREPARE);
+//  * commit certification (section 5.2, Appendix C): perform local commits
+//    in serial-number order — retry later while any prepared subtransaction
+//    at this site has a smaller SN — keeping the commit order graph
+//    acyclic.
+//
+// The certification policy is configurable so the benchmarks can ablate
+// each mechanism and demonstrate the distortions it prevents.
+
+#ifndef HERMES_CORE_AGENT_H_
+#define HERMES_CORE_AGENT_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/agent_log.h"
+#include "core/alive_intervals.h"
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "ltm/ltm.h"
+#include "net/network.h"
+#include "sim/event_loop.h"
+
+namespace hermes::core {
+
+enum class CertPolicy {
+  kNone,             // naive agent: resubmission but no certification
+  kPrepareOnly,      // basic prepare certification only
+  kPrepareExtended,  // basic + extension, no commit certification
+  kFull,             // the paper's complete 2CM certifier
+};
+
+const char* CertPolicyName(CertPolicy policy);
+
+struct AgentConfig {
+  SiteId site = 0;
+  CertPolicy policy = CertPolicy::kFull;
+  // Period of the alive check while in the prepared state (Appendix A).
+  sim::Duration alive_check_interval = 25 * sim::kMillisecond;
+  // Commit certification retry timeout (Appendix C).
+  sim::Duration commit_retry_interval = 5 * sim::kMillisecond;
+  // Backoff before restarting a failed resubmission attempt.
+  sim::Duration resubmit_retry_interval = 5 * sim::kMillisecond;
+  // TW assumption bound; exceeding it only counts a metric (the agent keeps
+  // trying — a prepared transaction must eventually commit).
+  int max_resubmission_attempts = 64;
+  // DLU: bind accessed items while prepared. Disable only for negative
+  // experiments.
+  bool bind_bound_data = true;
+};
+
+class TwoPCAgent {
+ public:
+  // Test/experiment hook invoked when a subtransaction enters the prepared
+  // state: (gtid, current LTM handle). Failure injectors use it to abort
+  // prepared subtransactions.
+  using PreparedHook = std::function<void(const TxnId&, LtmTxnHandle)>;
+
+  TwoPCAgent(const AgentConfig& config, sim::EventLoop* loop,
+             net::Network* network, ltm::Ltm* ltm, Metrics* metrics);
+  ~TwoPCAgent();
+
+  TwoPCAgent(const TwoPCAgent&) = delete;
+  TwoPCAgent& operator=(const TwoPCAgent&) = delete;
+
+  // Agent-bound protocol messages (BEGIN, DML, PREPARE, COMMIT/ROLLBACK).
+  void Handle(SiteId from, const Message& msg);
+
+  void set_prepared_hook(PreparedHook hook) {
+    prepared_hook_ = std::move(hook);
+  }
+
+  const AgentLog& log() const { return log_; }
+  const AliveIntervalTable& alive_table() const { return alive_table_; }
+  const SerialNumber& max_committed_sn() const { return max_committed_sn_; }
+  SiteId site() const { return config_.site; }
+
+  // Current LTM handle of a global transaction's subtransaction (tests).
+  LtmTxnHandle HandleOf(const TxnId& gtid) const;
+  int ResubmissionsOf(const TxnId& gtid) const;
+
+  // --- site crash recovery ------------------------------------------------
+  // Crash() discards all volatile state (transactions, alive intervals,
+  // certification high-water mark); only the Agent log — stable storage —
+  // survives. Recover() rebuilds from the log: in-doubt subtransactions are
+  // re-entered into the prepared state, resubmitted, and completed via the
+  // logged commit record or a coordinator inquiry (presumed abort when the
+  // coordinator no longer knows the transaction). Called by
+  // Mdbs::CrashSite(), which also collectively aborts everything inside the
+  // LTM first.
+  void Crash();
+  void Recover();
+
+ private:
+  enum class Phase : uint8_t {
+    kActive,
+    kPrepared,
+    kCommitted,
+    kAborted,
+  };
+
+  struct AgentTxn {
+    TxnId gtid;
+    SiteId coordinator = kInvalidSite;
+    Phase phase = Phase::kActive;
+    LtmTxnHandle ltm_handle = kInvalidLtmTxn;
+    int resubmission = 0;
+    // Aliveness of the *current* local subtransaction, maintained from UAN.
+    bool alive = true;
+    bool resubmitting = false;
+    int resubmit_attempts = 0;
+    size_t resubmit_next_cmd = 0;
+    // Completion time of the last DML command of the current local
+    // subtransaction: the start of its certification alive interval.
+    sim::Time last_completion = 0;
+    SerialNumber sn;
+    bool commit_pending = false;  // COMMIT received but not yet performed
+    sim::EventId alive_timer = sim::kInvalidEvent;
+    sim::EventId commit_retry_timer = sim::kInvalidEvent;
+    sim::EventId resubmit_retry_timer = sim::kInvalidEvent;
+    sim::EventId inquiry_timer = sim::kInvalidEvent;
+    std::set<ItemId> bound_items;
+  };
+
+  void OnBegin(SiteId from, const BeginMsg& msg);
+  void OnDmlRequest(SiteId from, const DmlRequestMsg& msg);
+  void OnPrepare(SiteId from, const PrepareMsg& msg);
+  void OnDecision(SiteId from, const DecisionMsg& msg);
+
+  void Refuse(AgentTxn& txn, const Status& reason);
+  void TryCommit(AgentTxn& txn);
+  void CompleteCommit(AgentTxn& txn);
+  void ProcessRollback(AgentTxn& txn);
+  void ScheduleAliveCheck(AgentTxn& txn);
+  void OnAliveCheck(const TxnId& gtid);
+  void StartResubmission(AgentTxn& txn);
+  void RunNextResubmitCommand(const TxnId& gtid);
+  void OnResubmissionComplete(AgentTxn& txn);
+  void BindAccessedItems(AgentTxn& txn);
+  void UnbindAll(AgentTxn& txn);
+  void SendInquiry(const TxnId& gtid);
+  void CancelTimers(AgentTxn& txn);
+  void OnUnilateralAbort(const SubTxnId& id, LtmTxnHandle handle);
+
+  AgentTxn* FindTxn(const TxnId& gtid);
+
+  AgentConfig config_;
+  sim::EventLoop* loop_;
+  net::Network* network_;
+  ltm::Ltm* ltm_;
+  Metrics* metrics_;
+
+  AgentLog log_;
+  AliveIntervalTable alive_table_;
+  // Largest serial number of any subtransaction committed at this agent —
+  // the state of the prepare certification extension.
+  SerialNumber max_committed_sn_;
+
+  std::map<TxnId, AgentTxn> txns_;
+  PreparedHook prepared_hook_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_AGENT_H_

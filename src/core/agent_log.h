@@ -1,0 +1,91 @@
+// The Agent log (stable storage of one 2PC Agent).
+//
+// The 2PCA logs every DML command of each global subtransaction so it can
+// *resubmit* them after a unilateral abort, and force-writes prepare/commit
+// records as the 2PC protocol requires. In the simulation "stable storage"
+// is an in-memory structure; the force-write flag is modeled so the log
+// discipline is visible and testable, and the log supports replay-based
+// agent recovery after a site crash.
+
+#ifndef HERMES_CORE_AGENT_LOG_H_
+#define HERMES_CORE_AGENT_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "db/command.h"
+#include "core/serial_number.h"
+
+namespace hermes::core {
+
+enum class LogRecordKind : uint8_t {
+  kBegin,
+  kCommand,
+  kPrepare,       // force-written before READY is sent
+  kResubmission,  // a resubmission attempt started
+  kCommit,        // force-written before the local commit is performed
+  kAbort,         // global rollback processed
+  kComplete,      // local commit done, COMMIT-ACK sent
+};
+
+struct LogRecord {
+  LogRecordKind kind = LogRecordKind::kBegin;
+  TxnId gtid;
+  int64_t lsn = 0;
+  bool forced = false;
+  // kBegin only: the coordinating site (needed to direct recovery
+  // inquiries after a crash).
+  SiteId peer = kInvalidSite;
+  // kCommand only.
+  std::optional<db::Command> command;
+  // kPrepare only.
+  SerialNumber sn;
+};
+
+class AgentLog {
+ public:
+  AgentLog() = default;
+
+  int64_t Append(LogRecord record);       // buffered write
+  int64_t ForceAppend(LogRecord record);  // force-write (fsync'd)
+
+  // All commands logged for `gtid`, in submission order — the resubmission
+  // source.
+  std::vector<db::Command> CommandsOf(const TxnId& gtid) const;
+
+  // Latest prepare record of `gtid`, if any.
+  std::optional<LogRecord> PrepareRecordOf(const TxnId& gtid) const;
+
+  // True if a commit (abort) record exists for `gtid`.
+  bool HasCommit(const TxnId& gtid) const;
+  bool HasAbort(const TxnId& gtid) const;
+  bool HasComplete(const TxnId& gtid) const;
+
+  // Transactions that were prepared but have no complete/abort record —
+  // the in-doubt set an agent must recover after a crash.
+  std::vector<TxnId> InDoubt() const;
+
+  // Coordinating site recorded with the begin record (kInvalidSite if the
+  // transaction is unknown).
+  SiteId CoordinatorOf(const TxnId& gtid) const;
+  // Number of resubmission records logged for `gtid`.
+  int ResubmissionsOf(const TxnId& gtid) const;
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  int64_t forced_writes() const { return forced_writes_; }
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<LogRecord> records_;
+  // Secondary index: gtid -> record positions.
+  std::map<TxnId, std::vector<size_t>> by_txn_;
+  int64_t forced_writes_ = 0;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_AGENT_LOG_H_

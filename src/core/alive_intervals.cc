@@ -1,0 +1,69 @@
+#include "core/alive_intervals.h"
+
+#include <cassert>
+
+#include "common/str.h"
+
+namespace hermes::core {
+
+bool AliveIntervalTable::CertifiableAgainstAll(
+    const AliveInterval& candidate) const {
+  for (const auto& [gtid, entry] : entries_) {
+    if (!candidate.Intersects(entry.interval)) return false;
+  }
+  return true;
+}
+
+void AliveIntervalTable::Insert(const TxnId& gtid,
+                                const AliveInterval& interval,
+                                const SerialNumber& sn) {
+  entries_[gtid] = Entry{gtid, interval, sn};
+}
+
+void AliveIntervalTable::Remove(const TxnId& gtid) { entries_.erase(gtid); }
+
+void AliveIntervalTable::ExtendEnd(const TxnId& gtid, sim::Time end) {
+  auto it = entries_.find(gtid);
+  assert(it != entries_.end());
+  if (end > it->second.interval.end) it->second.interval.end = end;
+}
+
+void AliveIntervalTable::Restart(const TxnId& gtid, sim::Time at) {
+  auto it = entries_.find(gtid);
+  assert(it != entries_.end());
+  it->second.interval = AliveInterval{at, at};
+}
+
+const AliveIntervalTable::Entry* AliveIntervalTable::Find(
+    const TxnId& gtid) const {
+  auto it = entries_.find(gtid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool AliveIntervalTable::SmallestSerialNumber(const TxnId& gtid) const {
+  auto self = entries_.find(gtid);
+  assert(self != entries_.end());
+  for (const auto& [other_gtid, entry] : entries_) {
+    if (other_gtid == gtid) continue;
+    if (entry.sn < self->second.sn) return false;
+  }
+  return true;
+}
+
+std::vector<AliveIntervalTable::Entry> AliveIntervalTable::Snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [gtid, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::string AliveIntervalTable::ToString() const {
+  std::string out;
+  for (const auto& [gtid, entry] : entries_) {
+    StrAppend(out, gtid.ToString(), " [", entry.interval.begin, ",",
+              entry.interval.end, "] ", entry.sn.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,76 @@
+// The alive time interval table of the basic prepare certification
+// (section 4.2).
+//
+// A local subtransaction is *alive* when all its DML commands are completely
+// executed and it is neither locally committed nor aborted. The Conflict
+// Detection Basis: if two local subtransactions were alive at the same time
+// and the LTM is rigorous, they cannot conflict, directly or indirectly.
+//
+// The table stores, for each global subtransaction currently in the
+// prepared state at a site, its last known alive interval [begin, end]. The
+// certification test for a new subtransaction is that its own alive
+// interval has a non-empty intersection with EVERY stored interval.
+
+#ifndef HERMES_CORE_ALIVE_INTERVALS_H_
+#define HERMES_CORE_ALIVE_INTERVALS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/serial_number.h"
+#include "sim/event_loop.h"
+
+namespace hermes::core {
+
+struct AliveInterval {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+
+  bool Intersects(const AliveInterval& other) const {
+    return begin <= other.end && other.begin <= end;
+  }
+};
+
+class AliveIntervalTable {
+ public:
+  struct Entry {
+    TxnId gtid;
+    AliveInterval interval;
+    SerialNumber sn;
+  };
+
+  // True if `candidate` intersects every stored interval (the basic prepare
+  // certification test).
+  bool CertifiableAgainstAll(const AliveInterval& candidate) const;
+
+  void Insert(const TxnId& gtid, const AliveInterval& interval,
+              const SerialNumber& sn);
+  void Remove(const TxnId& gtid);
+  bool Contains(const TxnId& gtid) const { return entries_.count(gtid) != 0; }
+
+  // Extends the stored interval's end (successful alive check).
+  void ExtendEnd(const TxnId& gtid, sim::Time end);
+  // Restarts the interval after a completed resubmission.
+  void Restart(const TxnId& gtid, sim::Time at);
+
+  const Entry* Find(const TxnId& gtid) const;
+
+  // Commit certification test (Appendix C): every *other* prepared
+  // subtransaction must have a bigger serial number.
+  bool SmallestSerialNumber(const TxnId& gtid) const;
+
+  size_t size() const { return entries_.size(); }
+  std::vector<Entry> Snapshot() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<TxnId, Entry> entries_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_ALIVE_INTERVALS_H_

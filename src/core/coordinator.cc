@@ -1,0 +1,236 @@
+#include "core/coordinator.h"
+
+#include <cassert>
+
+#include "common/str.h"
+
+namespace hermes::core {
+
+Coordinator::Coordinator(SiteId site, sim::EventLoop* loop,
+                         net::Network* network, const sim::SiteClock* clock,
+                         history::Recorder* recorder, Metrics* metrics)
+    : site_(site),
+      loop_(loop),
+      network_(network),
+      recorder_(recorder),
+      metrics_(metrics),
+      sn_generator_(site, clock) {}
+
+Coordinator::CoordTxn* Coordinator::FindTxn(const TxnId& gtid) {
+  auto it = txns_.find(gtid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+TxnId Coordinator::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb) {
+  const TxnId gtid = TxnId::MakeGlobal(site_, next_seq_++);
+  CoordTxn& txn = txns_[gtid];
+  txn.gtid = gtid;
+  txn.spec = std::move(spec);
+  txn.cb = std::move(cb);
+  txn.start_time = loop_->Now();
+  if (sn_at_submit_) txn.sn = sn_generator_.Next();
+  if (txn.spec.steps.empty()) {
+    txn.failure = Status::InvalidArgument("global transaction has no steps");
+    // Resolve asynchronously for uniform callback behavior.
+    loop_->ScheduleAfter(0, [this, gtid]() {
+      CoordTxn* t = FindTxn(gtid);
+      if (t != nullptr) StartRollback(*t, t->failure);
+    });
+    return gtid;
+  }
+  loop_->ScheduleAfter(0, [this, gtid]() { ExecuteNextStep(gtid); });
+  return gtid;
+}
+
+void Coordinator::ExecuteNextStep(const TxnId& gtid) {
+  CoordTxn* txn = FindTxn(gtid);
+  if (txn == nullptr || txn->phase != Phase::kExecuting) return;
+  if (txn->next_step >= txn->spec.steps.size()) {
+    StartCommit(gtid);
+    return;
+  }
+  const GlobalTxnSpec::Step& step = txn->spec.steps[txn->next_step];
+  if (hooks_.before_step) {
+    hooks_.before_step(gtid, step, [this, gtid](const Status& s) {
+      CoordTxn* t = FindTxn(gtid);
+      if (t == nullptr || t->phase != Phase::kExecuting) return;
+      if (!s.ok()) {
+        ++metrics_->global_aborted_dml;
+        StartRollback(*t, s);
+        return;
+      }
+      SendStep(*t);
+    });
+    return;
+  }
+  SendStep(*txn);
+}
+
+void Coordinator::SendStep(CoordTxn& txn) {
+  const GlobalTxnSpec::Step& step = txn.spec.steps[txn.next_step];
+  if (txn.begun.insert(step.site).second) {
+    network_->Send(site_, step.site, Message{BeginMsg{txn.gtid}});
+  }
+  network_->Send(site_, step.site,
+                 Message{DmlRequestMsg{txn.gtid,
+                                       static_cast<int32_t>(txn.next_step),
+                                       step.cmd}});
+}
+
+void Coordinator::OnDmlResponse(const DmlResponseMsg& msg) {
+  CoordTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr || txn->phase != Phase::kExecuting) return;
+  if (msg.cmd_index != static_cast<int32_t>(txn->next_step)) return;
+  if (!msg.status.ok()) {
+    ++metrics_->global_aborted_dml;
+    StartRollback(*txn, msg.status);
+    return;
+  }
+  const auto& min_affected = txn->spec.steps[txn->next_step].min_affected;
+  if (min_affected.has_value() && msg.result.affected < *min_affected) {
+    ++metrics_->global_aborted_dml;
+    StartRollback(*txn,
+                  Status::Rejected(StrCat("step ", txn->next_step,
+                                          " affected ", msg.result.affected,
+                                          " rows, expected at least ",
+                                          *min_affected)));
+    return;
+  }
+  txn->results.push_back(msg.result);
+  ++txn->next_step;
+  ExecuteNextStep(txn->gtid);
+}
+
+void Coordinator::StartCommit(const TxnId& gtid) {
+  CoordTxn* txn = FindTxn(gtid);
+  if (txn == nullptr) return;
+  txn->phase = Phase::kPreparing;
+  if (hooks_.before_prepare) {
+    std::vector<SiteId> sites(txn->begun.begin(), txn->begun.end());
+    hooks_.before_prepare(gtid, sites, [this, gtid](const Status& s) {
+      CoordTxn* t = FindTxn(gtid);
+      if (t == nullptr || t->phase != Phase::kPreparing) return;
+      if (!s.ok()) {
+        ++metrics_->global_aborted_cert;
+        t->certification_refused = true;
+        StartRollback(*t, s);
+        return;
+      }
+      SendPrepares(*t);
+    });
+    return;
+  }
+  SendPrepares(*txn);
+}
+
+void Coordinator::SendPrepares(CoordTxn& txn) {
+  // The application has submitted Commit: generate the serial number now
+  // (all conflicts are determined by this point) and send it with PREPARE.
+  // Under the sn_at_submit ablation the (earlier) submission-time number is
+  // kept instead.
+  if (!sn_at_submit_) txn.sn = sn_generator_.Next();
+  txn.votes_pending = txn.begun;
+  for (SiteId s : txn.begun) {
+    network_->Send(site_, s, Message{PrepareMsg{txn.gtid, txn.sn}});
+  }
+}
+
+void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
+  CoordTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr || txn->phase != Phase::kPreparing) return;
+  txn->votes_pending.erase(from);
+  if (!msg.ready) {
+    ++metrics_->global_aborted_cert;
+    txn->certification_refused = true;
+    StartRollback(*txn, msg.reason.ok()
+                            ? Status::Rejected("participant refused")
+                            : msg.reason);
+    return;
+  }
+  if (txn->votes_pending.empty()) {
+    // All READY: record the global commit decision C_k, then COMMIT.
+    recorder_->RecordGlobalCommit(txn->gtid, site_);
+    txn->phase = Phase::kCommitting;
+    txn->acks_pending = txn->begun;
+    for (SiteId s : txn->begun) {
+      network_->Send(site_, s, Message{DecisionMsg{txn->gtid, true}});
+    }
+  }
+}
+
+void Coordinator::Handle(SiteId from, const Message& msg) {
+  if (const auto* m = std::get_if<DmlResponseMsg>(&msg)) {
+    OnDmlResponse(*m);
+  } else if (const auto* m = std::get_if<VoteMsg>(&msg)) {
+    OnVote(from, *m);
+  } else if (const auto* m = std::get_if<AckMsg>(&msg)) {
+    OnAck(from, *m);
+  } else if (const auto* m = std::get_if<InquiryMsg>(&msg)) {
+    // Recovery inquiry from a crashed participant.
+    CoordTxn* txn = FindTxn(m->gtid);
+    if (txn == nullptr) {
+      // Fully finished and forgotten, or never existed: a finished
+      // transaction was acked by every participant, so an in-doubt inquirer
+      // can only concern an aborted one — presumed abort.
+      network_->Send(site_, from, Message{DecisionMsg{m->gtid, false}});
+      return;
+    }
+    if (txn->phase == Phase::kCommitting) {
+      network_->Send(site_, from, Message{DecisionMsg{m->gtid, true}});
+    } else if (txn->phase == Phase::kRollingBack) {
+      network_->Send(site_, from, Message{DecisionMsg{m->gtid, false}});
+    }
+    // Still preparing/executing: stay silent, the agent retries.
+  }
+}
+
+void Coordinator::StartRollback(CoordTxn& txn, const Status& reason) {
+  txn.failure = reason;
+  txn.phase = Phase::kRollingBack;
+  recorder_->RecordGlobalAbort(txn.gtid, site_);
+  if (txn.begun.empty()) {
+    FinishTxn(txn, /*committed=*/false);
+    return;
+  }
+  txn.acks_pending = txn.begun;
+  for (SiteId s : txn.begun) {
+    network_->Send(site_, s, Message{DecisionMsg{txn.gtid, false}});
+  }
+}
+
+void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
+  CoordTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr) return;
+  if (txn->phase != Phase::kCommitting && txn->phase != Phase::kRollingBack) {
+    return;
+  }
+  txn->acks_pending.erase(from);
+  if (txn->acks_pending.empty()) {
+    FinishTxn(*txn, /*committed=*/txn->phase == Phase::kCommitting);
+  }
+}
+
+void Coordinator::FinishTxn(CoordTxn& txn, bool committed) {
+  if (committed) {
+    ++metrics_->global_committed;
+    metrics_->AddLatency(loop_->Now() - txn.start_time);
+  } else {
+    ++metrics_->global_aborted;
+  }
+  if (hooks_.on_finished) hooks_.on_finished(txn.gtid, committed);
+  GlobalTxnResult result;
+  result.gtid = txn.gtid;
+  result.status = committed ? Status::Ok() : txn.failure;
+  if (!committed && result.status.ok()) {
+    result.status = Status::Aborted("global transaction aborted");
+  }
+  result.results = std::move(txn.results);
+  result.latency = loop_->Now() - txn.start_time;
+  result.certification_refused = txn.certification_refused;
+  GlobalTxnCallback cb = std::move(txn.cb);
+  const TxnId gtid = txn.gtid;
+  txns_.erase(gtid);
+  if (cb) cb(result);
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,156 @@
+// The Coordinator of the Distributed Transaction Manager.
+//
+// One Coordinator instance runs at each coordinating site and manages all
+// global transactions submitted there: it decomposes a global transaction
+// into global subtransactions (at most one per participating site), submits
+// the DML commands one by one, and — upon the application's Commit — runs
+// the standard 2PC protocol against the 2PC Agents. The serial number SN(k)
+// is generated from the coordinating site's clock when the Commit is
+// submitted and travels with the PREPARE messages (section 5.2).
+//
+// Optional hooks let the CGM baseline interpose a centralized scheduler
+// (global locks before each step, commit-graph admission before PREPARE)
+// without changing this class.
+
+#ifndef HERMES_CORE_COORDINATOR_H_
+#define HERMES_CORE_COORDINATOR_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/messages.h"
+#include "core/metrics.h"
+#include "history/recorder.h"
+#include "net/network.h"
+#include "sim/event_loop.h"
+#include "sim/site_clock.h"
+
+namespace hermes::core {
+
+// A global transaction: an ordered list of (site, command) steps. Commands
+// run strictly in order (the application computes between steps; results
+// are returned per step).
+struct GlobalTxnSpec {
+  struct Step {
+    SiteId site = kInvalidSite;
+    db::Command cmd;
+    // Application-level validation: if set and the command affects fewer
+    // rows, the coordinator aborts the global transaction (e.g. a booking
+    // update whose availability predicate matched nothing).
+    std::optional<int64_t> min_affected;
+  };
+  std::vector<Step> steps;
+};
+
+struct GlobalTxnResult {
+  TxnId gtid;
+  Status status;
+  // One entry per completed step.
+  std::vector<db::CmdResult> results;
+  sim::Duration latency = 0;
+  bool certification_refused = false;
+};
+
+using GlobalTxnCallback = std::function<void(const GlobalTxnResult&)>;
+
+// CGM (and other DTM variants) interpose here.
+struct CoordinatorHooks {
+  // Invoked before executing each step; call done(OK) to proceed,
+  // done(error) to abort the global transaction.
+  std::function<void(const TxnId&, const GlobalTxnSpec::Step&,
+                     std::function<void(const Status&)>)>
+      before_step;
+  // Invoked when the application submits Commit, before PREPARE fan-out.
+  std::function<void(const TxnId&, const std::vector<SiteId>&,
+                     std::function<void(const Status&)>)>
+      before_prepare;
+  // Invoked when the transaction finishes (acks collected).
+  std::function<void(const TxnId&, bool committed)> on_finished;
+};
+
+class Coordinator {
+ public:
+  Coordinator(SiteId site, sim::EventLoop* loop, net::Network* network,
+              const sim::SiteClock* clock, history::Recorder* recorder,
+              Metrics* metrics);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Starts a global transaction; the callback fires when it commits or
+  // aborts globally (all acks collected).
+  TxnId Submit(GlobalTxnSpec spec, GlobalTxnCallback cb);
+
+  // Coordinator-bound protocol messages (DML-RESP, READY/REFUSE, ACK).
+  void Handle(SiteId from, const Message& msg);
+
+  void set_hooks(CoordinatorHooks hooks) { hooks_ = std::move(hooks); }
+
+  // Ablation (bench_ablation_order): generate the serial number when the
+  // transaction is *submitted* instead of when the application commits —
+  // the "predefined total order" alternative the paper rejects in
+  // section 5.2 as overly restrictive.
+  void set_sn_at_submit(bool v) { sn_at_submit_ = v; }
+
+  SiteId site() const { return site_; }
+  int64_t active_transactions() const {
+    return static_cast<int64_t>(txns_.size());
+  }
+
+ private:
+  enum class Phase : uint8_t {
+    kExecuting,
+    kPreparing,
+    kCommitting,
+    kRollingBack,
+  };
+
+  struct CoordTxn {
+    TxnId gtid;
+    GlobalTxnSpec spec;
+    GlobalTxnCallback cb;
+    Phase phase = Phase::kExecuting;
+    size_t next_step = 0;
+    std::set<SiteId> begun;
+    std::vector<db::CmdResult> results;
+    SerialNumber sn;
+    std::set<SiteId> votes_pending;
+    std::set<SiteId> acks_pending;
+    Status failure;
+    bool certification_refused = false;
+    sim::Time start_time = 0;
+  };
+
+  void ExecuteNextStep(const TxnId& gtid);
+  void SendStep(CoordTxn& txn);
+  void OnDmlResponse(const DmlResponseMsg& msg);
+  void StartCommit(const TxnId& gtid);
+  void SendPrepares(CoordTxn& txn);
+  void OnVote(SiteId from, const VoteMsg& msg);
+  void StartRollback(CoordTxn& txn, const Status& reason);
+  void OnAck(SiteId from, const AckMsg& msg);
+  void FinishTxn(CoordTxn& txn, bool committed);
+
+  CoordTxn* FindTxn(const TxnId& gtid);
+
+  SiteId site_;
+  sim::EventLoop* loop_;
+  net::Network* network_;
+  history::Recorder* recorder_;
+  Metrics* metrics_;
+  SerialNumberGenerator sn_generator_;
+  CoordinatorHooks hooks_;
+
+  bool sn_at_submit_ = false;
+  int64_t next_seq_ = 0;
+  std::map<TxnId, CoordTxn> txns_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_COORDINATOR_H_

@@ -1,0 +1,190 @@
+#include "core/mdbs.h"
+
+#include <cassert>
+
+#include "common/str.h"
+
+namespace hermes::core {
+
+// Executes one local transaction: Begin, commands in order, Commit.
+struct Mdbs::LocalRun : std::enable_shared_from_this<Mdbs::LocalRun> {
+  Mdbs* mdbs = nullptr;
+  LocalTxnSpec spec;
+  LocalTxnCallback cb;
+  TxnId id;
+  LtmTxnHandle handle = kInvalidLtmTxn;
+  size_t next = 0;
+  std::vector<db::CmdResult> results;
+
+  void Start() {
+    handle = mdbs->ltm(spec.site)->Begin(SubTxnId{id, 0});
+    RunNext();
+  }
+
+  void RunNext() {
+    ltm::Ltm* ltm = mdbs->ltm(spec.site);
+    if (next >= spec.commands.size()) {
+      const Status status = ltm->Commit(handle);
+      if (status.ok()) {
+        ++mdbs->metrics_.local_committed;
+      } else {
+        ++mdbs->metrics_.local_aborted;
+      }
+      Finish(status);
+      return;
+    }
+    auto self = shared_from_this();
+    ltm->Execute(handle, spec.commands[next],
+                 [self](const Status& status, const db::CmdResult& result) {
+                   if (!status.ok()) {
+                     // The executor aborted the transaction on failure
+                     // already (statement errors, lock timeouts); aborts
+                     // requested here would be redundant but harmless.
+                     ltm::Ltm* ltm = self->mdbs->ltm(self->spec.site);
+                     if (ltm->IsActive(self->handle)) {
+                       ltm->Abort(self->handle);
+                     }
+                     ++self->mdbs->metrics_.local_aborted;
+                     self->Finish(status);
+                     return;
+                   }
+                   self->results.push_back(result);
+                   ++self->next;
+                   self->RunNext();
+                 });
+  }
+
+  void Finish(const Status& status) {
+    if (cb) {
+      cb(LocalTxnResult{id, status, std::move(results)});
+    }
+  }
+};
+
+Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
+    : config_(config), loop_(loop) {
+  assert(config_.num_sites > 0);
+  recorder_ = std::make_unique<history::Recorder>(loop_);
+  recorder_->set_enabled(config_.record_history);
+  network_ = std::make_unique<net::Network>(config_.network, loop_);
+  next_local_seq_.resize(static_cast<size_t>(config_.num_sites), 0);
+
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    auto site = std::make_unique<Site>();
+    const sim::Duration offset =
+        static_cast<size_t>(s) < config_.clock_offsets.size()
+            ? config_.clock_offsets[s]
+            : 0;
+    const int64_t drift =
+        static_cast<size_t>(s) < config_.clock_drift_ppm.size()
+            ? config_.clock_drift_ppm[s]
+            : 0;
+    site->clock = std::make_unique<sim::SiteClock>(loop_, offset, drift);
+    site->storage = std::make_unique<db::Storage>(s);
+
+    ltm::LtmConfig ltm_config = config_.ltm;
+    ltm_config.site = s;
+    site->ltm = std::make_unique<ltm::Ltm>(ltm_config, loop_,
+                                           site->storage.get(),
+                                           recorder_.get());
+
+    AgentConfig agent_config = config_.agent;
+    agent_config.site = s;
+    site->agent = std::make_unique<TwoPCAgent>(agent_config, loop_,
+                                               network_.get(),
+                                               site->ltm.get(), &metrics_);
+    site->coordinator = std::make_unique<Coordinator>(
+        s, loop_, network_.get(), site->clock.get(), recorder_.get(),
+        &metrics_);
+    sites_.push_back(std::move(site));
+  }
+  for (SiteId s = 0; s < config_.num_sites; ++s) {
+    network_->RegisterEndpoint(s, [this, s](const net::Envelope& env) {
+      RouteMessage(s, env);
+    });
+  }
+}
+
+Mdbs::~Mdbs() = default;
+
+void Mdbs::RouteMessage(SiteId site, const net::Envelope& env) {
+  const auto* msg = std::any_cast<Message>(&env.payload);
+  if (msg == nullptr) return;  // not a 2PC protocol message (CGM traffic)
+  // Agent-bound message kinds go to the site's agent, the rest to the
+  // site's coordinator.
+  const bool to_agent = std::holds_alternative<BeginMsg>(*msg) ||
+                        std::holds_alternative<DmlRequestMsg>(*msg) ||
+                        std::holds_alternative<PrepareMsg>(*msg) ||
+                        std::holds_alternative<DecisionMsg>(*msg);
+  if (to_agent) {
+    sites_[site]->agent->Handle(env.from, *msg);
+  } else {
+    sites_[site]->coordinator->Handle(env.from, *msg);
+  }
+}
+
+Result<db::TableId> Mdbs::CreateTable(SiteId site, const std::string& name) {
+  return sites_[site]->storage->CreateTable(name);
+}
+
+Result<db::TableId> Mdbs::CreateTableEverywhere(const std::string& name) {
+  Result<db::TableId> first = sites_[0]->storage->CreateTable(name);
+  if (!first.ok()) return first;
+  for (SiteId s = 1; s < config_.num_sites; ++s) {
+    Result<db::TableId> r = sites_[s]->storage->CreateTable(name);
+    if (!r.ok()) return r;
+    if (*r != *first) {
+      return Status::Internal("table ids diverged across sites");
+    }
+  }
+  return first;
+}
+
+Status Mdbs::LoadRow(SiteId site, db::TableId table, int64_t key,
+                     db::Row row) {
+  return sites_[site]->storage->LoadRow(table, key, std::move(row));
+}
+
+TxnId Mdbs::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb,
+                   SiteId coordinator_site) {
+  if (coordinator_site == kInvalidSite) {
+    coordinator_site = spec.steps.empty() ? 0 : spec.steps[0].site;
+  }
+  return sites_[coordinator_site]->coordinator->Submit(std::move(spec),
+                                                       std::move(cb));
+}
+
+TxnId Mdbs::SubmitLocal(LocalTxnSpec spec, LocalTxnCallback cb) {
+  assert(spec.site >= 0 && spec.site < config_.num_sites);
+  auto run = std::make_shared<LocalRun>();
+  run->mdbs = this;
+  run->id = TxnId::MakeLocal(spec.site,
+                             next_local_seq_[static_cast<size_t>(spec.site)]++);
+  run->spec = std::move(spec);
+  run->cb = std::move(cb);
+  const TxnId id = run->id;
+  loop_->ScheduleAfter(0, [run]() { run->Start(); });
+  return id;
+}
+
+void Mdbs::CrashSite(SiteId site) {
+  Site& s = *sites_[site];
+  // Wipe agent volatile state first so the UAN storm from the collective
+  // abort below hits an agent that no longer knows the transactions.
+  s.agent->Crash();
+  for (LtmTxnHandle handle : s.ltm->ActiveHandles()) {
+    (void)s.ltm->InjectUnilateralAbort(handle);
+  }
+  s.ltm->ClearBindings();
+  s.agent->Recover();
+}
+
+void Mdbs::SetCoordinatorHooks(const CoordinatorHooks& hooks) {
+  for (auto& site : sites_) site->coordinator->set_hooks(hooks);
+}
+
+void Mdbs::SetSnAtSubmit(bool v) {
+  for (auto& site : sites_) site->coordinator->set_sn_at_submit(v);
+}
+
+}  // namespace hermes::core

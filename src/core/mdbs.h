@@ -1,0 +1,137 @@
+// Top-level assembly of the heterogeneous multidatabase system: N sites,
+// each with its own storage, LTM and 2PC Agent, a Coordinator at every site,
+// a simulated network connecting them, one history recorder and shared
+// metrics. This is the main public entry point of the library (see
+// examples/quickstart.cc).
+
+#ifndef HERMES_CORE_MDBS_H_
+#define HERMES_CORE_MDBS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/agent.h"
+#include "core/coordinator.h"
+#include "core/metrics.h"
+#include "db/storage.h"
+#include "history/recorder.h"
+#include "ltm/ltm.h"
+#include "net/network.h"
+#include "sim/event_loop.h"
+#include "sim/site_clock.h"
+
+namespace hermes::core {
+
+struct MdbsConfig {
+  int num_sites = 2;
+  // Per-site templates; the site id field is filled in per site.
+  ltm::LtmConfig ltm;
+  AgentConfig agent;
+  net::NetworkConfig network;
+  // Optional per-site clock skew (section 5.2 experiments). Missing entries
+  // default to zero.
+  std::vector<sim::Duration> clock_offsets;
+  std::vector<int64_t> clock_drift_ppm;
+  bool record_history = true;
+};
+
+// A transaction submitted directly at one LDBS's local interface,
+// invisible to the DTM.
+struct LocalTxnSpec {
+  SiteId site = kInvalidSite;
+  std::vector<db::Command> commands;
+};
+
+struct LocalTxnResult {
+  TxnId id;
+  Status status;
+  std::vector<db::CmdResult> results;
+};
+
+using LocalTxnCallback = std::function<void(const LocalTxnResult&)>;
+
+class Mdbs {
+ public:
+  Mdbs(const MdbsConfig& config, sim::EventLoop* loop);
+  ~Mdbs();
+
+  Mdbs(const Mdbs&) = delete;
+  Mdbs& operator=(const Mdbs&) = delete;
+
+  int num_sites() const { return config_.num_sites; }
+
+  // --- schema & data setup -----------------------------------------------
+
+  // Creates a table at one site (ids are per-site).
+  Result<db::TableId> CreateTable(SiteId site, const std::string& name);
+  // Creates the same-named table at every site; returns the common id
+  // (tables are created in lockstep so ids align across sites).
+  Result<db::TableId> CreateTableEverywhere(const std::string& name);
+  Status LoadRow(SiteId site, db::TableId table, int64_t key, db::Row row);
+
+  // --- transactions --------------------------------------------------------
+
+  // Submits a global transaction through the Coordinator at
+  // `coordinator_site` (defaults to the first step's site).
+  TxnId Submit(GlobalTxnSpec spec, GlobalTxnCallback cb,
+               SiteId coordinator_site = kInvalidSite);
+
+  // Runs a local transaction directly against a site's LTM: commands are
+  // executed in order, then committed. On any failure the transaction is
+  // rolled back and the callback reports the error.
+  TxnId SubmitLocal(LocalTxnSpec spec, LocalTxnCallback cb);
+
+  // --- component access ----------------------------------------------------
+
+  sim::EventLoop* loop() { return loop_; }
+  db::Storage* storage(SiteId site) { return sites_[site]->storage.get(); }
+  ltm::Ltm* ltm(SiteId site) { return sites_[site]->ltm.get(); }
+  TwoPCAgent* agent(SiteId site) { return sites_[site]->agent.get(); }
+  Coordinator* coordinator(SiteId site) {
+    return sites_[site]->coordinator.get();
+  }
+  sim::SiteClock* clock(SiteId site) { return sites_[site]->clock.get(); }
+  net::Network& network() { return *network_; }
+  history::Recorder& recorder() { return *recorder_; }
+  Metrics& metrics() { return metrics_; }
+
+  // Simulates a crash of one participating site: every transaction inside
+  // its LTM is collectively (unilaterally) aborted, all volatile agent
+  // state and DLU bindings are lost, and the agent then recovers from its
+  // Agent log (resubmission + coordinator inquiry for in-doubt
+  // subtransactions). Committed data — the database itself — survives.
+  void CrashSite(SiteId site);
+
+  // Applies hooks to every coordinator (CGM interposition).
+  void SetCoordinatorHooks(const CoordinatorHooks& hooks);
+  // Applies the sn-at-submit ablation to every coordinator.
+  void SetSnAtSubmit(bool v);
+
+ private:
+  struct Site {
+    std::unique_ptr<sim::SiteClock> clock;
+    std::unique_ptr<db::Storage> storage;
+    std::unique_ptr<ltm::Ltm> ltm;
+    std::unique_ptr<TwoPCAgent> agent;
+    std::unique_ptr<Coordinator> coordinator;
+  };
+
+  struct LocalRun;  // driver of one SubmitLocal execution
+
+  void RouteMessage(SiteId site, const net::Envelope& env);
+
+  MdbsConfig config_;
+  sim::EventLoop* loop_;
+  std::unique_ptr<history::Recorder> recorder_;
+  std::unique_ptr<net::Network> network_;
+  Metrics metrics_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<int64_t> next_local_seq_;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_MDBS_H_

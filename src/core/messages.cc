@@ -1,0 +1,36 @@
+#include "core/messages.h"
+
+#include "common/str.h"
+
+namespace hermes::core {
+
+std::string MessageToString(const Message& msg) {
+  if (const auto* m = std::get_if<BeginMsg>(&msg)) {
+    return StrCat("BEGIN ", m->gtid.ToString());
+  }
+  if (const auto* m = std::get_if<DmlRequestMsg>(&msg)) {
+    return StrCat("DML ", m->gtid.ToString(), "[", m->cmd_index, "] ",
+                  db::CommandToString(m->cmd));
+  }
+  if (const auto* m = std::get_if<DmlResponseMsg>(&msg)) {
+    return StrCat("DML-RESP ", m->gtid.ToString(), "[", m->cmd_index, "] ",
+                  m->status.ToString());
+  }
+  if (const auto* m = std::get_if<PrepareMsg>(&msg)) {
+    return StrCat("PREPARE ", m->gtid.ToString(), " ", m->sn.ToString());
+  }
+  if (const auto* m = std::get_if<VoteMsg>(&msg)) {
+    return StrCat(m->ready ? "READY " : "REFUSE ", m->gtid.ToString());
+  }
+  if (const auto* m = std::get_if<DecisionMsg>(&msg)) {
+    return StrCat(m->commit ? "COMMIT " : "ROLLBACK ", m->gtid.ToString());
+  }
+  if (const auto* m = std::get_if<AckMsg>(&msg)) {
+    return StrCat(m->commit ? "COMMIT-ACK " : "ROLLBACK-ACK ",
+                  m->gtid.ToString());
+  }
+  const auto& q = std::get<InquiryMsg>(msg);
+  return StrCat("INQUIRY ", q.gtid.ToString());
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,79 @@
+// Wire messages of the 2PC protocol between Coordinators and 2PC Agents
+// (section 2 of the paper). Sent through net::Network as std::any payloads
+// of type core::Message.
+
+#ifndef HERMES_CORE_MESSAGES_H_
+#define HERMES_CORE_MESSAGES_H_
+
+#include <string>
+#include <variant>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "db/command.h"
+#include "core/serial_number.h"
+
+namespace hermes::core {
+
+// Coordinator -> Agent: opens the global subtransaction T^s_k at the site.
+struct BeginMsg {
+  TxnId gtid;
+};
+
+// Coordinator -> Agent: one DML command of the global subtransaction.
+struct DmlRequestMsg {
+  TxnId gtid;
+  int32_t cmd_index = 0;
+  db::Command cmd;
+};
+
+// Agent -> Coordinator: result of a DML command.
+struct DmlResponseMsg {
+  TxnId gtid;
+  int32_t cmd_index = 0;
+  Status status;
+  db::CmdResult result;
+};
+
+// Coordinator -> Agent: PREPARE, carrying the transaction's serial number
+// (section 5.2: the SN travels with the PREPARE message).
+struct PrepareMsg {
+  TxnId gtid;
+  SerialNumber sn;
+};
+
+// Agent -> Coordinator: READY or REFUSE.
+struct VoteMsg {
+  TxnId gtid;
+  bool ready = false;
+  Status reason;  // populated for REFUSE
+};
+
+// Coordinator -> Agent: COMMIT (commit=true) or ROLLBACK.
+struct DecisionMsg {
+  TxnId gtid;
+  bool commit = false;
+};
+
+// Agent -> Coordinator: COMMIT-ACK / ROLLBACK-ACK.
+struct AckMsg {
+  TxnId gtid;
+  bool commit = false;
+};
+
+// Agent -> Coordinator: a recovered agent asks for the outcome of an
+// in-doubt transaction. The coordinator re-sends its decision, or replies
+// ROLLBACK for transactions it no longer knows (presumed abort).
+struct InquiryMsg {
+  TxnId gtid;
+};
+
+using Message = std::variant<BeginMsg, DmlRequestMsg, DmlResponseMsg,
+                             PrepareMsg, VoteMsg, DecisionMsg, AckMsg,
+                             InquiryMsg>;
+
+std::string MessageToString(const Message& msg);
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_MESSAGES_H_

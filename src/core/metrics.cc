@@ -1,0 +1,23 @@
+#include "core/metrics.h"
+
+#include "common/str.h"
+
+namespace hermes::core {
+
+std::string Metrics::ToString() const {
+  std::string out;
+  StrAppend(out, "global: committed=", global_committed,
+            " aborted=", global_aborted, " (cert=", global_aborted_cert,
+            ", dml=", global_aborted_dml, ")\n");
+  StrAppend(out, "certifier: prepares=", prepares_received,
+            " refuse[ext=", refuse_extension, " interval=", refuse_interval,
+            " dead=", refuse_dead, "] commit_retries=", commit_cert_retries,
+            " resubmissions=", resubmissions, "\n");
+  StrAppend(out, "local: committed=", local_committed,
+            " aborted=", local_aborted, "\n");
+  StrAppend(out, "latency: mean_ms=", MeanLatencyMs(),
+            " max_ms=", static_cast<double>(latency_max) / 1000.0, "\n");
+  return out;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,61 @@
+// Counters collected across one multidatabase run; shared by the agents,
+// coordinators and the workload driver, and printed by the benchmarks.
+
+#ifndef HERMES_CORE_METRICS_H_
+#define HERMES_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_loop.h"
+
+namespace hermes::core {
+
+struct Metrics {
+  // Global transaction outcomes (coordinator view).
+  int64_t global_committed = 0;
+  int64_t global_aborted = 0;
+  int64_t global_aborted_cert = 0;      // aborted due to certification REFUSE
+  int64_t global_aborted_dml = 0;       // aborted due to a failed command
+
+  // Certifier activity (agent view).
+  int64_t prepares_received = 0;
+  int64_t refuse_extension = 0;   // extended prepare certification failures
+  int64_t refuse_interval = 0;    // basic (alive-interval) failures
+  int64_t refuse_dead = 0;        // transaction not alive at prepare
+  int64_t commit_cert_retries = 0;
+  int64_t alive_checks = 0;
+  int64_t resubmissions = 0;
+  int64_t resubmission_failures = 0;  // a resubmission attempt itself died
+
+  // Local transactions driven through the workload.
+  int64_t local_committed = 0;
+  int64_t local_aborted = 0;
+
+  // Latency of committed global transactions (virtual time).
+  int64_t latency_samples = 0;
+  sim::Duration latency_total = 0;
+  sim::Duration latency_max = 0;
+
+  // CGM baseline specifics.
+  int64_t cgm_graph_rejections = 0;   // commit-graph loop refusals
+  int64_t cgm_lock_timeouts = 0;      // global lock waits that timed out
+
+  void AddLatency(sim::Duration d) {
+    ++latency_samples;
+    latency_total += d;
+    if (d > latency_max) latency_max = d;
+  }
+  double MeanLatencyMs() const {
+    return latency_samples == 0
+               ? 0.0
+               : static_cast<double>(latency_total) /
+                     static_cast<double>(latency_samples) / 1000.0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_METRICS_H_

@@ -1,0 +1,16 @@
+#include "core/serial_number.h"
+
+#include "common/str.h"
+
+namespace hermes::core {
+
+std::string SerialNumber::ToString() const {
+  if (!valid()) return "SN(-)";
+  return StrCat("SN(", clock, ",", coordinator, ",", seq, ")");
+}
+
+SerialNumber SerialNumberGenerator::Next() {
+  return SerialNumber{clock_->Read(), site_, seq_++};
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,90 @@
+#include "db/command.h"
+
+#include "common/str.h"
+
+namespace hermes::db {
+
+namespace {
+
+struct TableVisitor {
+  TableId operator()(const SelectCmd& c) const { return c.table; }
+  TableId operator()(const InsertCmd& c) const { return c.table; }
+  TableId operator()(const UpdateCmd& c) const { return c.table; }
+  TableId operator()(const DeleteCmd& c) const { return c.table; }
+};
+
+}  // namespace
+
+TableId CommandTable(const Command& cmd) {
+  return std::visit(TableVisitor{}, cmd);
+}
+
+bool CommandWrites(const Command& cmd) {
+  return !std::holds_alternative<SelectCmd>(cmd);
+}
+
+std::string CommandToString(const Command& cmd) {
+  if (const auto* s = std::get_if<SelectCmd>(&cmd)) {
+    return StrCat("SELECT t", s->table, " WHERE ", s->pred.ToString());
+  }
+  if (const auto* i = std::get_if<InsertCmd>(&cmd)) {
+    return StrCat(i->upsert ? "UPSERT t" : "INSERT t", i->table, " KEY ",
+                  i->key, " ", i->row.ToString());
+  }
+  if (const auto* u = std::get_if<UpdateCmd>(&cmd)) {
+    std::string sets;
+    for (const auto& a : u->sets) {
+      if (!sets.empty()) sets += ", ";
+      StrAppend(sets, a.field,
+                a.kind == Assignment::Kind::kAdd ? " += " : " = ",
+                ValueToString(a.operand));
+    }
+    return StrCat("UPDATE t", u->table, " SET ", sets, " WHERE ",
+                  u->pred.ToString());
+  }
+  const auto& d = std::get<DeleteCmd>(cmd);
+  return StrCat("DELETE t", d.table, " WHERE ", d.pred.ToString());
+}
+
+Command MakeSelect(TableId table, Predicate pred) {
+  return SelectCmd{table, std::move(pred)};
+}
+
+Command MakeSelectKey(TableId table, int64_t key) {
+  return SelectCmd{table, Predicate::KeyEquals(key)};
+}
+
+Command MakeInsert(TableId table, int64_t key, Row row) {
+  return InsertCmd{table, key, std::move(row), /*upsert=*/false};
+}
+
+Command MakeUpdate(TableId table, Predicate pred,
+                   std::vector<Assignment> sets) {
+  return UpdateCmd{table, std::move(pred), std::move(sets)};
+}
+
+Command MakeUpdateKey(TableId table, int64_t key, std::string field,
+                      Value v) {
+  return UpdateCmd{
+      table,
+      Predicate::KeyEquals(key),
+      {Assignment{std::move(field), Assignment::Kind::kSet, std::move(v)}}};
+}
+
+Command MakeAddKey(TableId table, int64_t key, std::string field,
+                   Value delta) {
+  return UpdateCmd{table,
+                   Predicate::KeyEquals(key),
+                   {Assignment{std::move(field), Assignment::Kind::kAdd,
+                               std::move(delta)}}};
+}
+
+Command MakeDelete(TableId table, Predicate pred) {
+  return DeleteCmd{table, std::move(pred)};
+}
+
+Command MakeDeleteKey(TableId table, int64_t key) {
+  return DeleteCmd{table, Predicate::KeyEquals(key)};
+}
+
+}  // namespace hermes::db

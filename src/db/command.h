@@ -1,0 +1,82 @@
+// The data-manipulation command set available at each LDBS's local
+// interface (LI). These play the role of the paper's "SQL commands SELECT,
+// UPDATE, DELETE, INSERT". The LTM decomposes a command into elementary Read
+// and Write operations on concrete rows via a deterministic, state-dependent
+// decomposition function (the DDF assumption).
+
+#ifndef HERMES_DB_COMMAND_H_
+#define HERMES_DB_COMMAND_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/predicate.h"
+#include "db/value.h"
+
+namespace hermes::db {
+
+struct SelectCmd {
+  TableId table = -1;
+  Predicate pred;
+};
+
+struct InsertCmd {
+  TableId table = -1;
+  int64_t key = -1;
+  Row row;
+  // If true, inserting over an existing live row overwrites it instead of
+  // failing (upsert).
+  bool upsert = false;
+};
+
+// One SET clause of an UPDATE.
+struct Assignment {
+  enum class Kind {
+    kSet,  // field = operand
+    kAdd,  // field = field + operand (numeric)
+  };
+  std::string field;
+  Kind kind = Kind::kSet;
+  Value operand;
+};
+
+struct UpdateCmd {
+  TableId table = -1;
+  Predicate pred;
+  std::vector<Assignment> sets;
+};
+
+struct DeleteCmd {
+  TableId table = -1;
+  Predicate pred;
+};
+
+using Command = std::variant<SelectCmd, InsertCmd, UpdateCmd, DeleteCmd>;
+
+// Result of one command: the matched/affected rows. For SELECT: the rows
+// read. For UPDATE/DELETE: the affected keys (post-image rows for UPDATE).
+struct CmdResult {
+  std::vector<std::pair<int64_t, Row>> rows;
+  int64_t affected = 0;
+};
+
+TableId CommandTable(const Command& cmd);
+bool CommandWrites(const Command& cmd);
+std::string CommandToString(const Command& cmd);
+
+// Convenience constructors used heavily in tests and examples.
+Command MakeSelect(TableId table, Predicate pred);
+Command MakeSelectKey(TableId table, int64_t key);
+Command MakeInsert(TableId table, int64_t key, Row row);
+Command MakeUpdate(TableId table, Predicate pred,
+                   std::vector<Assignment> sets);
+Command MakeUpdateKey(TableId table, int64_t key, std::string field, Value v);
+Command MakeAddKey(TableId table, int64_t key, std::string field, Value delta);
+Command MakeDelete(TableId table, Predicate pred);
+Command MakeDeleteKey(TableId table, int64_t key);
+
+}  // namespace hermes::db
+
+#endif  // HERMES_DB_COMMAND_H_

@@ -1,0 +1,125 @@
+#include "db/predicate.h"
+
+#include "common/str.h"
+
+namespace hermes::db {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs) {
+  const int c = CompareValues(lhs, rhs);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+Predicate Predicate::KeyEquals(int64_t key) {
+  Predicate p;
+  p.AndKeyEquals(key);
+  return p;
+}
+
+Predicate Predicate::KeyRange(int64_t lo, int64_t hi) {
+  Predicate p;
+  p.AndKeyRange(lo, hi);
+  return p;
+}
+
+Predicate Predicate::Field(std::string field, CmpOp op, Value rhs) {
+  Predicate p;
+  p.AndField(std::move(field), op, std::move(rhs));
+  return p;
+}
+
+Predicate& Predicate::AndKeyEquals(int64_t key) {
+  conds_.push_back(Condition{"", CmpOp::kEq, Value(key)});
+  return *this;
+}
+
+Predicate& Predicate::AndKeyRange(int64_t lo, int64_t hi) {
+  conds_.push_back(Condition{"", CmpOp::kGe, Value(lo)});
+  conds_.push_back(Condition{"", CmpOp::kLe, Value(hi)});
+  return *this;
+}
+
+Predicate& Predicate::AndField(std::string field, CmpOp op, Value rhs) {
+  conds_.push_back(Condition{std::move(field), op, std::move(rhs)});
+  return *this;
+}
+
+bool Predicate::Eval(int64_t key, const Row& row) const {
+  for (const Condition& c : conds_) {
+    if (c.field.empty()) {
+      if (!EvalCmp(c.op, Value(key), c.rhs)) return false;
+    } else {
+      const Value* v = row.Get(c.field);
+      // Missing field behaves as NULL. NULL satisfies no comparison against
+      // a non-NULL value (SQL-like), but NULL = NULL and NULL != x hold so
+      // predicates stay decidable.
+      const bool lhs_null = v == nullptr || std::holds_alternative<std::monostate>(*v);
+      const bool rhs_null = std::holds_alternative<std::monostate>(c.rhs);
+      if (lhs_null || rhs_null) {
+        const bool both_null = lhs_null && rhs_null;
+        const bool ok = (c.op == CmpOp::kEq && both_null) ||
+                        (c.op == CmpOp::kNe && !both_null);
+        if (!ok) return false;
+        continue;
+      }
+      if (!EvalCmp(c.op, *v, c.rhs)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<int64_t> Predicate::ExactKey() const {
+  for (const Condition& c : conds_) {
+    if (c.field.empty() && c.op == CmpOp::kEq &&
+        std::holds_alternative<int64_t>(c.rhs)) {
+      return std::get<int64_t>(c.rhs);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Predicate::ToString() const {
+  if (conds_.empty()) return "TRUE";
+  std::string out;
+  bool first = true;
+  for (const Condition& c : conds_) {
+    if (!first) out += " AND ";
+    first = false;
+    StrAppend(out, c.field.empty() ? "key" : c.field, CmpOpName(c.op),
+              ValueToString(c.rhs));
+  }
+  return out;
+}
+
+}  // namespace hermes::db

@@ -1,0 +1,39 @@
+#include "db/storage.h"
+
+#include "common/str.h"
+
+namespace hermes::db {
+
+Result<TableId> Storage::CreateTable(const std::string& name) {
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists(StrCat("table ", name));
+  }
+  const TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name));
+  by_name_[name] = id;
+  return id;
+}
+
+Table* Storage::GetTable(TableId id) {
+  if (id < 0 || id >= table_count()) return nullptr;
+  return tables_[static_cast<size_t>(id)].get();
+}
+
+const Table* Storage::GetTable(TableId id) const {
+  if (id < 0 || id >= table_count()) return nullptr;
+  return tables_[static_cast<size_t>(id)].get();
+}
+
+Table* Storage::FindTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : GetTable(it->second);
+}
+
+Status Storage::LoadRow(TableId table, int64_t key, Row row) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound(StrCat("table ", table));
+  t->Put(key, RowEntry{std::move(row), VersionTag{}});
+  return Status::Ok();
+}
+
+}  // namespace hermes::db

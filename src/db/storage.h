@@ -1,0 +1,51 @@
+// Per-site storage: the catalog of tables of one LDBS.
+
+#ifndef HERMES_DB_STORAGE_H_
+#define HERMES_DB_STORAGE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "db/table.h"
+
+namespace hermes::db {
+
+class Storage {
+ public:
+  explicit Storage(SiteId site) : site_(site) {}
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  SiteId site() const { return site_; }
+
+  // Creates a table and returns its id. Table names are unique per site.
+  Result<TableId> CreateTable(const std::string& name);
+
+  Table* GetTable(TableId id);
+  const Table* GetTable(TableId id) const;
+  Table* FindTable(const std::string& name);
+
+  // Loads an initial row outside any transaction (version = T_0). Used to
+  // populate databases before a simulation starts.
+  Status LoadRow(TableId table, int64_t key, Row row);
+
+  ItemId MakeItemId(TableId table, int64_t key) const {
+    return ItemId{site_, table, key};
+  }
+
+  int32_t table_count() const { return static_cast<int32_t>(tables_.size()); }
+
+ private:
+  SiteId site_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::map<std::string, TableId> by_name_;
+};
+
+}  // namespace hermes::db
+
+#endif  // HERMES_DB_STORAGE_H_

@@ -1,0 +1,67 @@
+#include "db/table.h"
+
+#include <cassert>
+
+#include "common/str.h"
+
+namespace hermes::db {
+
+std::string VersionTag::ToString() const {
+  if (initial()) return "T0";
+  return StrCat(writer.ToString(), "#", write_seq);
+}
+
+const RowEntry* Table::Get(int64_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<RowEntry> Table::Put(int64_t key, RowEntry entry) {
+  auto [it, inserted] = entries_.try_emplace(key, std::move(entry));
+  if (inserted) return std::nullopt;
+  std::optional<RowEntry> prev = std::move(it->second);
+  it->second = std::move(entry);
+  return prev;
+}
+
+std::optional<RowEntry> Table::Delete(int64_t key, VersionTag deleter) {
+  auto it = entries_.find(key);
+  assert(it != entries_.end() && it->second.live());
+  std::optional<RowEntry> prev = std::move(it->second);
+  it->second = RowEntry{std::nullopt, deleter};
+  return prev;
+}
+
+void Table::Restore(int64_t key, std::optional<RowEntry> previous) {
+  if (previous.has_value()) {
+    entries_[key] = std::move(*previous);
+  } else {
+    entries_.erase(key);
+  }
+}
+
+std::vector<int64_t> Table::Match(const Predicate& pred) const {
+  std::vector<int64_t> keys;
+  if (auto exact = pred.ExactKey()) {
+    auto it = entries_.find(*exact);
+    if (it != entries_.end() && it->second.live() &&
+        pred.Eval(it->first, *it->second.row)) {
+      keys.push_back(*exact);
+    }
+    return keys;
+  }
+  for (const auto& [key, entry] : entries_) {
+    if (entry.live() && pred.Eval(key, *entry.row)) keys.push_back(key);
+  }
+  return keys;
+}
+
+int64_t Table::live_rows() const {
+  int64_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.live()) ++n;
+  }
+  return n;
+}
+
+}  // namespace hermes::db

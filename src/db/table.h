@@ -1,0 +1,84 @@
+// Table storage with per-row write provenance.
+//
+// Every row carries a VersionTag naming the local subtransaction that wrote
+// it. The serializability oracle (src/history) uses this provenance to
+// compute the exact reads-from relation of an execution — the foundation of
+// the paper's view-serializability correctness criterion.
+
+#ifndef HERMES_DB_TABLE_H_
+#define HERMES_DB_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "db/predicate.h"
+#include "db/value.h"
+
+namespace hermes::db {
+
+// Identifies one write: which local subtransaction produced the version and
+// the writer-local sequence number (a subtransaction may write the same item
+// several times). A default-constructed tag denotes the hypothetical
+// initializing transaction T_0 of the paper.
+struct VersionTag {
+  SubTxnId writer;
+  uint64_t write_seq = 0;
+
+  bool initial() const { return !writer.txn.valid(); }
+
+  friend bool operator==(const VersionTag& a, const VersionTag& b) = default;
+  friend auto operator<=>(const VersionTag& a, const VersionTag& b) = default;
+
+  std::string ToString() const;
+};
+
+// A row slot. `row == nullopt` is a tombstone: the key existed (or was
+// deleted) and the slot remembers which subtransaction deleted it.
+struct RowEntry {
+  std::optional<Row> row;
+  VersionTag version;
+
+  bool live() const { return row.has_value(); }
+};
+
+class Table {
+ public:
+  Table(int32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  int32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Returns nullptr if the key has never existed (no slot).
+  const RowEntry* Get(int64_t key) const;
+
+  // Creates or replaces the slot for `key`; returns the previous entry if a
+  // slot existed (live or tombstone).
+  std::optional<RowEntry> Put(int64_t key, RowEntry entry);
+
+  // Replaces the slot with a tombstone carrying `deleter`; returns previous
+  // entry. The key must have a live row.
+  std::optional<RowEntry> Delete(int64_t key, VersionTag deleter);
+
+  // Restores a slot to a previous state (undo); nullopt erases the slot
+  // entirely (undo of an insert into a never-existing key).
+  void Restore(int64_t key, std::optional<RowEntry> previous);
+
+  // Keys of live rows satisfying `pred`, in ascending key order.
+  std::vector<int64_t> Match(const Predicate& pred) const;
+
+  int64_t live_rows() const;
+  const std::map<int64_t, RowEntry>& entries() const { return entries_; }
+
+ private:
+  int32_t id_;
+  std::string name_;
+  std::map<int64_t, RowEntry> entries_;
+};
+
+}  // namespace hermes::db
+
+#endif  // HERMES_DB_TABLE_H_

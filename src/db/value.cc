@@ -1,0 +1,105 @@
+#include "db/value.h"
+
+#include "common/str.h"
+
+namespace hermes::db {
+
+namespace {
+
+// Rank used for cross-type ordering; int64 and double share numeric rank.
+int TypeRank(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return 0;  // NULL
+    case 1:
+    case 2:
+      return 1;  // numeric
+    case 3:
+      return 2;  // bool
+    case 4:
+      return 3;  // string
+  }
+  return 4;
+}
+
+double AsDouble(const Value& v) {
+  if (std::holds_alternative<int64_t>(v))
+    return static_cast<double>(std::get<int64_t>(v));
+  return std::get<double>(v);
+}
+
+}  // namespace
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return "NULL";
+    case 1:
+      return std::to_string(std::get<int64_t>(v));
+    case 2:
+      return std::to_string(std::get<double>(v));
+    case 3:
+      return std::get<bool>(v) ? "true" : "false";
+    case 4:
+      return StrCat("'", std::get<std::string>(v), "'");
+  }
+  return "?";
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  const int ra = TypeRank(a);
+  const int rb = TypeRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      if (std::holds_alternative<int64_t>(a) &&
+          std::holds_alternative<int64_t>(b)) {
+        const int64_t x = std::get<int64_t>(a);
+        const int64_t y = std::get<int64_t>(b);
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      const double x = AsDouble(a);
+      const double y = AsDouble(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case 2: {
+      const bool x = std::get<bool>(a);
+      const bool y = std::get<bool>(b);
+      return x == y ? 0 : (!x ? -1 : 1);
+    }
+    case 3: {
+      const auto& x = std::get<std::string>(a);
+      const auto& y = std::get<std::string>(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+std::optional<Value> AddValues(const Value& a, const Value& b) {
+  const bool a_int = std::holds_alternative<int64_t>(a);
+  const bool b_int = std::holds_alternative<int64_t>(b);
+  const bool a_num = a_int || std::holds_alternative<double>(a);
+  const bool b_num = b_int || std::holds_alternative<double>(b);
+  if (!a_num || !b_num) return std::nullopt;
+  if (a_int && b_int) {
+    return Value(std::get<int64_t>(a) + std::get<int64_t>(b));
+  }
+  return Value(AsDouble(a) + AsDouble(b));
+}
+
+std::string Row::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields) {
+    if (!first) out += ", ";
+    first = false;
+    StrAppend(out, k, "=", ValueToString(v));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hermes::db

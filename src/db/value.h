@@ -1,0 +1,72 @@
+// Typed values and rows for the mini relational engine that plays the role
+// of each LDBS's data layer.
+//
+// The paper models data items as "single concrete table rows"; rows here are
+// ordered field->Value maps so that command decomposition (DDF) is fully
+// deterministic.
+
+#ifndef HERMES_DB_VALUE_H_
+#define HERMES_DB_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace hermes::db {
+
+// Dense per-site table identifier.
+using TableId = int32_t;
+
+// monostate represents SQL NULL.
+using Value = std::variant<std::monostate, int64_t, double, bool, std::string>;
+
+std::string ValueToString(const Value& v);
+
+// Total order across types: NULL < int64 < double < bool < string, except
+// that int64 and double compare numerically against each other (so a
+// predicate `x > 10` works whether x is stored as int or double).
+int CompareValues(const Value& a, const Value& b);
+
+inline bool ValueEq(const Value& a, const Value& b) {
+  return CompareValues(a, b) == 0;
+}
+
+// Numeric addition for UPDATE ... SET f = f + delta. Returns nullopt when
+// either operand is non-numeric.
+std::optional<Value> AddValues(const Value& a, const Value& b);
+
+// A row: field name -> value. Ordered map gives deterministic iteration.
+struct Row {
+  std::map<std::string, Value> fields;
+
+  Row() = default;
+  Row(std::initializer_list<std::pair<const std::string, Value>> init)
+      : fields(init) {}
+
+  const Value* Get(const std::string& field) const {
+    auto it = fields.find(field);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+  void Set(const std::string& field, Value v) {
+    fields[field] = std::move(v);
+  }
+
+  friend bool operator==(const Row& a, const Row& b) {
+    if (a.fields.size() != b.fields.size()) return false;
+    auto ia = a.fields.begin();
+    auto ib = b.fields.begin();
+    for (; ia != a.fields.end(); ++ia, ++ib) {
+      if (ia->first != ib->first || !ValueEq(ia->second, ib->second))
+        return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace hermes::db
+
+#endif  // HERMES_DB_VALUE_H_

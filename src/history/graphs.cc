@@ -1,0 +1,167 @@
+#include "history/graphs.h"
+
+#include "common/str.h"
+
+namespace hermes::history {
+
+namespace {
+
+bool IsWriteKind(OpKind k) {
+  return k == OpKind::kWrite || k == OpKind::kDelete;
+}
+bool IsDataKind(OpKind k) { return IsWriteKind(k) || k == OpKind::kRead; }
+
+enum class VisitState : uint8_t { kUnvisited, kInProgress, kDone };
+
+// DFS cycle search returning the cycle path when found.
+bool Dfs(const std::map<TxnId, std::set<TxnId>>& adj, const TxnId& node,
+         std::map<TxnId, VisitState>& state, std::vector<TxnId>& stack,
+         std::vector<TxnId>& cycle) {
+  state[node] = VisitState::kInProgress;
+  stack.push_back(node);
+  auto it = adj.find(node);
+  if (it != adj.end()) {
+    for (const TxnId& next : it->second) {
+      const VisitState s = state.count(next) ? state[next]
+                                             : VisitState::kUnvisited;
+      if (s == VisitState::kInProgress) {
+        // Extract cycle from stack.
+        auto start = std::find(stack.begin(), stack.end(), next);
+        cycle.assign(start, stack.end());
+        cycle.push_back(next);
+        return true;
+      }
+      if (s == VisitState::kUnvisited &&
+          Dfs(adj, next, state, stack, cycle)) {
+        return true;
+      }
+    }
+  }
+  stack.pop_back();
+  state[node] = VisitState::kDone;
+  return false;
+}
+
+}  // namespace
+
+void TxnGraph::AddNode(const TxnId& id) { adj_[id]; }
+
+void TxnGraph::AddEdge(const TxnId& from, const TxnId& to) {
+  if (from == to) return;
+  adj_[from].insert(to);
+  adj_[to];
+}
+
+bool TxnGraph::HasEdge(const TxnId& from, const TxnId& to) const {
+  auto it = adj_.find(from);
+  return it != adj_.end() && it->second.count(to) != 0;
+}
+
+size_t TxnGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& [node, out] : adj_) n += out.size();
+  return n;
+}
+
+bool TxnGraph::HasCycle() const { return FindCycle().has_value(); }
+
+std::optional<std::vector<TxnId>> TxnGraph::FindCycle() const {
+  std::map<TxnId, VisitState> state;
+  std::vector<TxnId> stack, cycle;
+  for (const auto& [node, out] : adj_) {
+    if (state.count(node) == 0 || state[node] == VisitState::kUnvisited) {
+      if (Dfs(adj_, node, state, stack, cycle)) return cycle;
+      stack.clear();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<TxnId>> TxnGraph::TopologicalOrder() const {
+  std::map<TxnId, int> indegree;
+  for (const auto& [node, out] : adj_) indegree[node];
+  for (const auto& [node, out] : adj_) {
+    for (const TxnId& t : out) ++indegree[t];
+  }
+  std::vector<TxnId> ready;
+  for (const auto& [node, d] : indegree) {
+    if (d == 0) ready.push_back(node);
+  }
+  std::vector<TxnId> order;
+  order.reserve(adj_.size());
+  while (!ready.empty()) {
+    // Pop the smallest id for determinism.
+    auto min_it = std::min_element(ready.begin(), ready.end());
+    TxnId node = *min_it;
+    ready.erase(min_it);
+    order.push_back(node);
+    auto it = adj_.find(node);
+    if (it != adj_.end()) {
+      for (const TxnId& t : it->second) {
+        if (--indegree[t] == 0) ready.push_back(t);
+      }
+    }
+  }
+  if (order.size() != adj_.size()) return std::nullopt;
+  return order;
+}
+
+std::string TxnGraph::ToString() const {
+  std::string out;
+  for (const auto& [node, edges] : adj_) {
+    StrAppend(out, node.ToString(), " -> {");
+    bool first = true;
+    for (const TxnId& t : edges) {
+      if (!first) out += ", ";
+      first = false;
+      out += t.ToString();
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+TxnGraph BuildSerializationGraph(const std::vector<Op>& ops) {
+  TxnGraph g;
+  // Group data ops per item, in order.
+  std::map<ItemId, std::vector<const Op*>> per_item;
+  for (const Op& op : ops) {
+    if (IsDataKind(op.kind)) per_item[op.item].push_back(&op);
+    g.AddNode(op.subtxn.txn);
+  }
+  for (const auto& [item, item_ops] : per_item) {
+    for (size_t i = 0; i < item_ops.size(); ++i) {
+      for (size_t j = i + 1; j < item_ops.size(); ++j) {
+        const Op& a = *item_ops[i];
+        const Op& b = *item_ops[j];
+        if (a.subtxn.txn == b.subtxn.txn) continue;
+        if (IsWriteKind(a.kind) || IsWriteKind(b.kind)) {
+          g.AddEdge(a.subtxn.txn, b.subtxn.txn);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+TxnGraph BuildCommitOrderGraph(const std::vector<Op>& ops) {
+  TxnGraph g;
+  // Per site, the sequence of local commits in order.
+  std::map<SiteId, std::vector<TxnId>> commits;
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kLocalCommit) {
+      commits[op.site].push_back(op.subtxn.txn);
+      g.AddNode(op.subtxn.txn);
+    }
+  }
+  for (const auto& [site, seq] : commits) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      for (size_t j = i + 1; j < seq.size(); ++j) {
+        g.AddEdge(seq[i], seq[j]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace hermes::history

@@ -1,0 +1,60 @@
+// Serialization graph SG(H) and commit order graph CG(H).
+//
+// SG(H) is the classical conflict graph over the committed projection (the
+// paper notes SG(H) may be cyclic while H is still view serializable, which
+// is why view serializability is the ultimate criterion). CG(H) is the
+// paper's section-5 instrument: nodes are transactions with at least one
+// local commit; there is an arc T_k -> T_i iff some site commits a
+// subtransaction of T_k before one of T_i. Acyclicity of CG(C(H)) is the
+// paper's sufficient condition for view serializability (under CI and DLU).
+
+#ifndef HERMES_HISTORY_GRAPHS_H_
+#define HERMES_HISTORY_GRAPHS_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "history/op.h"
+
+namespace hermes::history {
+
+class TxnGraph {
+ public:
+  void AddNode(const TxnId& id);
+  void AddEdge(const TxnId& from, const TxnId& to);
+
+  bool HasNode(const TxnId& id) const { return adj_.count(id) != 0; }
+  bool HasEdge(const TxnId& from, const TxnId& to) const;
+
+  size_t node_count() const { return adj_.size(); }
+  size_t edge_count() const;
+
+  bool HasCycle() const;
+  // Any cycle as a node sequence (first == last); nullopt when acyclic.
+  std::optional<std::vector<TxnId>> FindCycle() const;
+  // Topological order; nullopt when cyclic.
+  std::optional<std::vector<TxnId>> TopologicalOrder() const;
+
+  const std::map<TxnId, std::set<TxnId>>& adjacency() const { return adj_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<TxnId, std::set<TxnId>> adj_;
+};
+
+// Conflict serialization graph over `ops` (pass a committed projection for
+// SG(C(H))). Edge T_a -> T_b for each pair of conflicting elementary ops
+// (same item, at least one write/delete, different transactions) with the
+// T_a op earlier in the sequence.
+TxnGraph BuildSerializationGraph(const std::vector<Op>& ops);
+
+// Commit order graph per section 5.1.
+TxnGraph BuildCommitOrderGraph(const std::vector<Op>& ops);
+
+}  // namespace hermes::history
+
+#endif  // HERMES_HISTORY_GRAPHS_H_

@@ -1,0 +1,52 @@
+#include "history/op.h"
+
+#include "common/str.h"
+
+namespace hermes::history {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead:
+      return "R";
+    case OpKind::kWrite:
+      return "W";
+    case OpKind::kDelete:
+      return "D";
+    case OpKind::kPrepare:
+      return "P";
+    case OpKind::kLocalCommit:
+      return "c";
+    case OpKind::kLocalAbort:
+      return "a";
+    case OpKind::kGlobalCommit:
+      return "C";
+    case OpKind::kGlobalAbort:
+      return "A";
+  }
+  return "?";
+}
+
+std::string Op::ToString() const {
+  std::string out = OpKindName(kind);
+  StrAppend(out, "_", subtxn.ToString());
+  switch (kind) {
+    case OpKind::kRead:
+      StrAppend(out, "[", item.ToString(), " from ", version.ToString(), "]");
+      break;
+    case OpKind::kWrite:
+    case OpKind::kDelete:
+      StrAppend(out, "[", item.ToString(), "]");
+      break;
+    case OpKind::kPrepare:
+    case OpKind::kLocalCommit:
+    case OpKind::kLocalAbort:
+      StrAppend(out, "@s", site);
+      if (kind == OpKind::kLocalAbort && unilateral) out += "(unilateral)";
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+}  // namespace hermes::history

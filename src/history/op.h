@@ -1,0 +1,63 @@
+// Operations of the paper's history model (section 3).
+//
+// A history H is a linear sequence of:
+//   R_kj[X^s], W_kj[X^s]  — elementary reads/writes at the EI of site s by
+//                           the j-th local subtransaction of transaction k,
+//   P^s_k                 — the 2PC agent at s moved T^s_k to prepared,
+//   C^s_kj / A^s_kj       — local commit/abort of a local subtransaction,
+//   C_k / A_k             — the global commit/abort decision of T_k.
+//
+// Reads carry the provenance (VersionTag) of the version actually observed;
+// the view-serializability oracle compares this reads-from relation against
+// serial replays.
+
+#ifndef HERMES_HISTORY_OP_H_
+#define HERMES_HISTORY_OP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+#include "db/table.h"
+#include "sim/event_loop.h"
+
+namespace hermes::history {
+
+enum class OpKind : uint8_t {
+  kRead,
+  kWrite,        // update/insert (produces a live version)
+  kDelete,       // write producing a tombstone
+  kPrepare,      // P^s_k
+  kLocalCommit,  // C^s_kj
+  kLocalAbort,   // A^s_kj
+  kGlobalCommit,  // C_k
+  kGlobalAbort,   // A_k
+};
+
+const char* OpKindName(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kRead;
+  // The local subtransaction performing the op. For global-level ops
+  // (kGlobalCommit/kGlobalAbort) resubmission is 0 and site is the
+  // coordinating site. For kPrepare, resubmission is the resubmission index
+  // current at prepare time.
+  SubTxnId subtxn;
+  SiteId site = kInvalidSite;
+  // For kRead/kWrite/kDelete.
+  ItemId item;
+  // kRead: version observed. kWrite/kDelete: version produced.
+  db::VersionTag version;
+  // True for kLocalAbort events caused by the LDBS itself (unilateral
+  // abort), false for aborts requested by the agent/coordinator.
+  bool unilateral = false;
+  // Position in H (dense, 0-based) and virtual time.
+  uint64_t seq = 0;
+  sim::Time at = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace hermes::history
+
+#endif  // HERMES_HISTORY_OP_H_

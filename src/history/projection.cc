@@ -1,0 +1,134 @@
+#include "history/projection.h"
+
+#include <algorithm>
+
+#include "common/str.h"
+
+namespace hermes::history {
+
+std::map<TxnId, TxnFate> ClassifyTransactions(const std::vector<Op>& h) {
+  std::map<TxnId, TxnFate> fates;
+  for (const Op& op : h) {
+    const TxnId& id = op.subtxn.txn;
+    TxnFate& f = fates[id];
+    if (!f.id.valid()) {
+      f.id = id;
+      f.global = id.global();
+    }
+    f.resubmissions = std::max(f.resubmissions, op.subtxn.resubmission);
+    switch (op.kind) {
+      case OpKind::kRead:
+      case OpKind::kWrite:
+      case OpKind::kDelete:
+      case OpKind::kPrepare:
+        f.sites.insert(op.site);
+        break;
+      case OpKind::kLocalCommit:
+        f.committed_sites.insert(op.site);
+        if (!f.global) f.committed = true;
+        break;
+      case OpKind::kLocalAbort:
+        if (op.unilateral) ++f.unilateral_aborts;
+        break;
+      case OpKind::kGlobalCommit:
+        f.committed = true;
+        break;
+      case OpKind::kGlobalAbort:
+        f.committed = false;
+        break;
+    }
+  }
+  for (auto& [id, f] : fates) {
+    if (f.global) {
+      f.complete =
+          f.committed &&
+          std::includes(f.committed_sites.begin(), f.committed_sites.end(),
+                        f.sites.begin(), f.sites.end());
+    } else {
+      f.complete = f.committed;
+    }
+  }
+  return fates;
+}
+
+std::vector<Op> CommittedProjection(const std::vector<Op>& h) {
+  const auto fates = ClassifyTransactions(h);
+  std::vector<Op> out;
+  out.reserve(h.size());
+  for (const Op& op : h) {
+    auto it = fates.find(op.subtxn.txn);
+    if (it != fates.end() && it->second.InCommittedProjection()) {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+std::string CheckOrderInvariant(const std::vector<Op>& h) {
+  // Per global transaction: positions of prepares, global commit, local
+  // commits.
+  struct Marks {
+    int64_t last_prepare = -1;
+    int64_t global_commit = -1;
+    int64_t first_local_commit = -1;
+  };
+  std::map<TxnId, Marks> marks;
+  for (const Op& op : h) {
+    if (!op.subtxn.txn.global()) continue;
+    Marks& m = marks[op.subtxn.txn];
+    const int64_t at = static_cast<int64_t>(op.seq);
+    switch (op.kind) {
+      case OpKind::kPrepare:
+        // Resubmission never re-prepares, so every P op of a committed
+        // transaction must precede its C_k.
+        if (at > m.last_prepare) m.last_prepare = at;
+        break;
+      case OpKind::kGlobalCommit:
+        m.global_commit = at;
+        break;
+      case OpKind::kLocalCommit:
+        if (m.first_local_commit < 0) m.first_local_commit = at;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [txn, m] : marks) {
+    if (m.global_commit < 0) continue;  // not committed: nothing to check
+    if (m.last_prepare >= 0 && m.last_prepare > m.global_commit) {
+      return StrCat("invariant (1) violated for ", txn.ToString(),
+                    ": a prepare (op#", m.last_prepare,
+                    ") follows the global commit (op#", m.global_commit,
+                    ")");
+    }
+    if (m.first_local_commit >= 0 &&
+        m.first_local_commit < m.global_commit) {
+      return StrCat("invariant (1) violated for ", txn.ToString(),
+                    ": local commit (op#", m.first_local_commit,
+                    ") precedes the global commit (op#", m.global_commit,
+                    ")");
+    }
+  }
+  return "";
+}
+
+std::vector<Op> SiteProjection(const std::vector<Op>& h, SiteId site) {
+  std::vector<Op> out;
+  for (const Op& op : h) {
+    switch (op.kind) {
+      case OpKind::kRead:
+      case OpKind::kWrite:
+      case OpKind::kDelete:
+      case OpKind::kPrepare:
+      case OpKind::kLocalCommit:
+      case OpKind::kLocalAbort:
+        if (op.site == site) out.push_back(op);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace hermes::history

@@ -1,0 +1,67 @@
+// Committed projection C(H) as redefined by the paper (section 3).
+//
+// In addition to the classical committed projection of Bernstein et al.,
+// C(H) here includes *all unilaterally aborted local subtransactions that
+// belong to globally committed complete transactions* — this is what makes
+// the global/local view distortions visible to the serializability theory.
+
+#ifndef HERMES_HISTORY_PROJECTION_H_
+#define HERMES_HISTORY_PROJECTION_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "history/op.h"
+
+namespace hermes::history {
+
+// Classification of each transaction appearing in a history.
+struct TxnFate {
+  TxnId id;
+  bool global = false;
+  // Local transactions: locally committed. Global transactions: the global
+  // commit decision C_k was recorded.
+  bool committed = false;
+  // Global transactions only: C^s present for every site the transaction
+  // has operations at ("committed and complete" in the paper).
+  bool complete = false;
+  // Sites at which the transaction has R/W/P ops.
+  std::set<SiteId> sites;
+  // Sites at which a local commit was recorded.
+  std::set<SiteId> committed_sites;
+  int resubmissions = 0;  // max resubmission index seen
+  int unilateral_aborts = 0;
+
+  // True if the transaction's operations belong in C(H).
+  bool InCommittedProjection() const {
+    return global ? (committed && complete) : committed;
+  }
+};
+
+std::map<TxnId, TxnFate> ClassifyTransactions(const std::vector<Op>& h);
+
+// The paper's committed projection: R/W/P/c/a/C ops of globally committed
+// complete global transactions (including ops of their unilaterally aborted
+// local subtransactions) plus ops of committed local transactions.
+// Original op order and `seq` values are preserved.
+std::vector<Op> CommittedProjection(const std::vector<Op>& h);
+
+// Projection of a history onto one site's operations — H(^i) in the paper.
+std::vector<Op> SiteProjection(const std::vector<Op>& h, SiteId site);
+
+// Checks the paper's order invariant (1), which holds in every transaction
+// history produced by the 2PC protocol:
+//
+//     P^i_k  <_H  C_k  <_H  C^s_k      for all sites i, s of T_k
+//
+// (every prepare of a global transaction precedes its global commit, which
+// precedes every local commit), plus the structural rule that data
+// operations of a subtransaction precede its prepare. Returns an empty
+// string when the invariant holds, else a description of the first
+// violation. Used as a protocol well-formedness oracle by the driver.
+std::string CheckOrderInvariant(const std::vector<Op>& h);
+
+}  // namespace hermes::history
+
+#endif  // HERMES_HISTORY_PROJECTION_H_

@@ -1,0 +1,87 @@
+#include "history/recorder.h"
+
+#include "common/str.h"
+
+namespace hermes::history {
+
+void Recorder::Append(Op op) {
+  if (!enabled_) return;
+  op.seq = ops_.size();
+  op.at = loop_->Now();
+  ops_.push_back(std::move(op));
+}
+
+void Recorder::RecordRead(const SubTxnId& subtxn, const ItemId& item,
+                          const db::VersionTag& observed) {
+  Op op;
+  op.kind = OpKind::kRead;
+  op.subtxn = subtxn;
+  op.site = item.site;
+  op.item = item;
+  op.version = observed;
+  Append(std::move(op));
+}
+
+void Recorder::RecordWrite(const SubTxnId& subtxn, const ItemId& item,
+                           const db::VersionTag& produced, bool is_delete) {
+  Op op;
+  op.kind = is_delete ? OpKind::kDelete : OpKind::kWrite;
+  op.subtxn = subtxn;
+  op.site = item.site;
+  op.item = item;
+  op.version = produced;
+  Append(std::move(op));
+}
+
+void Recorder::RecordPrepare(const SubTxnId& subtxn, SiteId site) {
+  Op op;
+  op.kind = OpKind::kPrepare;
+  op.subtxn = subtxn;
+  op.site = site;
+  Append(std::move(op));
+}
+
+void Recorder::RecordLocalCommit(const SubTxnId& subtxn, SiteId site) {
+  Op op;
+  op.kind = OpKind::kLocalCommit;
+  op.subtxn = subtxn;
+  op.site = site;
+  Append(std::move(op));
+}
+
+void Recorder::RecordLocalAbort(const SubTxnId& subtxn, SiteId site,
+                                bool unilateral) {
+  Op op;
+  op.kind = OpKind::kLocalAbort;
+  op.subtxn = subtxn;
+  op.site = site;
+  op.unilateral = unilateral;
+  Append(std::move(op));
+}
+
+void Recorder::RecordGlobalCommit(const TxnId& txn, SiteId coordinator_site) {
+  Op op;
+  op.kind = OpKind::kGlobalCommit;
+  op.subtxn = SubTxnId{txn, 0};
+  op.site = coordinator_site;
+  Append(std::move(op));
+}
+
+void Recorder::RecordGlobalAbort(const TxnId& txn, SiteId coordinator_site) {
+  Op op;
+  op.kind = OpKind::kGlobalAbort;
+  op.subtxn = SubTxnId{txn, 0};
+  op.site = coordinator_site;
+  Append(std::move(op));
+}
+
+std::string Recorder::ToString() const {
+  std::string out;
+  for (const Op& op : ops_) {
+    if (!out.empty()) out += " ";
+    out += op.ToString();
+  }
+  return out;
+}
+
+}  // namespace hermes::history

@@ -1,0 +1,234 @@
+#include "history/view_checker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "common/str.h"
+#include "history/projection.h"
+
+namespace hermes::history {
+
+namespace {
+
+
+// A serial candidate: ops grouped by transaction, groups concatenated in the
+// candidate order, each group preserving its in-history op order.
+std::vector<const Op*> SerialLayout(
+    const std::map<TxnId, std::vector<const Op*>>& groups,
+    const std::vector<TxnId>& order) {
+  std::vector<const Op*> out;
+  for (const TxnId& t : order) {
+    const auto& g = groups.at(t);
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+// True when `candidate` replays with exactly the recorded reads-from and the
+// same final versions as the actual execution.
+bool Equivalent(const std::vector<const Op*>& candidate,
+                const std::map<uint64_t, db::VersionTag>& recorded_reads,
+                const std::map<ItemId, db::VersionTag>& actual_finals,
+                std::string* mismatch) {
+  const ReplayOutcome r = Replay(candidate);
+  for (const auto& [seq, tag] : recorded_reads) {
+    auto it = r.reads_from.find(seq);
+    assert(it != r.reads_from.end());
+    if (!(it->second == tag)) {
+      if (mismatch != nullptr) {
+        *mismatch = StrCat("read op#", seq, " observed ", tag.ToString(),
+                           " in H but ", it->second.ToString(),
+                           " in the serial order");
+      }
+      return false;
+    }
+  }
+  for (const auto& [item, tag] : actual_finals) {
+    auto it = r.final_versions.find(item);
+    const db::VersionTag serial_tag =
+        it == r.final_versions.end() ? db::VersionTag{} : it->second;
+    if (!(serial_tag == tag)) {
+      if (mismatch != nullptr) {
+        *mismatch = StrCat("final write of ", item.ToString(), " is ",
+                           tag.ToString(), " in H but ",
+                           serial_tag.ToString(), " in the serial order");
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kSerializable:
+      return "VIEW-SERIALIZABLE";
+    case Verdict::kNotSerializable:
+      return "NOT-VIEW-SERIALIZABLE";
+    case Verdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+ReplayOutcome Replay(const std::vector<const Op*>& ops) {
+  ReplayOutcome out;
+  struct Version {
+    SubTxnId owner;
+    db::VersionTag tag;
+  };
+  std::map<ItemId, std::vector<Version>> stacks;
+  for (const Op* op : ops) {
+    switch (op->kind) {
+      case OpKind::kRead: {
+        const auto it = stacks.find(op->item);
+        out.reads_from[op->seq] = (it == stacks.end() || it->second.empty())
+                                      ? db::VersionTag{}
+                                      : it->second.back().tag;
+        break;
+      }
+      case OpKind::kWrite:
+      case OpKind::kDelete:
+        stacks[op->item].push_back(Version{op->subtxn, op->version});
+        break;
+      case OpKind::kLocalAbort: {
+        // RR: the LDBS restores before-images of everything this local
+        // subtransaction wrote.
+        for (auto& [item, stack] : stacks) {
+          if (item.site != op->site) continue;
+          std::erase_if(stack, [&](const Version& v) {
+            return v.owner == op->subtxn;
+          });
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [item, stack] : stacks) {
+    out.final_versions[item] =
+        stack.empty() ? db::VersionTag{} : stack.back().tag;
+  }
+  return out;
+}
+
+std::string VerifyReplayMatchesRecorded(const std::vector<Op>& committed) {
+  std::vector<const Op*> order;
+  order.reserve(committed.size());
+  for (const Op& op : committed) order.push_back(&op);
+  const ReplayOutcome r = Replay(order);
+  for (const Op& op : committed) {
+    if (op.kind != OpKind::kRead) continue;
+    auto it = r.reads_from.find(op.seq);
+    if (it == r.reads_from.end()) {
+      return StrCat("read op#", op.seq, " missing from replay");
+    }
+    if (!(it->second == op.version)) {
+      return StrCat(op.ToString(), ": replay of C(H) observes ",
+                    it->second.ToString(),
+                    " — the execution read from a version outside the "
+                    "committed projection");
+    }
+  }
+  return "";
+}
+
+ViewCheckResult CheckViewSerializability(const std::vector<Op>& committed,
+                                         size_t max_txns) {
+  ViewCheckResult result;
+
+  // Group ops by transaction; remember first-appearance order.
+  std::map<TxnId, std::vector<const Op*>> groups;
+  std::vector<TxnId> txns;
+  for (const Op& op : committed) {
+    auto [it, inserted] = groups.try_emplace(op.subtxn.txn);
+    if (inserted) txns.push_back(op.subtxn.txn);
+    it->second.push_back(&op);
+  }
+  if (txns.empty()) {
+    result.verdict = Verdict::kSerializable;
+    return result;
+  }
+
+  // Actual execution: recorded reads-from and final versions.
+  std::map<uint64_t, db::VersionTag> recorded_reads;
+  std::set<TxnId> committed_set(txns.begin(), txns.end());
+  for (const Op& op : committed) {
+    if (op.kind != OpKind::kRead) continue;
+    recorded_reads[op.seq] = op.version;
+    // A read from a version whose writer is excluded from C(H) can never be
+    // reproduced by a serial order of C(H)'s transactions.
+    if (!op.version.initial() &&
+        committed_set.count(op.version.writer.txn) == 0) {
+      result.verdict = Verdict::kNotSerializable;
+      result.reason = StrCat(op.ToString(),
+                             " reads from a transaction outside C(H)");
+      return result;
+    }
+  }
+  std::vector<const Op*> h_order;
+  h_order.reserve(committed.size());
+  for (const Op& op : committed) h_order.push_back(&op);
+  const auto actual_finals = Replay(h_order).final_versions;
+
+  std::string first_mismatch;
+  auto try_order = [&](const std::vector<TxnId>& order) {
+    ++result.orders_tried;
+    std::string mismatch;
+    if (Equivalent(SerialLayout(groups, order), recorded_reads, actual_finals,
+                   &mismatch)) {
+      result.verdict = Verdict::kSerializable;
+      result.witness = order;
+      return true;
+    }
+    if (first_mismatch.empty()) first_mismatch = std::move(mismatch);
+    return false;
+  };
+
+  // Fast certificates first: a topological order of CG(C(H)) is the paper's
+  // canonical view-serialization order; SG order covers conflict-
+  // serializable histories.
+  if (auto topo = BuildCommitOrderGraph(committed).TopologicalOrder()) {
+    // CG only contains transactions with local commits; append any missing
+    // (read-only at every site that failed to commit cannot happen in C(H),
+    // but local transactions without commits are excluded anyway).
+    std::set<TxnId> seen(topo->begin(), topo->end());
+    for (const TxnId& t : txns) {
+      if (seen.count(t) == 0) topo->push_back(t);
+    }
+    if (try_order(*topo)) return result;
+  }
+  if (auto topo = BuildSerializationGraph(committed).TopologicalOrder()) {
+    if (try_order(*topo)) return result;
+  }
+
+  if (txns.size() > max_txns) {
+    result.verdict = Verdict::kUnknown;
+    result.reason = StrCat("too many transactions (", txns.size(),
+                           ") for exhaustive search");
+    return result;
+  }
+
+  std::vector<TxnId> order(txns);
+  std::sort(order.begin(), order.end());
+  do {
+    if (try_order(order)) return result;
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  result.verdict = Verdict::kNotSerializable;
+  result.reason = StrCat("no serial order of ", txns.size(),
+                         " transactions is view-equivalent (",
+                         result.orders_tried, " orders tried); e.g. ",
+                         first_mismatch);
+  return result;
+}
+
+bool CommitGraphAcyclic(const std::vector<Op>& committed) {
+  return !BuildCommitOrderGraph(committed).HasCycle();
+}
+
+}  // namespace hermes::history

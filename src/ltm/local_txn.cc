@@ -1,0 +1,3 @@
+#include "ltm/local_txn.h"
+
+// LocalTxn is a passive aggregate; this file anchors the header in the build.

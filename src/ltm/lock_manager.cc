@@ -1,0 +1,213 @@
+#include "ltm/lock_manager.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hermes::ltm {
+
+LockManager::LockManager(const LockManagerConfig& config,
+                         sim::EventLoop* loop)
+    : config_(config), loop_(loop) {}
+
+bool LockManager::Compatible(const LockState& ls, LtmTxnHandle txn,
+                             LockMode mode) {
+  for (const auto& [holder, held_mode] : ls.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockManager::GrantNow(LtmTxnHandle txn, const ItemId& item,
+                           LockMode mode, GrantCallback cb) {
+  LockState& ls = locks_[item];
+  auto it = ls.holders.find(txn);
+  if (it == ls.holders.end()) {
+    ls.holders[txn] = mode;
+  } else if (mode == LockMode::kExclusive) {
+    it->second = LockMode::kExclusive;  // upgrade
+  }
+  held_[txn].insert(item);
+  ++grants_;
+  loop_->ScheduleAfter(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
+}
+
+void LockManager::Acquire(LtmTxnHandle txn, const ItemId& item, LockMode mode,
+                          GrantCallback cb) {
+  LockState& ls = locks_[item];
+  auto held_it = ls.holders.find(txn);
+  const bool holds_any = held_it != ls.holders.end();
+  const bool holds_x =
+      holds_any && held_it->second == LockMode::kExclusive;
+
+  // Already sufficient.
+  if (holds_x || (holds_any && mode == LockMode::kShared)) {
+    ++grants_;
+    loop_->ScheduleAfter(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
+    return;
+  }
+
+  const bool upgrade = holds_any;  // holds S, wants X
+
+  // Immediate grant only when compatible with holders and not jumping an
+  // earlier waiter (upgrades may jump the queue — standard treatment that
+  // keeps upgraders from deadlocking behind newcomers).
+  const bool queue_blocks = !upgrade && !ls.queue.empty();
+  if (!queue_blocks && Compatible(ls, txn, mode)) {
+    GrantNow(txn, item, mode, std::move(cb));
+    return;
+  }
+
+  // Enqueue; upgrades go in front of non-upgrades.
+  ++waits_;
+  Waiter w{txn, mode, std::move(cb), sim::kInvalidEvent, upgrade};
+  w.timeout_event = loop_->ScheduleAfter(
+      config_.wait_timeout, [this, item, txn]() { OnWaitTimeout(item, txn); });
+  if (upgrade) {
+    auto pos = ls.queue.begin();
+    while (pos != ls.queue.end() && pos->upgrade) ++pos;
+    ls.queue.insert(pos, std::move(w));
+  } else {
+    ls.queue.push_back(std::move(w));
+  }
+  waiting_[txn].insert(item);
+}
+
+void LockManager::OnWaitTimeout(const ItemId& item, LtmTxnHandle txn) {
+  auto lit = locks_.find(item);
+  if (lit == locks_.end()) return;
+  LockState& ls = lit->second;
+  for (auto it = ls.queue.begin(); it != ls.queue.end(); ++it) {
+    if (it->txn == txn) {
+      GrantCallback cb = std::move(it->cb);
+      ls.queue.erase(it);
+      auto wit = waiting_.find(txn);
+      if (wit != waiting_.end()) {
+        wit->second.erase(item);
+        if (wit->second.empty()) waiting_.erase(wit);
+      }
+      ++timeouts_;
+      cb(Status::Timeout("lock wait timeout"));
+      // The queue head may now be grantable (e.g. the timed-out waiter was
+      // an incompatible head blocking compatible followers).
+      ProcessQueue(item);
+      return;
+    }
+  }
+}
+
+void LockManager::ProcessQueue(const ItemId& item) {
+  auto lit = locks_.find(item);
+  if (lit == locks_.end()) return;
+  LockState& ls = lit->second;
+  bool granted_any = true;
+  while (granted_any && !ls.queue.empty()) {
+    granted_any = false;
+    // Upgrades first (they sit at the front by construction).
+    Waiter& head = ls.queue.front();
+    if (Compatible(ls, head.txn, head.mode)) {
+      Waiter w = std::move(head);
+      ls.queue.pop_front();
+      loop_->Cancel(w.timeout_event);
+      auto wit = waiting_.find(w.txn);
+      if (wit != waiting_.end()) {
+        wit->second.erase(item);
+        if (wit->second.empty()) waiting_.erase(wit);
+      }
+      GrantNow(w.txn, item, w.mode, std::move(w.cb));
+      granted_any = true;
+      continue;
+    }
+    // Head not grantable: shared waiters behind a blocked upgrade/exclusive
+    // head stay blocked (FIFO fairness, prevents writer starvation).
+  }
+  if (ls.holders.empty() && ls.queue.empty()) locks_.erase(lit);
+}
+
+void LockManager::CancelWaits(LtmTxnHandle txn) {
+  auto wit = waiting_.find(txn);
+  if (wit == waiting_.end()) return;
+  const std::set<ItemId> items = std::move(wit->second);
+  waiting_.erase(wit);
+  for (const ItemId& item : items) {
+    auto lit = locks_.find(item);
+    if (lit == locks_.end()) continue;
+    LockState& ls = lit->second;
+    for (auto it = ls.queue.begin(); it != ls.queue.end();) {
+      if (it->txn == txn) {
+        loop_->Cancel(it->timeout_event);
+        it = ls.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ProcessQueue(item);
+  }
+}
+
+void LockManager::ReleaseAll(LtmTxnHandle txn) {
+  CancelWaits(txn);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  const std::set<ItemId> items = std::move(hit->second);
+  held_.erase(hit);
+  for (const ItemId& item : items) {
+    auto lit = locks_.find(item);
+    if (lit == locks_.end()) continue;
+    lit->second.holders.erase(txn);
+    ProcessQueue(item);
+  }
+}
+
+void LockManager::Release(LtmTxnHandle txn, const ItemId& item) {
+  auto lit = locks_.find(item);
+  if (lit == locks_.end()) return;
+  if (lit->second.holders.erase(txn) == 0) return;
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    hit->second.erase(item);
+    if (hit->second.empty()) held_.erase(hit);
+  }
+  ProcessQueue(item);
+}
+
+bool LockManager::Holds(LtmTxnHandle txn, const ItemId& item,
+                        LockMode mode) const {
+  auto lit = locks_.find(item);
+  if (lit == locks_.end()) return false;
+  auto it = lit->second.holders.find(txn);
+  if (it == lit->second.holders.end()) return false;
+  return mode == LockMode::kShared || it->second == LockMode::kExclusive;
+}
+
+std::vector<std::pair<LtmTxnHandle, LtmTxnHandle>>
+LockManager::WaitForEdges() const {
+  std::vector<std::pair<LtmTxnHandle, LtmTxnHandle>> edges;
+  for (const auto& [item, ls] : locks_) {
+    for (size_t i = 0; i < ls.queue.size(); ++i) {
+      const Waiter& w = ls.queue[i];
+      // Waits for every incompatible holder...
+      for (const auto& [holder, held_mode] : ls.holders) {
+        if (holder == w.txn) continue;
+        if (w.mode == LockMode::kExclusive ||
+            held_mode == LockMode::kExclusive) {
+          edges.emplace_back(w.txn, holder);
+        }
+      }
+      // ...and for incompatible earlier waiters (queue order is honored).
+      for (size_t j = 0; j < i; ++j) {
+        const Waiter& earlier = ls.queue[j];
+        if (earlier.txn == w.txn) continue;
+        if (w.mode == LockMode::kExclusive ||
+            earlier.mode == LockMode::kExclusive) {
+          edges.emplace_back(w.txn, earlier.txn);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace hermes::ltm

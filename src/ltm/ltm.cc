@@ -1,0 +1,258 @@
+#include "ltm/ltm.h"
+
+#include <cassert>
+
+#include "common/str.h"
+#include "ltm/command_executor.h"
+
+namespace hermes::ltm {
+
+Ltm::Ltm(const LtmConfig& config, sim::EventLoop* loop, db::Storage* storage,
+         history::Recorder* recorder)
+    : config_(config),
+      loop_(loop),
+      storage_(storage),
+      recorder_(recorder),
+      locks_(LockManagerConfig{config.lock_wait_timeout}, loop) {
+  assert(storage_->site() == config_.site);
+  if (config_.deadlock_detection) {
+    deadlock_timer_ = loop_->ScheduleAfter(
+        config_.deadlock_check_interval, [this]() { RunDeadlockDetection(); });
+  }
+}
+
+Ltm::~Ltm() {
+  if (deadlock_timer_ != sim::kInvalidEvent) loop_->Cancel(deadlock_timer_);
+}
+
+LocalTxn* Ltm::FindMutable(LtmTxnHandle txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+const LocalTxn* Ltm::Find(LtmTxnHandle txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+bool Ltm::IsActive(LtmTxnHandle txn) const {
+  const LocalTxn* t = Find(txn);
+  return t != nullptr && t->state == TxnState::kActive;
+}
+
+LtmTxnHandle Ltm::Begin(const SubTxnId& id) {
+  auto txn = std::make_unique<LocalTxn>();
+  txn->handle = next_handle_++;
+  txn->id = id;
+  txn->begin_time = loop_->Now();
+  const LtmTxnHandle handle = txn->handle;
+  txns_[handle] = std::move(txn);
+  ++stats_.begun;
+  return handle;
+}
+
+void Ltm::Execute(LtmTxnHandle handle, db::Command cmd, CommandCallback cb) {
+  LocalTxn* txn = FindMutable(handle);
+  if (txn == nullptr || txn->state != TxnState::kActive) {
+    loop_->ScheduleAfter(0, [cb = std::move(cb)]() {
+      cb(Status::Aborted("transaction is not active"), db::CmdResult{});
+    });
+    return;
+  }
+  if (txn->executor != nullptr) {
+    loop_->ScheduleAfter(0, [cb = std::move(cb)]() {
+      cb(Status::Rejected("a command is already in flight"), db::CmdResult{});
+    });
+    return;
+  }
+  ++stats_.commands_executed;
+  txn->executor = std::make_shared<CommandExecutor>(this, handle,
+                                                    std::move(cmd),
+                                                    std::move(cb));
+  txn->executor->Start();
+}
+
+void Ltm::OnExecutorDone(LtmTxnHandle handle) {
+  LocalTxn* txn = FindMutable(handle);
+  if (txn != nullptr) txn->executor.reset();
+}
+
+Status Ltm::Commit(LtmTxnHandle handle) {
+  LocalTxn* txn = FindMutable(handle);
+  if (txn == nullptr) return Status::NotFound("no such transaction");
+  if (txn->state == TxnState::kAborted) {
+    return Status::Aborted("transaction was aborted");
+  }
+  if (txn->state == TxnState::kCommitted) {
+    return Status::Ok();  // idempotent
+  }
+  if (txn->executor != nullptr) {
+    return Status::Rejected("commit with a command in flight");
+  }
+  txn->state = TxnState::kCommitted;
+  txn->undo.clear();
+  recorder_->RecordLocalCommit(txn->id, config_.site);
+  locks_.ReleaseAll(handle);
+  ++stats_.committed;
+  return Status::Ok();
+}
+
+Status Ltm::Abort(LtmTxnHandle handle) {
+  return AbortInternal(handle, /*unilateral=*/false,
+                       Status::Aborted("rollback requested"));
+}
+
+Status Ltm::InjectUnilateralAbort(LtmTxnHandle handle) {
+  ++stats_.injected_aborts;
+  return AbortInternal(handle, /*unilateral=*/true,
+                       Status::Unavailable("injected unilateral abort"));
+}
+
+void Ltm::UnilateralAbortInternal(LtmTxnHandle handle, const Status& reason) {
+  if (reason.code() == StatusCode::kTimeout) ++stats_.lock_timeout_aborts;
+  AbortInternal(handle, /*unilateral=*/true, reason);
+}
+
+void Ltm::RollbackUndo(LocalTxn& txn) {
+  for (auto it = txn.undo.rbegin(); it != txn.undo.rend(); ++it) {
+    db::Table* table = storage_->GetTable(it->table);
+    assert(table != nullptr);
+    table->Restore(it->key, std::move(it->before));
+  }
+  txn.undo.clear();
+}
+
+Status Ltm::AbortInternal(LtmTxnHandle handle, bool unilateral,
+                          const Status& reason) {
+  LocalTxn* txn = FindMutable(handle);
+  if (txn == nullptr) return Status::NotFound("no such transaction");
+  if (txn->state != TxnState::kActive) {
+    return Status::Rejected(
+        StrCat("transaction already ",
+               txn->state == TxnState::kCommitted ? "committed" : "aborted"));
+  }
+  txn->state = TxnState::kAborted;
+  // Fail the in-flight command, if any, then detach its executor.
+  if (txn->executor != nullptr) {
+    std::shared_ptr<CommandExecutor> executor = std::move(txn->executor);
+    executor->FailNow(reason.ok() ? Status::Aborted("aborted") : reason);
+    executor->Cancel();
+  }
+  RollbackUndo(*txn);
+  locks_.ReleaseAll(handle);
+  recorder_->RecordLocalAbort(txn->id, config_.site, unilateral);
+  ++stats_.aborted;
+  if (unilateral) {
+    ++stats_.unilateral_aborts;
+    if (txn->global() && uan_listener_) {
+      // Deliver UAN asynchronously to avoid re-entrancy into the agent.
+      const SubTxnId id = txn->id;
+      auto listener = uan_listener_;
+      loop_->ScheduleAfter(0, [listener, id, handle]() {
+        listener(id, handle);
+      });
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<LtmTxnHandle> Ltm::ActiveHandles() const {
+  std::vector<LtmTxnHandle> out;
+  for (const auto& [handle, txn] : txns_) {
+    if (txn->state == TxnState::kActive) out.push_back(handle);
+  }
+  return out;
+}
+
+void Ltm::ClearBindings() {
+  std::vector<ItemId> items(bound_.begin(), bound_.end());
+  UnbindItems(items);
+}
+
+void Ltm::BindItems(const std::vector<ItemId>& items) {
+  for (const ItemId& item : items) bound_.insert(item);
+}
+
+void Ltm::UnbindItems(const std::vector<ItemId>& items) {
+  for (const ItemId& item : items) {
+    bound_.erase(item);
+    auto it = dlu_waiters_.find(item);
+    if (it == dlu_waiters_.end()) continue;
+    auto waiters = std::move(it->second);
+    dlu_waiters_.erase(it);
+    for (auto& waiter : waiters) {
+      if (waiter->cb == nullptr) continue;  // already timed out
+      loop_->Cancel(waiter->timeout_event);
+      auto cb = std::move(waiter->cb);
+      loop_->ScheduleAfter(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
+    }
+  }
+}
+
+void Ltm::WaitUnbound(const ItemId& item, std::function<void(Status)> cb) {
+  if (bound_.count(item) == 0) {
+    loop_->ScheduleAfter(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
+    return;
+  }
+  if (config_.dlu_reject) {
+    ++stats_.dlu_rejections;
+    loop_->ScheduleAfter(0, [cb = std::move(cb)]() {
+      cb(Status::Rejected("DLU: item is bound to a prepared transaction"));
+    });
+    return;
+  }
+  ++stats_.dlu_waits;
+  auto waiter = std::make_shared<DluWaiter>();
+  waiter->item = item;
+  waiter->cb = std::move(cb);
+  waiter->timeout_event =
+      loop_->ScheduleAfter(config_.dlu_wait_timeout, [this, waiter]() {
+        if (waiter->cb == nullptr) return;
+        auto cb = std::move(waiter->cb);
+        waiter->cb = nullptr;
+        cb(Status::Timeout("DLU wait timeout"));
+      });
+  dlu_waiters_[item].push_back(std::move(waiter));
+}
+
+void Ltm::RunDeadlockDetection() {
+  deadlock_timer_ = loop_->ScheduleAfter(config_.deadlock_check_interval,
+                                         [this]() { RunDeadlockDetection(); });
+  const auto edges = locks_.WaitForEdges();
+  if (edges.empty()) return;
+  // Wait-for graph cycle search; victim = youngest (largest handle) on the
+  // first cycle found.
+  std::map<LtmTxnHandle, std::vector<LtmTxnHandle>> adj;
+  for (const auto& [waiter, holder] : edges) adj[waiter].push_back(holder);
+
+  std::map<LtmTxnHandle, int> state;  // 0=unseen 1=in-progress 2=done
+  std::vector<LtmTxnHandle> stack;
+  LtmTxnHandle victim = kInvalidLtmTxn;
+
+  std::function<bool(LtmTxnHandle)> dfs = [&](LtmTxnHandle node) -> bool {
+    state[node] = 1;
+    stack.push_back(node);
+    for (LtmTxnHandle next : adj[node]) {
+      if (state[next] == 1) {
+        auto start = std::find(stack.begin(), stack.end(), next);
+        victim = *std::max_element(start, stack.end());
+        return true;
+      }
+      if (state[next] == 0 && dfs(next)) return true;
+    }
+    stack.pop_back();
+    state[node] = 2;
+    return false;
+  };
+  for (const auto& [node, unused] : adj) {
+    if (state[node] == 0 && dfs(node)) break;
+    stack.clear();
+  }
+  if (victim != kInvalidLtmTxn) {
+    ++stats_.deadlock_victim_aborts;
+    AbortInternal(victim, /*unilateral=*/true,
+                  Status::Aborted("deadlock victim"));
+  }
+}
+
+}  // namespace hermes::ltm

@@ -1,0 +1,191 @@
+// The Local Transaction Manager — the transactional engine of one
+// autonomous LDBS.
+//
+// The LTM satisfies the paper's assumptions about participating database
+// systems:
+//   DDF — commands decompose deterministically into elementary R/W ops on
+//         concrete rows (see CommandExecutor);
+//   RR  — aborts restore exact before-images from the undo log;
+//   RTT — re-executing the same commands over the same values yields the
+//         same results (the engine is purely state-deterministic);
+//   SRS — with `rigorous=true` (default) the S2PL scheduler holds all locks
+//         to transaction end, producing rigorous histories; the
+//         non-rigorous ablation releases read locks early;
+//   TW  — resubmitted subtransactions eventually succeed (lock waits time
+//         out and are retried by the agent);
+//   UAN — every abort the LDBS performs on its own (injected failure, lock
+//         timeout, deadlock victim) is reported to the registered listener.
+//
+// The LTM offers only a single-phase commit interface — no prepared state —
+// which is precisely why the 2PC Agent method exists.
+
+#ifndef HERMES_LTM_LTM_H_
+#define HERMES_LTM_LTM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "db/command.h"
+#include "db/storage.h"
+#include "history/recorder.h"
+#include "ltm/local_txn.h"
+#include "ltm/lock_manager.h"
+#include "sim/event_loop.h"
+
+namespace hermes::ltm {
+
+struct LtmConfig {
+  SiteId site = 0;
+  // SRS: hold all locks to transaction end. Disable only for the
+  // "non-rigorous LDBS" negative experiments.
+  bool rigorous = true;
+  sim::Duration lock_wait_timeout = 500 * sim::kMillisecond;
+  // Processing time per command, plus per touched row.
+  sim::Duration command_latency = 50 * sim::kMicrosecond;
+  sim::Duration per_row_latency = 5 * sim::kMicrosecond;
+  // DLU: how long a local transaction's update may wait for bound data.
+  sim::Duration dlu_wait_timeout = 2 * sim::kSecond;
+  // If true, local updates of bound data are rejected immediately instead
+  // of blocking.
+  bool dlu_reject = false;
+  // Optional wait-for-graph deadlock detection (the paper's 2CM assumes
+  // timeout-only; detection is an ablation, see bench_deadlock).
+  bool deadlock_detection = false;
+  sim::Duration deadlock_check_interval = 50 * sim::kMillisecond;
+};
+
+struct LtmStats {
+  int64_t begun = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t unilateral_aborts = 0;  // subset of aborted initiated by the LDBS
+  int64_t injected_aborts = 0;
+  int64_t lock_timeout_aborts = 0;
+  int64_t deadlock_victim_aborts = 0;
+  int64_t commands_executed = 0;
+  int64_t dlu_waits = 0;
+  int64_t dlu_rejections = 0;
+};
+
+class Ltm {
+ public:
+  using CommandCallback =
+      std::function<void(const Status&, const db::CmdResult&)>;
+  // (identity of the aborted subtransaction, its LTM handle)
+  using UanListener = std::function<void(const SubTxnId&, LtmTxnHandle)>;
+
+  Ltm(const LtmConfig& config, sim::EventLoop* loop, db::Storage* storage,
+      history::Recorder* recorder);
+  ~Ltm();
+
+  Ltm(const Ltm&) = delete;
+  Ltm& operator=(const Ltm&) = delete;
+
+  SiteId site() const { return config_.site; }
+
+  // --- Local interface (LI) ---------------------------------------------
+
+  // Starts a transaction. `id` is the history-model identity (local
+  // transaction or j-th local subtransaction of a global one).
+  LtmTxnHandle Begin(const SubTxnId& id);
+
+  // Executes one DML command; the callback fires asynchronously when the
+  // command completes or the transaction dies. At most one command may be
+  // in flight per transaction.
+  void Execute(LtmTxnHandle txn, db::Command cmd, CommandCallback cb);
+
+  // Single-phase commit. Fails with kAborted/kNotFound if the transaction
+  // was already (unilaterally) aborted — the situation the agent handles by
+  // resubmission.
+  Status Commit(LtmTxnHandle txn);
+
+  // Rollback requested by the client/agent (not a unilateral abort).
+  Status Abort(LtmTxnHandle txn);
+
+  // Failure injection: the LDBS unilaterally aborts the transaction, as
+  // permitted by execution autonomy. Triggers the UAN listener.
+  Status InjectUnilateralAbort(LtmTxnHandle txn);
+
+  bool IsActive(LtmTxnHandle txn) const;
+  const LocalTxn* Find(LtmTxnHandle txn) const;
+  // Handles of all currently active transactions (site-crash support).
+  std::vector<LtmTxnHandle> ActiveHandles() const;
+
+  void SetUanListener(UanListener listener) {
+    uan_listener_ = std::move(listener);
+  }
+
+  // --- DLU bound-data registry -------------------------------------------
+  // Maintained by the co-located 2PC agent: while a global subtransaction is
+  // prepared, the data it accessed are "bound"; local transactions may read
+  // but not update them (paper's DLU assumption).
+
+  void BindItems(const std::vector<ItemId>& items);
+  void UnbindItems(const std::vector<ItemId>& items);
+  // Drops all bindings and wakes DLU waiters (volatile state lost in a
+  // site crash; the recovering agent re-binds after resubmission).
+  void ClearBindings();
+  bool IsBound(const ItemId& item) const { return bound_.count(item) != 0; }
+
+  // --- accessors for the executor and tests -------------------------------
+
+  const LtmConfig& config() const { return config_; }
+  sim::EventLoop* loop() { return loop_; }
+  db::Storage* storage() { return storage_; }
+  history::Recorder* recorder() { return recorder_; }
+  LockManager& lock_manager() { return locks_; }
+  const LtmStats& stats() const { return stats_; }
+
+  // Internal: abort driven by the engine itself (lock timeout, deadlock
+  // victim, injected failure). Reported as unilateral via UAN when the
+  // transaction belongs to a global transaction.
+  void UnilateralAbortInternal(LtmTxnHandle txn, const Status& reason);
+
+  // Internal: called by the executor when a local transaction's update hits
+  // bound data. `cb` fires with OK once the item is unbound, kTimeout on
+  // timeout, kRejected in dlu_reject mode.
+  void WaitUnbound(const ItemId& item, std::function<void(Status)> cb);
+
+  // Internal: executor lifecycle hooks.
+  void OnExecutorDone(LtmTxnHandle txn);
+
+ private:
+  friend class CommandExecutor;
+
+  LocalTxn* FindMutable(LtmTxnHandle txn);
+  // Shared abort path; unilateral selects UAN notification.
+  Status AbortInternal(LtmTxnHandle txn, bool unilateral,
+                       const Status& reason);
+  void RollbackUndo(LocalTxn& txn);
+  void RunDeadlockDetection();
+
+  LtmConfig config_;
+  sim::EventLoop* loop_;
+  db::Storage* storage_;
+  history::Recorder* recorder_;
+  LockManager locks_;
+
+  LtmTxnHandle next_handle_ = 1;
+  std::map<LtmTxnHandle, std::unique_ptr<LocalTxn>> txns_;
+  UanListener uan_listener_;
+
+  std::set<ItemId> bound_;
+  struct DluWaiter {
+    ItemId item;
+    std::function<void(Status)> cb;
+    sim::EventId timeout_event;
+  };
+  std::map<ItemId, std::vector<std::shared_ptr<DluWaiter>>> dlu_waiters_;
+
+  sim::EventId deadlock_timer_ = sim::kInvalidEvent;
+  LtmStats stats_;
+};
+
+}  // namespace hermes::ltm
+
+#endif  // HERMES_LTM_LTM_H_

@@ -1,0 +1,37 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hermes::net {
+
+Network::Network(const NetworkConfig& config, sim::EventLoop* loop)
+    : config_(config), loop_(loop), rng_(config.seed) {}
+
+void Network::RegisterEndpoint(SiteId site, Handler handler) {
+  assert(endpoints_.find(site) == endpoints_.end());
+  endpoints_[site] = std::move(handler);
+}
+
+void Network::Send(SiteId from, SiteId to, std::any payload) {
+  assert(endpoints_.find(to) != endpoints_.end());
+  sim::Duration delay =
+      from == to ? config_.local_latency : config_.base_latency;
+  if (config_.jitter > 0) {
+    delay += static_cast<sim::Duration>(
+        rng_.NextUint64(static_cast<uint64_t>(config_.jitter) + 1));
+  }
+  sim::Time at = loop_->Now() + delay;
+  // FIFO per ordered pair: never deliver before an earlier send.
+  auto& last = last_delivery_[{from, to}];
+  if (at < last) at = last;
+  last = at;
+  ++messages_sent_;
+  Envelope env{from, to, std::move(payload)};
+  loop_->ScheduleAt(at, [this, to, env = std::move(env)]() {
+    auto it = endpoints_.find(to);
+    if (it != endpoints_.end()) it->second(env);
+  });
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,73 @@
+// Simulated inter-site message transport.
+//
+// The paper (section 2) assumes the 2PC messages "are not corrupted, lost or
+// out of order"; the Network therefore provides reliable FIFO delivery
+// between every ordered pair of sites, with a configurable latency model.
+// Payloads are type-erased (std::any) so the same transport carries the 2PC
+// Agent protocol of the core DTM as well as the centralized CGM baseline
+// protocol without the transport depending on either.
+
+#ifndef HERMES_NET_NETWORK_H_
+#define HERMES_NET_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+
+namespace hermes::net {
+
+struct NetworkConfig {
+  // One-way delay between distinct sites.
+  sim::Duration base_latency = 1 * sim::kMillisecond;
+  // Uniform random extra delay in [0, jitter].
+  sim::Duration jitter = 0;
+  // Delay for messages a site sends to itself (coordinator to co-located
+  // agent).
+  sim::Duration local_latency = 10 * sim::kMicrosecond;
+  uint64_t seed = 1;
+};
+
+struct Envelope {
+  SiteId from = kInvalidSite;
+  SiteId to = kInvalidSite;
+  std::any payload;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  Network(const NetworkConfig& config, sim::EventLoop* loop);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // At most one handler per destination site.
+  void RegisterEndpoint(SiteId site, Handler handler);
+
+  // Queues `payload` for delivery to `to`'s handler after the modeled
+  // latency. Messages between the same ordered pair are delivered in send
+  // order (FIFO) even with jitter.
+  void Send(SiteId from, SiteId to, std::any payload);
+
+  int64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  NetworkConfig config_;
+  sim::EventLoop* loop_;
+  Rng rng_;
+  std::map<SiteId, Handler> endpoints_;
+  // Last scheduled delivery time per ordered (from, to) pair, for FIFO.
+  std::map<std::pair<SiteId, SiteId>, sim::Time> last_delivery_;
+  int64_t messages_sent_ = 0;
+};
+
+}  // namespace hermes::net
+
+#endif  // HERMES_NET_NETWORK_H_

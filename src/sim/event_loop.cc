@@ -1,0 +1,104 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace hermes::sim {
+
+EventId EventLoop::ScheduleAt(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+EventId EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Lazily discarded when popped. Double-cancel and cancel-after-run are
+  // detected by membership in the processed range via cancelled_ bookkeeping.
+  return cancelled_.insert(id).second;
+}
+
+bool EventLoop::PopNext(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the function object must be moved
+    // out before pop, so const_cast the owned element (safe: we pop next).
+    Event& top = const_cast<Event&>(queue_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    out = std::move(top);
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventLoop::Run() {
+  uint64_t n = 0;
+  Event ev;
+  while (PopNext(ev)) {
+    now_ = ev.at;
+    ++n;
+    ++events_processed_;
+    if (max_events_ != 0 && events_processed_ > max_events_) {
+      std::fprintf(stderr,
+                   "EventLoop: exceeded max_events=%llu at t=%lld; "
+                   "likely livelock\n",
+                   static_cast<unsigned long long>(max_events_),
+                   static_cast<long long>(now_));
+      std::abort();
+    }
+    ev.fn();
+  }
+  return n;
+}
+
+uint64_t EventLoop::RunUntil(Time deadline) {
+  uint64_t n = 0;
+  Event ev;
+  while (!queue_.empty()) {
+    // Peek the next live event's time without consuming it.
+    if (cancelled_.count(queue_.top().id) != 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    if (!PopNext(ev)) break;
+    now_ = ev.at;
+    ++n;
+    ++events_processed_;
+    if (max_events_ != 0 && events_processed_ > max_events_) {
+      std::fprintf(stderr,
+                   "EventLoop: exceeded max_events=%llu at t=%lld; "
+                   "likely livelock\n",
+                   static_cast<unsigned long long>(max_events_),
+                   static_cast<long long>(now_));
+      std::abort();
+    }
+    ev.fn();
+  }
+  if (now_ < deadline && !Empty()) now_ = deadline;
+  return n;
+}
+
+bool EventLoop::Step() {
+  Event ev;
+  if (!PopNext(ev)) return false;
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,95 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Every component of the reproduced system (LTMs, 2PC agents, coordinators,
+// the network, workload clients, failure injectors) runs as callbacks on one
+// EventLoop with a virtual clock. Two runs with the same seed execute the
+// exact same event sequence, which makes the concurrency-control experiments
+// reproducible and the serializability oracle checks meaningful.
+
+#ifndef HERMES_SIM_EVENT_LOOP_H_
+#define HERMES_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace hermes::sim {
+
+// Virtual time in microseconds since simulation start.
+using Time = int64_t;
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+// Identifies a scheduled event so it can be cancelled (timer semantics).
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run at virtual time `at` (clamped to Now()). Events
+  // with equal time run in scheduling order (stable).
+  EventId ScheduleAt(Time at, std::function<void()> fn);
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already ran or was
+  // cancelled before.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty. Returns the number of events
+  // processed.
+  uint64_t Run();
+
+  // Runs events with time <= `deadline`; afterwards Now() == deadline if any
+  // events remained, or the time of the last event otherwise.
+  uint64_t RunUntil(Time deadline);
+
+  // Runs a single event if one is pending. Returns false if the queue is
+  // empty.
+  bool Step();
+
+  bool Empty() const { return queue_.size() == cancelled_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Safety valve for tests: Run() aborts the process after this many events
+  // (0 = unlimited) to turn livelocks into loud failures.
+  void set_max_events(uint64_t n) { max_events_ = n; }
+
+ private:
+  struct Event {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  // Pops the next non-cancelled event into `out`. Returns false when empty.
+  bool PopNext(Event& out);
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  uint64_t max_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace hermes::sim
+
+#endif  // HERMES_SIM_EVENT_LOOP_H_

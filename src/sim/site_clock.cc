@@ -1,0 +1,3 @@
+#include "sim/site_clock.h"
+
+// Header-only; this file anchors the target in the build.

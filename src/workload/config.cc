@@ -1,0 +1,60 @@
+#include "workload/config.h"
+
+#include "common/str.h"
+
+namespace hermes::workload {
+
+const char* SystemName(System s) {
+  switch (s) {
+    case System::k2CM:
+      return "2CM";
+    case System::kCGM:
+      return "CGM";
+  }
+  return "?";
+}
+
+core::MdbsConfig WorkloadConfig::ToMdbsConfig() const {
+  core::MdbsConfig config;
+  config.num_sites = num_sites;
+  config.record_history = record_history;
+  config.network.base_latency = net_base_latency;
+  config.network.jitter = net_jitter;
+  config.network.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  config.ltm.rigorous = rigorous_ltm;
+  config.ltm.lock_wait_timeout = lock_wait_timeout;
+  config.ltm.deadlock_detection = deadlock_detection;
+  config.ltm.deadlock_check_interval = deadlock_check_interval;
+  config.agent.policy = policy;
+  config.agent.alive_check_interval = alive_check_interval;
+  config.agent.commit_retry_interval = commit_retry_interval;
+  config.agent.bind_bound_data = dlu_binding;
+  if (clock_skew != 0) {
+    config.clock_offsets.resize(static_cast<size_t>(num_sites));
+    for (int s = 0; s < num_sites; ++s) {
+      config.clock_offsets[static_cast<size_t>(s)] =
+          (s % 2 == 0 ? -1 : 1) * clock_skew;
+    }
+  }
+  return config;
+}
+
+cgm::CgmConfig WorkloadConfig::ToCgmConfig() const {
+  cgm::CgmConfig config;
+  config.mdbs = ToMdbsConfig();
+  config.granularity = cgm_granularity;
+  config.global_lock_timeout = cgm_global_lock_timeout;
+  return config;
+}
+
+std::string WorkloadConfig::ToString() const {
+  return StrCat(SystemName(system), " sites=", num_sites,
+                " rows=", rows_per_table, " zipf=", zipf_theta,
+                " gclients=", global_clients,
+                " lclients=", local_clients_per_site,
+                " p_fail=", p_prepared_abort,
+                " policy=", core::CertPolicyName(policy),
+                " target=", target_global_txns, " seed=", seed);
+}
+
+}  // namespace hermes::workload

@@ -1,0 +1,83 @@
+// Configuration of one simulated multidatabase run.
+
+#ifndef HERMES_WORKLOAD_CONFIG_H_
+#define HERMES_WORKLOAD_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cgm/cgm_mdbs.h"
+#include "core/agent.h"
+#include "core/mdbs.h"
+
+namespace hermes::workload {
+
+enum class System { k2CM, kCGM };
+
+const char* SystemName(System s);
+
+struct WorkloadConfig {
+  uint64_t seed = 42;
+
+  // --- topology & data -----------------------------------------------------
+  int num_sites = 4;
+  int tables_per_site = 1;
+  int64_t rows_per_table = 128;
+  double zipf_theta = 0.0;  // 0 = uniform access
+
+  // --- load -----------------------------------------------------------------
+  int global_clients = 8;
+  int local_clients_per_site = 0;
+  // DML commands per global transaction, spread over `sites_per_global_txn`
+  // distinct sites round-robin.
+  int cmds_per_global_txn = 4;
+  int sites_per_global_txn = 2;
+  int cmds_per_local_txn = 2;
+  double global_write_fraction = 0.5;
+  double local_write_fraction = 0.5;
+  sim::Duration think_time = 0;
+
+  // --- failures ---------------------------------------------------------------
+  // Probability that a subtransaction entering the prepared state is
+  // unilaterally aborted by its LDBS while prepared.
+  double p_prepared_abort = 0.0;
+  sim::Duration prepared_abort_max_delay = 30 * sim::kMillisecond;
+
+  // --- termination --------------------------------------------------------------
+  int target_global_txns = 200;
+  sim::Time max_sim_time = 600 * sim::kSecond;
+
+  // --- system under test -----------------------------------------------------
+  System system = System::k2CM;
+  core::CertPolicy policy = core::CertPolicy::kFull;
+  cgm::Granularity cgm_granularity = cgm::Granularity::kSite;
+  bool record_history = true;
+  bool dlu_binding = true;
+  bool rigorous_ltm = true;
+  // E10 ablation: assign serial numbers at submission (static total order).
+  bool sn_at_submit = false;
+  // E11: wait-for-graph deadlock detection in the LTMs instead of
+  // timeout-only resolution.
+  bool deadlock_detection = false;
+  sim::Duration deadlock_check_interval = 20 * sim::kMillisecond;
+
+  // --- tunables forwarded to the components ------------------------------------
+  sim::Duration net_base_latency = 1 * sim::kMillisecond;
+  sim::Duration net_jitter = 0;
+  sim::Duration alive_check_interval = 25 * sim::kMillisecond;
+  sim::Duration commit_retry_interval = 5 * sim::kMillisecond;
+  sim::Duration lock_wait_timeout = 500 * sim::kMillisecond;
+  sim::Duration cgm_global_lock_timeout = 1 * sim::kSecond;
+  // Per-site clock offsets: site s gets offset (s % 2 ? +1 : -1) *
+  // clock_skew (section 5.2 drift experiments).
+  sim::Duration clock_skew = 0;
+
+  core::MdbsConfig ToMdbsConfig() const;
+  cgm::CgmConfig ToCgmConfig() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace hermes::workload
+
+#endif  // HERMES_WORKLOAD_CONFIG_H_

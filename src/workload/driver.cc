@@ -1,0 +1,221 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "common/str.h"
+#include "history/projection.h"
+#include "workload/generator.h"
+
+namespace hermes::workload {
+
+namespace {
+
+// Mutable run state shared by the client loops.
+struct RunState {
+  WorkloadConfig config;
+  sim::EventLoop* loop = nullptr;
+  core::Mdbs* mdbs = nullptr;
+  Generator* generator = nullptr;
+  Rng rng{0};
+  int submitted = 0;
+  int completed = 0;
+  db::TableId local_table = -1;  // CGM locally-updateable table
+  bool stop_locals = false;
+  sim::Time done_at = -1;  // when the last targeted global txn completed
+
+  bool AllSubmitted() const {
+    return submitted >= config.target_global_txns;
+  }
+};
+
+void RunGlobalClient(const std::shared_ptr<RunState>& st) {
+  if (st->AllSubmitted()) return;
+  ++st->submitted;
+  core::GlobalTxnSpec spec = st->generator->NextGlobal(st->rng);
+  st->mdbs->Submit(std::move(spec),
+                   [st](const core::GlobalTxnResult& /*result*/) {
+                     ++st->completed;
+                     if (st->completed >= st->config.target_global_txns) {
+                       st->stop_locals = true;
+                       st->done_at = st->loop->Now();
+                       return;
+                     }
+                     if (st->config.think_time > 0) {
+                       st->loop->ScheduleAfter(st->config.think_time, [st]() {
+                         RunGlobalClient(st);
+                       });
+                     } else {
+                       RunGlobalClient(st);
+                     }
+                   });
+}
+
+void RunLocalClient(const std::shared_ptr<RunState>& st, SiteId site) {
+  if (st->stop_locals) return;
+  core::LocalTxnSpec spec =
+      st->generator->NextLocal(st->rng, site, st->local_table);
+  st->mdbs->SubmitLocal(std::move(spec),
+                        [st, site](const core::LocalTxnResult& /*result*/) {
+                          if (st->stop_locals) return;
+                          st->loop->ScheduleAfter(
+                              st->config.think_time > 0
+                                  ? st->config.think_time
+                                  : 1 * sim::kMillisecond,
+                              [st, site]() { RunLocalClient(st, site); });
+                        });
+}
+
+void InstallFailureInjector(const std::shared_ptr<RunState>& st) {
+  if (st->config.p_prepared_abort <= 0) return;
+  for (SiteId s = 0; s < st->config.num_sites; ++s) {
+    ltm::Ltm* ltm = st->mdbs->ltm(s);
+    st->mdbs->agent(s)->set_prepared_hook(
+        [st, ltm](const TxnId& /*gtid*/, LtmTxnHandle handle) {
+          if (!st->rng.NextBool(st->config.p_prepared_abort)) return;
+          const sim::Duration delay = static_cast<sim::Duration>(
+              st->rng.NextUint64(static_cast<uint64_t>(
+                                     st->config.prepared_abort_max_delay) +
+                                 1));
+          st->loop->ScheduleAfter(delay, [ltm, handle]() {
+            // The handle may already be superseded by a resubmission or
+            // committed; injection then fails harmlessly — exactly like a
+            // real LDBS that no longer knows the transaction.
+            (void)ltm->InjectUnilateralAbort(handle);
+          });
+        });
+  }
+}
+
+void LoadData(const std::shared_ptr<RunState>& st) {
+  const WorkloadConfig& config = st->config;
+  for (int t = 0; t < config.tables_per_site; ++t) {
+    auto id = st->mdbs->CreateTableEverywhere(StrCat("t", t));
+    assert(id.ok());
+    for (SiteId s = 0; s < config.num_sites; ++s) {
+      for (int64_t k = 0; k < config.rows_per_table; ++k) {
+        st->mdbs->LoadRow(s, *id, k,
+                          db::Row{{"val", db::Value(int64_t{0})}});
+      }
+    }
+  }
+  // Dedicated locally-updateable table for CGM's partition restriction.
+  if (config.system == System::kCGM && config.local_clients_per_site > 0) {
+    auto id = st->mdbs->CreateTableEverywhere("local");
+    assert(id.ok());
+    st->local_table = *id;
+    for (SiteId s = 0; s < config.num_sites; ++s) {
+      for (int64_t k = 0; k < config.rows_per_table; ++k) {
+        st->mdbs->LoadRow(s, *id, k,
+                          db::Row{{"val", db::Value(int64_t{0})}});
+      }
+    }
+  }
+}
+
+void ValidateHistory(const std::shared_ptr<RunState>& st, RunResult& result) {
+  if (!st->config.record_history) return;
+  result.history_checked = true;
+  const auto& ops = st->mdbs->recorder().ops();
+  result.history_ops = ops.size();
+  const std::vector<history::Op> committed =
+      history::CommittedProjection(ops);
+  result.commit_graph_acyclic = history::CommitGraphAcyclic(committed);
+  result.replay_error = history::VerifyReplayMatchesRecorded(committed);
+  result.replay_consistent = result.replay_error.empty();
+  result.order_invariant_error = history::CheckOrderInvariant(ops);
+  result.order_invariant_ok = result.order_invariant_error.empty();
+  const history::ViewCheckResult check =
+      history::CheckViewSerializability(committed, /*max_txns=*/8);
+  result.verdict = check.verdict;
+  result.verdict_detail = check.reason;
+}
+
+}  // namespace
+
+RunResult Driver::Run(const WorkloadConfig& config) {
+  sim::EventLoop loop;
+  loop.set_max_events(200'000'000);
+
+  std::unique_ptr<core::Mdbs> own_mdbs;
+  std::unique_ptr<cgm::CgmMdbs> own_cgm;
+  core::Mdbs* mdbs = nullptr;
+  if (config.system == System::kCGM) {
+    own_cgm = std::make_unique<cgm::CgmMdbs>(config.ToCgmConfig(), &loop);
+    mdbs = &own_cgm->mdbs();
+  } else {
+    own_mdbs = std::make_unique<core::Mdbs>(config.ToMdbsConfig(), &loop);
+    mdbs = own_mdbs.get();
+  }
+
+  Generator generator(config, config.seed);
+  auto st = std::make_shared<RunState>();
+  st->config = config;
+  st->loop = &loop;
+  st->mdbs = mdbs;
+  st->generator = &generator;
+  st->rng = Rng(config.seed);
+
+  if (config.sn_at_submit) mdbs->SetSnAtSubmit(true);
+  LoadData(st);
+  InstallFailureInjector(st);
+
+  for (int c = 0; c < config.global_clients; ++c) {
+    loop.ScheduleAfter(0, [st]() { RunGlobalClient(st); });
+  }
+  for (SiteId s = 0; s < config.num_sites; ++s) {
+    for (int c = 0; c < config.local_clients_per_site; ++c) {
+      loop.ScheduleAfter(0, [st, s]() { RunLocalClient(st, s); });
+    }
+  }
+
+  // Run in slices so periodic background timers (deadlock detection) do
+  // not stretch the measured completion time past the real end of work.
+  while (st->done_at < 0 && loop.Now() < config.max_sim_time &&
+         !loop.Empty()) {
+    loop.RunUntil(std::min(loop.Now() + 100 * sim::kMillisecond,
+                           config.max_sim_time));
+  }
+
+  RunResult result;
+  result.metrics = mdbs->metrics();
+  result.messages = mdbs->network().messages_sent();
+  result.end_time = st->done_at >= 0 ? st->done_at : loop.Now();
+  result.events = loop.events_processed();
+  for (SiteId s = 0; s < config.num_sites; ++s) {
+    const ltm::LtmStats& ls = mdbs->ltm(s)->stats();
+    result.ltm.begun += ls.begun;
+    result.ltm.committed += ls.committed;
+    result.ltm.aborted += ls.aborted;
+    result.ltm.unilateral_aborts += ls.unilateral_aborts;
+    result.ltm.injected_aborts += ls.injected_aborts;
+    result.ltm.lock_timeout_aborts += ls.lock_timeout_aborts;
+    result.ltm.deadlock_victim_aborts += ls.deadlock_victim_aborts;
+    result.ltm.commands_executed += ls.commands_executed;
+    result.ltm.dlu_waits += ls.dlu_waits;
+    result.ltm.dlu_rejections += ls.dlu_rejections;
+  }
+  ValidateHistory(st, result);
+  return result;
+}
+
+std::string RunResult::Summary() const {
+  std::string out;
+  StrAppend(out, "committed=", metrics.global_committed,
+            " aborted=", metrics.global_aborted,
+            " (cert=", metrics.global_aborted_cert,
+            " dml=", metrics.global_aborted_dml,
+            ") resub=", metrics.resubmissions,
+            " tput=", CommitsPerSecond(), "/s",
+            " mean_lat_ms=", metrics.MeanLatencyMs());
+  if (history_checked) {
+    StrAppend(out, " | CG=", commit_graph_acyclic ? "acyclic" : "CYCLIC",
+              " oracle=", history::VerdictName(verdict),
+              " replay=", replay_consistent ? "ok" : "INCONSISTENT");
+  }
+  return out;
+}
+
+}  // namespace hermes::workload

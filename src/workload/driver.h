@@ -1,0 +1,63 @@
+// Runs one complete simulated workload against the 2CM system or the CGM
+// baseline, injecting unilateral aborts and validating the resulting history
+// against the serializability oracle. Every benchmark and most integration
+// tests are built on top of this driver.
+
+#ifndef HERMES_WORKLOAD_DRIVER_H_
+#define HERMES_WORKLOAD_DRIVER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/metrics.h"
+#include "history/view_checker.h"
+#include "ltm/ltm.h"
+#include "workload/config.h"
+
+namespace hermes::workload {
+
+struct RunResult {
+  core::Metrics metrics;
+  // LTM stats aggregated over all sites.
+  ltm::LtmStats ltm;
+  int64_t messages = 0;
+  sim::Time end_time = 0;
+  uint64_t events = 0;
+  // History validation (when record_history).
+  bool history_checked = false;
+  bool commit_graph_acyclic = true;
+  history::Verdict verdict = history::Verdict::kUnknown;
+  std::string verdict_detail;
+  bool replay_consistent = true;
+  std::string replay_error;
+  // Paper's order invariant (1): P^i_k < C_k < C^s_k.
+  bool order_invariant_ok = true;
+  std::string order_invariant_error;
+  size_t history_ops = 0;
+
+  double CommitsPerSecond() const {
+    return end_time == 0 ? 0.0
+                         : static_cast<double>(metrics.global_committed) *
+                               sim::kSecond / static_cast<double>(end_time);
+  }
+  double GlobalAbortRate() const {
+    const int64_t total =
+        metrics.global_committed + metrics.global_aborted;
+    return total == 0 ? 0.0
+                      : static_cast<double>(metrics.global_aborted) /
+                            static_cast<double>(total);
+  }
+
+  std::string Summary() const;
+};
+
+class Driver {
+ public:
+  // Runs the workload to completion (or max_sim_time) and returns the
+  // collected metrics and oracle verdicts.
+  static RunResult Run(const WorkloadConfig& config);
+};
+
+}  // namespace hermes::workload
+
+#endif  // HERMES_WORKLOAD_DRIVER_H_

@@ -1,0 +1,72 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace hermes::workload {
+
+Generator::Generator(const WorkloadConfig& config, uint64_t seed)
+    : config_(config),
+      zipf_(static_cast<uint64_t>(config.rows_per_table),
+            config.zipf_theta) {
+  (void)seed;
+}
+
+int64_t Generator::PickKey(Rng& rng) const {
+  return static_cast<int64_t>(zipf_.Next(rng));
+}
+
+db::Command Generator::MakeCommand(Rng& rng, db::TableId table,
+                                   bool write) const {
+  const int64_t key = PickKey(rng);
+  if (write) {
+    return db::MakeAddKey(table, key, "val", db::Value(int64_t{1}));
+  }
+  return db::MakeSelectKey(table, key);
+}
+
+core::GlobalTxnSpec Generator::NextGlobal(Rng& rng) const {
+  core::GlobalTxnSpec spec;
+  const int wanted =
+      std::min(config_.sites_per_global_txn, config_.num_sites);
+  // Choose `wanted` distinct sites (partial Fisher-Yates over site ids).
+  std::vector<SiteId> sites(static_cast<size_t>(config_.num_sites));
+  for (int s = 0; s < config_.num_sites; ++s) {
+    sites[static_cast<size_t>(s)] = s;
+  }
+  for (int i = 0; i < wanted; ++i) {
+    const int j =
+        i + static_cast<int>(rng.NextUint64(
+                static_cast<uint64_t>(config_.num_sites - i)));
+    std::swap(sites[static_cast<size_t>(i)], sites[static_cast<size_t>(j)]);
+  }
+  for (int c = 0; c < config_.cmds_per_global_txn; ++c) {
+    const SiteId site = sites[static_cast<size_t>(c % wanted)];
+    const db::TableId table = static_cast<db::TableId>(
+        rng.NextUint64(static_cast<uint64_t>(config_.tables_per_site)));
+    const bool write = rng.NextBool(config_.global_write_fraction);
+    spec.steps.push_back(
+        core::GlobalTxnSpec::Step{site, MakeCommand(rng, table, write)});
+  }
+  return spec;
+}
+
+core::LocalTxnSpec Generator::NextLocal(Rng& rng, SiteId site,
+                                        db::TableId local_table) const {
+  core::LocalTxnSpec spec;
+  spec.site = site;
+  for (int c = 0; c < config_.cmds_per_local_txn; ++c) {
+    const bool write = rng.NextBool(config_.local_write_fraction);
+    db::TableId table;
+    if (write && local_table >= 0) {
+      // CGM partition: local updates go to the locally updateable table.
+      table = local_table;
+    } else {
+      table = static_cast<db::TableId>(
+          rng.NextUint64(static_cast<uint64_t>(config_.tables_per_site)));
+    }
+    spec.commands.push_back(MakeCommand(rng, table, write));
+  }
+  return spec;
+}
+
+}  // namespace hermes::workload

@@ -1,0 +1,38 @@
+// Random transaction generation for the benchmark workloads.
+
+#ifndef HERMES_WORKLOAD_GENERATOR_H_
+#define HERMES_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/coordinator.h"
+#include "core/mdbs.h"
+#include "workload/config.h"
+
+namespace hermes::workload {
+
+class Generator {
+ public:
+  Generator(const WorkloadConfig& config, uint64_t seed);
+
+  // A global transaction touching `sites_per_global_txn` distinct sites.
+  core::GlobalTxnSpec NextGlobal(Rng& rng) const;
+
+  // A local transaction at `site`. Under CGM the partition restriction is
+  // honored by directing local updates at the dedicated local table
+  // (`local_table` >= 0); reads may touch shared tables.
+  core::LocalTxnSpec NextLocal(Rng& rng, SiteId site,
+                               db::TableId local_table) const;
+
+ private:
+  db::Command MakeCommand(Rng& rng, db::TableId table, bool write) const;
+  int64_t PickKey(Rng& rng) const;
+
+  WorkloadConfig config_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace hermes::workload
+
+#endif  // HERMES_WORKLOAD_GENERATOR_H_

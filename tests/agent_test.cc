@@ -1,0 +1,326 @@
+// Agent-level tests of the Certifier algorithms (paper Appendix A-C),
+// driving one 2PC agent with hand-crafted protocol messages, plus unit
+// tests of the certifier's data structures (alive interval table, agent
+// log, serial numbers).
+
+#include "core/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mdbs.h"
+#include "history/op.h"
+
+namespace hermes {
+namespace {
+
+using core::AliveInterval;
+using core::AliveIntervalTable;
+using core::CertPolicy;
+using core::Message;
+using core::SerialNumber;
+
+// --- alive interval table ------------------------------------------------------
+
+TEST(AliveIntervalTable, IntersectionSemantics) {
+  const AliveInterval i0_10{0, 10};
+  const AliveInterval i5_7{5, 7};
+  const AliveInterval i10_20{10, 20};
+  const AliveInterval i11_20{11, 20};
+  EXPECT_TRUE(i0_10.Intersects(i10_20));
+  EXPECT_TRUE(i0_10.Intersects(i5_7));
+  EXPECT_FALSE(i0_10.Intersects(i11_20));
+  EXPECT_FALSE(i11_20.Intersects(i0_10));
+}
+
+TEST(AliveIntervalTable, CertifiableAgainstAllRequiresEveryIntersection) {
+  AliveIntervalTable table;
+  const TxnId g1 = TxnId::MakeGlobal(0, 1);
+  const TxnId g2 = TxnId::MakeGlobal(0, 2);
+  table.Insert(g1, {0, 10}, SerialNumber{1, 0, 0});
+  table.Insert(g2, {5, 15}, SerialNumber{2, 0, 0});
+  EXPECT_TRUE(table.CertifiableAgainstAll({7, 20}));   // hits both
+  EXPECT_FALSE(table.CertifiableAgainstAll({12, 20})); // misses g1
+  EXPECT_FALSE(table.CertifiableAgainstAll({20, 30})); // misses both
+  // Empty table certifies anything.
+  table.Remove(g1);
+  table.Remove(g2);
+  EXPECT_TRUE(table.CertifiableAgainstAll({100, 100}));
+}
+
+TEST(AliveIntervalTable, ExtendAndRestart) {
+  AliveIntervalTable table;
+  const TxnId g = TxnId::MakeGlobal(0, 1);
+  table.Insert(g, {0, 0}, SerialNumber{1, 0, 0});
+  table.ExtendEnd(g, 50);
+  EXPECT_TRUE(table.CertifiableAgainstAll({40, 60}));
+  table.Restart(g, 100);
+  EXPECT_FALSE(table.CertifiableAgainstAll({40, 60}));
+  EXPECT_TRUE(table.CertifiableAgainstAll({100, 101}));
+}
+
+TEST(AliveIntervalTable, SmallestSerialNumber) {
+  AliveIntervalTable table;
+  const TxnId g1 = TxnId::MakeGlobal(0, 1);
+  const TxnId g2 = TxnId::MakeGlobal(0, 2);
+  table.Insert(g1, {0, 10}, SerialNumber{5, 0, 0});
+  table.Insert(g2, {0, 10}, SerialNumber{9, 0, 0});
+  EXPECT_TRUE(table.SmallestSerialNumber(g1));
+  EXPECT_FALSE(table.SmallestSerialNumber(g2));
+}
+
+// --- serial numbers --------------------------------------------------------------
+
+TEST(SerialNumber, TotalOrderAndGenerator) {
+  EXPECT_LT((SerialNumber{1, 0, 0}), (SerialNumber{2, 0, 0}));
+  EXPECT_LT((SerialNumber{1, 0, 0}), (SerialNumber{1, 1, 0}));
+  EXPECT_LT((SerialNumber{1, 1, 0}), (SerialNumber{1, 1, 1}));
+  EXPECT_FALSE(SerialNumber{}.valid());
+
+  sim::EventLoop loop;
+  sim::SiteClock clock(&loop, /*offset=*/1000);
+  core::SerialNumberGenerator gen(3, &clock);
+  const SerialNumber a = gen.Next();
+  const SerialNumber b = gen.Next();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.coordinator, 3);
+  EXPECT_EQ(a.clock, 1000);
+}
+
+TEST(SerialNumber, DriftingClockStillMonotonicPerSite) {
+  sim::EventLoop loop;
+  sim::SiteClock clock(&loop, 0, /*drift_ppm=*/100000);
+  core::SerialNumberGenerator gen(0, &clock);
+  SerialNumber prev = gen.Next();
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAfter(1, []() {});
+    loop.Step();
+    const SerialNumber next = gen.Next();
+    EXPECT_LT(prev, next);
+    prev = next;
+  }
+}
+
+// --- agent log --------------------------------------------------------------------
+
+TEST(AgentLog, CommandsReplayInOrder) {
+  core::AgentLog log;
+  const TxnId g = TxnId::MakeGlobal(0, 7);
+  log.Append({.kind = core::LogRecordKind::kBegin, .gtid = g});
+  log.Append({.kind = core::LogRecordKind::kCommand,
+              .gtid = g,
+              .command = db::MakeSelectKey(1, 10)});
+  log.Append({.kind = core::LogRecordKind::kCommand,
+              .gtid = g,
+              .command = db::MakeDeleteKey(1, 11)});
+  const auto commands = log.CommandsOf(g);
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<db::SelectCmd>(commands[0]));
+  EXPECT_TRUE(std::holds_alternative<db::DeleteCmd>(commands[1]));
+}
+
+TEST(AgentLog, InDoubtTracksPreparedUnresolved) {
+  core::AgentLog log;
+  const TxnId g1 = TxnId::MakeGlobal(0, 1);
+  const TxnId g2 = TxnId::MakeGlobal(0, 2);
+  log.ForceAppend({.kind = core::LogRecordKind::kPrepare, .gtid = g1});
+  log.ForceAppend({.kind = core::LogRecordKind::kPrepare, .gtid = g2});
+  log.ForceAppend({.kind = core::LogRecordKind::kCommit, .gtid = g1});
+  log.Append({.kind = core::LogRecordKind::kComplete, .gtid = g1});
+  const auto in_doubt = log.InDoubt();
+  ASSERT_EQ(in_doubt.size(), 1u);
+  EXPECT_EQ(in_doubt[0], g2);
+  EXPECT_EQ(log.forced_writes(), 3);
+  EXPECT_TRUE(log.HasCommit(g1));
+  EXPECT_FALSE(log.HasCommit(g2));
+}
+
+// --- certifier protocol behavior ---------------------------------------------------
+
+// Drives the agent at site 0 of a single-site Mdbs with hand-crafted 2PC
+// messages from a phantom coordinator. Replies target unknown transactions
+// at the real coordinator and are ignored there, so the agent's state is
+// observed directly.
+class AgentProtocolTest : public ::testing::Test {
+ protected:
+  void Build(CertPolicy policy) {
+    core::MdbsConfig config;
+    config.num_sites = 1;
+    config.agent.policy = policy;
+    config.agent.commit_retry_interval = 2 * sim::kMillisecond;
+    // Keep alive checks lazy so injected aborts stay undetected (stale
+    // intervals) across a Drain() — the scenarios these tests exercise.
+    config.agent.alive_check_interval = 300 * sim::kMillisecond;
+    mdbs_ = std::make_unique<core::Mdbs>(config, &loop_);
+    table_ = *mdbs_->CreateTable(0, "t");
+    for (int64_t k = 0; k < 8; ++k) {
+      ASSERT_TRUE(mdbs_->LoadRow(0, table_, k,
+                                 db::Row{{"v", db::Value(int64_t{0})}})
+                      .ok());
+    }
+    loop_.set_max_events(1'000'000);
+  }
+
+  TxnId Gtid(int64_t n) { return TxnId::MakeGlobal(0, 1000 + n); }
+
+  void Send(const Message& msg) { mdbs_->network().Send(0, 0, msg); }
+
+  // Prepared transactions keep periodic alive-check timers alive, so a full
+  // Run() would never return; drain a bounded slice of virtual time instead.
+  void Drain() { loop_.RunUntil(loop_.Now() + 50 * sim::kMillisecond); }
+
+  // Runs BEGIN + one update command for `gtid` and waits for completion.
+  void RunDml(const TxnId& gtid, int64_t key) {
+    Send(Message{core::BeginMsg{gtid}});
+    Send(Message{core::DmlRequestMsg{
+        gtid, 0, db::MakeAddKey(table_, key, "v", int64_t{1})}});
+    Drain();
+  }
+
+  // Commit order of two gtids in the recorded history at site 0.
+  bool CommittedBefore(const TxnId& a, const TxnId& b) {
+    int64_t a_at = -1, b_at = -1;
+    for (const auto& op : mdbs_->recorder().ops()) {
+      if (op.kind != history::OpKind::kLocalCommit) continue;
+      if (op.subtxn.txn == a) a_at = static_cast<int64_t>(op.seq);
+      if (op.subtxn.txn == b) b_at = static_cast<int64_t>(op.seq);
+    }
+    EXPECT_GE(a_at, 0);
+    EXPECT_GE(b_at, 0);
+    return a_at < b_at;
+  }
+
+  sim::EventLoop loop_;
+  std::unique_ptr<core::Mdbs> mdbs_;
+  db::TableId table_ = -1;
+};
+
+TEST_F(AgentProtocolTest, CommitCertificationReordersLocalCommitsBySn) {
+  Build(CertPolicy::kFull);
+  const TxnId low = Gtid(1), high = Gtid(2);
+  // Both transactions execute (on different items) and are alive
+  // simultaneously, so both pass prepare certification.
+  RunDml(low, 1);
+  RunDml(high, 2);
+  Send(Message{core::PrepareMsg{low, SerialNumber{100, 0, 0}}});
+  Send(Message{core::PrepareMsg{high, SerialNumber{200, 0, 0}}});
+  Drain();
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 2u);
+
+  // COMMIT arrives for the *bigger* serial number first: commit
+  // certification must defer it until the smaller one commits.
+  Send(Message{core::DecisionMsg{high, true}});
+  Drain();
+  EXPECT_GE(mdbs_->metrics().commit_cert_retries, 1);
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 2u);  // both still there
+
+  Send(Message{core::DecisionMsg{low, true}});
+  Drain();
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 0u);
+  EXPECT_TRUE(CommittedBefore(low, high));
+  EXPECT_EQ(mdbs_->agent(0)->max_committed_sn(), (SerialNumber{200, 0, 0}));
+}
+
+TEST_F(AgentProtocolTest, WithoutCommitCertificationCommitsArriveOutOfOrder) {
+  Build(CertPolicy::kPrepareExtended);
+  const TxnId low = Gtid(1), high = Gtid(2);
+  RunDml(low, 1);
+  RunDml(high, 2);
+  Send(Message{core::PrepareMsg{low, SerialNumber{100, 0, 0}}});
+  Send(Message{core::PrepareMsg{high, SerialNumber{200, 0, 0}}});
+  Drain();
+  Send(Message{core::DecisionMsg{high, true}});
+  Drain();
+  Send(Message{core::DecisionMsg{low, true}});
+  Drain();
+  EXPECT_EQ(mdbs_->metrics().commit_cert_retries, 0);
+  EXPECT_TRUE(CommittedBefore(high, low));
+}
+
+TEST_F(AgentProtocolTest, ExtensionRefusesPrepareBehindCommittedSn) {
+  Build(CertPolicy::kFull);
+  const TxnId first = Gtid(1), late = Gtid(2);
+  RunDml(first, 1);
+  Send(Message{core::PrepareMsg{first, SerialNumber{500, 0, 0}}});
+  Send(Message{core::DecisionMsg{first, true}});
+  Drain();
+  EXPECT_EQ(mdbs_->agent(0)->max_committed_sn(), (SerialNumber{500, 0, 0}));
+
+  // A PREPARE whose serial number is smaller than an already-committed one
+  // arrives late (the paper's section 5.3 overtaking scenario): REFUSE.
+  RunDml(late, 2);
+  Send(Message{core::PrepareMsg{late, SerialNumber{300, 0, 0}}});
+  Drain();
+  EXPECT_EQ(mdbs_->metrics().refuse_extension, 1);
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 0u);
+  // The local subtransaction was aborted by the refusal.
+  EXPECT_FALSE(mdbs_->ltm(0)->IsActive(mdbs_->agent(0)->HandleOf(late)));
+}
+
+TEST_F(AgentProtocolTest, PrepareOnlyPolicySkipsExtension) {
+  Build(CertPolicy::kPrepareOnly);
+  const TxnId first = Gtid(1), late = Gtid(2);
+  RunDml(first, 1);
+  Send(Message{core::PrepareMsg{first, SerialNumber{500, 0, 0}}});
+  Send(Message{core::DecisionMsg{first, true}});
+  Drain();
+
+  RunDml(late, 2);
+  Send(Message{core::PrepareMsg{late, SerialNumber{300, 0, 0}}});
+  Drain();
+  EXPECT_EQ(mdbs_->metrics().refuse_extension, 0);
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 1u);
+}
+
+TEST_F(AgentProtocolTest, PrepareOfDeadTransactionIsRefused) {
+  Build(CertPolicy::kFull);
+  const TxnId g = Gtid(1);
+  RunDml(g, 1);
+  // Unilateral abort while still active, before PREPARE arrives.
+  ASSERT_TRUE(
+      mdbs_->ltm(0)->InjectUnilateralAbort(mdbs_->agent(0)->HandleOf(g))
+          .ok());
+  Drain();
+  Send(Message{core::PrepareMsg{g, SerialNumber{10, 0, 0}}});
+  Drain();
+  EXPECT_EQ(mdbs_->metrics().refuse_dead, 1);
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 0u);
+}
+
+TEST_F(AgentProtocolTest, RollbackClearsPreparedState) {
+  Build(CertPolicy::kFull);
+  const TxnId g = Gtid(1);
+  RunDml(g, 1);
+  Send(Message{core::PrepareMsg{g, SerialNumber{10, 0, 0}}});
+  Drain();
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 1u);
+  EXPECT_TRUE(mdbs_->ltm(0)->IsBound(ItemId{0, table_, 1}));
+
+  Send(Message{core::DecisionMsg{g, false}});
+  Drain();
+  EXPECT_EQ(mdbs_->agent(0)->alive_table().size(), 0u);
+  EXPECT_FALSE(mdbs_->ltm(0)->IsBound(ItemId{0, table_, 1}));
+  // The update was rolled back.
+  const db::RowEntry* row = mdbs_->storage(0)->GetTable(table_)->Get(1);
+  EXPECT_EQ(std::get<int64_t>(*row->row->Get("v")), 0);
+}
+
+TEST_F(AgentProtocolTest, BasicCertificationRefusesNonOverlappingIntervals) {
+  Build(CertPolicy::kFull);
+  const TxnId t1 = Gtid(1), t2 = Gtid(2);
+  RunDml(t1, 1);
+  Send(Message{core::PrepareMsg{t1, SerialNumber{10, 0, 0}}});
+  Drain();
+  // Kill T1's prepared subtransaction; its alive interval goes stale.
+  ASSERT_TRUE(
+      mdbs_->ltm(0)->InjectUnilateralAbort(mdbs_->agent(0)->HandleOf(t1))
+          .ok());
+  Drain();
+  // T2 becomes alive only after T1's death: intervals cannot intersect.
+  RunDml(t2, 2);
+  Send(Message{core::PrepareMsg{t2, SerialNumber{20, 0, 0}}});
+  Drain();
+  EXPECT_EQ(mdbs_->metrics().refuse_interval, 1);
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,175 @@
+// Coordinator behavior tests: step sequencing, application-level
+// validation (min_affected), concurrent transactions, message formatting.
+
+#include "core/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mdbs.h"
+
+namespace hermes::core {
+namespace {
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void Build(int sites = 2) {
+    MdbsConfig config;
+    config.num_sites = sites;
+    mdbs_ = std::make_unique<Mdbs>(config, &loop_);
+    table_ = *mdbs_->CreateTableEverywhere("t");
+    for (SiteId s = 0; s < sites; ++s) {
+      for (int64_t k = 0; k < 32; ++k) {
+        ASSERT_TRUE(mdbs_->LoadRow(s, table_, k,
+                                   db::Row{{"v", db::Value(int64_t{0})}})
+                        .ok());
+      }
+    }
+    loop_.set_max_events(1'000'000);
+  }
+
+  int64_t Val(SiteId site, int64_t key) {
+    return std::get<int64_t>(
+        *mdbs_->storage(site)->GetTable(table_)->Get(key)->row->Get("v"));
+  }
+
+  sim::EventLoop loop_;
+  std::unique_ptr<Mdbs> mdbs_;
+  db::TableId table_ = -1;
+};
+
+TEST_F(CoordinatorTest, EmptySpecAbortsImmediately) {
+  Build();
+  std::optional<GlobalTxnResult> result;
+  mdbs_->Submit(GlobalTxnSpec{},
+                [&](const GlobalTxnResult& r) { result = r; });
+  loop_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, StepsRunStrictlyInOrder) {
+  Build();
+  // Step 2 reads what step 1 wrote at another site? No — steps at the same
+  // site: write then read must see the write (same subtransaction).
+  GlobalTxnSpec spec;
+  spec.steps.push_back({0, db::MakeUpdateKey(table_, 1, "v", int64_t{41})});
+  spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{1})});
+  spec.steps.push_back({0, db::MakeSelectKey(table_, 1)});
+  std::optional<GlobalTxnResult> result;
+  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+  loop_.Run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->status.ok());
+  ASSERT_EQ(result->results.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(
+                *result->results[2].rows[0].second.Get("v")),
+            42);
+}
+
+TEST_F(CoordinatorTest, MinAffectedGuardsAbortAtomically) {
+  Build();
+  GlobalTxnSpec spec;
+  spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{7})});
+  // Key 777 does not exist: 0 rows affected, below the guard.
+  GlobalTxnSpec::Step guarded{1, db::MakeAddKey(table_, 777, "v",
+                                                int64_t{7})};
+  guarded.min_affected = 1;
+  spec.steps.push_back(guarded);
+  std::optional<GlobalTxnResult> result;
+  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+  loop_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kRejected);
+  // The step-0 update was rolled back.
+  EXPECT_EQ(Val(0, 1), 0);
+}
+
+TEST_F(CoordinatorTest, ManyConcurrentTransactionsFromOneCoordinator) {
+  Build(3);
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    GlobalTxnSpec spec;
+    // Disjoint keys: all 20 transactions can commit concurrently.
+    spec.steps.push_back(
+        {static_cast<SiteId>(i % 3),
+         db::MakeAddKey(table_, i, "v", int64_t{1})});
+    spec.steps.push_back(
+        {static_cast<SiteId>((i + 1) % 3),
+         db::MakeAddKey(table_, i, "v", int64_t{1})});
+    mdbs_->Submit(
+        spec,
+        [&](const GlobalTxnResult& r) {
+          EXPECT_TRUE(r.status.ok()) << r.status;
+          ++done;
+        },
+        /*coordinator_site=*/0);
+  }
+  EXPECT_EQ(mdbs_->coordinator(0)->active_transactions(), 20);
+  loop_.Run();
+  EXPECT_EQ(done, 20);
+  EXPECT_EQ(mdbs_->coordinator(0)->active_transactions(), 0);
+}
+
+TEST_F(CoordinatorTest, LatencyIsMeasuredInVirtualTime) {
+  Build();
+  GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeSelectKey(table_, 1)});
+  std::optional<GlobalTxnResult> result;
+  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; },
+                /*coordinator_site=*/0);
+  loop_.Run();
+  ASSERT_TRUE(result.has_value());
+  // At least 6 cross-site hops (BEGIN+DML, response, PREPARE, vote,
+  // COMMIT, ack) at 1 ms each.
+  EXPECT_GE(result->latency, 6 * sim::kMillisecond);
+}
+
+TEST_F(CoordinatorTest, GtidsAreUniquePerCoordinator) {
+  Build(2);
+  GlobalTxnSpec spec;
+  spec.steps.push_back({0, db::MakeSelectKey(table_, 1)});
+  const TxnId a = mdbs_->Submit(spec, nullptr, 0);
+  const TxnId b = mdbs_->Submit(spec, nullptr, 0);
+  const TxnId c = mdbs_->Submit(spec, nullptr, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.site, 0);
+  EXPECT_EQ(c.site, 1);
+  loop_.Run();
+}
+
+TEST(Messages, ToStringCoversAllKinds) {
+  const TxnId g = TxnId::MakeGlobal(1, 5);
+  EXPECT_NE(MessageToString(Message{BeginMsg{g}}).find("BEGIN"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(
+                Message{DmlRequestMsg{g, 0, db::MakeSelectKey(0, 1)}})
+                .find("DML"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{DmlResponseMsg{g, 0, Status::Ok(),
+                                                   db::CmdResult{}}})
+                .find("DML-RESP"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{PrepareMsg{g, SerialNumber{1, 0, 0}}})
+                .find("PREPARE"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{VoteMsg{g, true, Status::Ok()}})
+                .find("READY"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{VoteMsg{g, false, Status::Ok()}})
+                .find("REFUSE"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{DecisionMsg{g, true}}).find("COMMIT"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{DecisionMsg{g, false}}).find("ROLLBACK"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{AckMsg{g, true}}).find("COMMIT-ACK"),
+            std::string::npos);
+  EXPECT_NE(MessageToString(Message{InquiryMsg{g}}).find("INQUIRY"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,160 @@
+// Unit tests of the mini relational layer: values, predicates, commands,
+// tables with provenance, storage.
+
+#include <gtest/gtest.h>
+
+#include "db/command.h"
+#include "db/predicate.h"
+#include "db/storage.h"
+#include "db/table.h"
+#include "db/value.h"
+
+namespace hermes::db {
+namespace {
+
+TEST(Value, CrossTypeComparison) {
+  EXPECT_EQ(CompareValues(Value(int64_t{3}), Value(int64_t{3})), 0);
+  EXPECT_LT(CompareValues(Value(int64_t{3}), Value(4.5)), 0);
+  EXPECT_GT(CompareValues(Value(4.5), Value(int64_t{4})), 0);
+  EXPECT_LT(CompareValues(Value{}, Value(int64_t{0})), 0);  // NULL first
+  EXPECT_LT(CompareValues(Value(int64_t{1}), Value(std::string("a"))), 0);
+  EXPECT_EQ(CompareValues(Value(std::string("a")), Value(std::string("a"))),
+            0);
+  EXPECT_TRUE(ValueEq(Value(int64_t{2}), Value(2.0)));
+}
+
+TEST(Value, Addition) {
+  EXPECT_EQ(std::get<int64_t>(*AddValues(Value(int64_t{2}),
+                                         Value(int64_t{3}))),
+            5);
+  EXPECT_DOUBLE_EQ(std::get<double>(*AddValues(Value(int64_t{2}),
+                                               Value(1.5))),
+                   3.5);
+  EXPECT_FALSE(AddValues(Value(std::string("x")), Value(int64_t{1})));
+  EXPECT_FALSE(AddValues(Value{}, Value(int64_t{1})));
+}
+
+TEST(Value, RowAccessorsAndEquality) {
+  Row r{{"a", Value(int64_t{1})}, {"b", Value(std::string("x"))}};
+  EXPECT_EQ(std::get<int64_t>(*r.Get("a")), 1);
+  EXPECT_EQ(r.Get("missing"), nullptr);
+  r.Set("a", Value(int64_t{2}));
+  EXPECT_EQ(std::get<int64_t>(*r.Get("a")), 2);
+  Row s{{"a", Value(int64_t{2})}, {"b", Value(std::string("x"))}};
+  EXPECT_EQ(r, s);
+  s.Set("b", Value(std::string("y")));
+  EXPECT_FALSE(r == s);
+}
+
+TEST(Predicate, KeyConditions) {
+  const Predicate eq = Predicate::KeyEquals(5);
+  EXPECT_TRUE(eq.Eval(5, Row{}));
+  EXPECT_FALSE(eq.Eval(6, Row{}));
+  ASSERT_TRUE(eq.ExactKey().has_value());
+  EXPECT_EQ(*eq.ExactKey(), 5);
+
+  const Predicate range = Predicate::KeyRange(3, 7);
+  EXPECT_TRUE(range.Eval(3, Row{}));
+  EXPECT_TRUE(range.Eval(7, Row{}));
+  EXPECT_FALSE(range.Eval(8, Row{}));
+  EXPECT_FALSE(range.ExactKey().has_value());
+}
+
+TEST(Predicate, FieldConditionsAndConjunction) {
+  const Row row{{"v", Value(int64_t{10})}, {"name", Value(std::string("a"))}};
+  Predicate p = Predicate::Field("v", CmpOp::kGe, Value(int64_t{10}));
+  EXPECT_TRUE(p.Eval(0, row));
+  p.AndField("name", CmpOp::kEq, Value(std::string("b")));
+  EXPECT_FALSE(p.Eval(0, row));
+  // Missing fields behave as NULL and fail comparisons.
+  const Predicate q = Predicate::Field("absent", CmpOp::kLt,
+                                       Value(int64_t{100}));
+  EXPECT_FALSE(q.Eval(0, row));
+  EXPECT_TRUE(Predicate::True().Eval(0, row));
+}
+
+TEST(Command, AccessorsAndToString) {
+  const Command sel = MakeSelectKey(2, 9);
+  EXPECT_EQ(CommandTable(sel), 2);
+  EXPECT_FALSE(CommandWrites(sel));
+  const Command upd = MakeAddKey(1, 3, "v", Value(int64_t{5}));
+  EXPECT_TRUE(CommandWrites(upd));
+  EXPECT_NE(CommandToString(upd).find("UPDATE"), std::string::npos);
+  const Command del = MakeDeleteKey(0, 1);
+  EXPECT_TRUE(CommandWrites(del));
+  const Command ins = MakeInsert(0, 1, Row{});
+  EXPECT_TRUE(CommandWrites(ins));
+}
+
+TEST(Table, PutGetDeleteRestore) {
+  Table t(0, "t");
+  const SubTxnId writer{TxnId::MakeLocal(0, 1), 0};
+  const VersionTag tag{writer, 1};
+  EXPECT_EQ(t.Get(5), nullptr);
+  EXPECT_FALSE(t.Put(5, RowEntry{Row{{"v", Value(int64_t{1})}}, tag})
+                   .has_value());
+  ASSERT_NE(t.Get(5), nullptr);
+  EXPECT_TRUE(t.Get(5)->live());
+  EXPECT_EQ(t.Get(5)->version, tag);
+
+  // Delete leaves a tombstone with the deleter's provenance.
+  const VersionTag del_tag{writer, 2};
+  auto before = t.Delete(5, del_tag);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_TRUE(before->live());
+  ASSERT_NE(t.Get(5), nullptr);
+  EXPECT_FALSE(t.Get(5)->live());
+  EXPECT_EQ(t.live_rows(), 0);
+
+  // Restore (undo) brings back the pre-delete state.
+  t.Restore(5, std::move(before));
+  EXPECT_TRUE(t.Get(5)->live());
+  EXPECT_EQ(t.Get(5)->version, tag);
+
+  // Restore with nullopt erases the slot (undo of a fresh insert).
+  t.Restore(5, std::nullopt);
+  EXPECT_EQ(t.Get(5), nullptr);
+}
+
+TEST(Table, MatchSkipsTombstonesAndUsesExactKeyFastPath) {
+  Table t(0, "t");
+  const VersionTag tag{};
+  for (int64_t k = 0; k < 10; ++k) {
+    t.Put(k, RowEntry{Row{{"v", Value(k)}}, tag});
+  }
+  t.Delete(4, tag);
+  const auto all = t.Match(Predicate::True());
+  EXPECT_EQ(all.size(), 9u);
+  EXPECT_EQ(t.Match(Predicate::KeyEquals(4)).size(), 0u);
+  EXPECT_EQ(t.Match(Predicate::KeyEquals(5)).size(), 1u);
+  const auto big = t.Match(Predicate::Field("v", CmpOp::kGe,
+                                            Value(int64_t{7})));
+  EXPECT_EQ(big, (std::vector<int64_t>{7, 8, 9}));
+  // Key + field conjunction via fast path.
+  Predicate p = Predicate::KeyEquals(7);
+  p.AndField("v", CmpOp::kLt, Value(int64_t{5}));
+  EXPECT_TRUE(t.Match(p).empty());
+}
+
+TEST(Storage, CatalogAndLoad) {
+  Storage storage(3);
+  auto t1 = storage.CreateTable("alpha");
+  ASSERT_TRUE(t1.ok());
+  auto t2 = storage.CreateTable("beta");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_NE(*t1, *t2);
+  EXPECT_FALSE(storage.CreateTable("alpha").ok());  // duplicate
+  EXPECT_EQ(storage.FindTable("beta")->id(), *t2);
+  EXPECT_EQ(storage.FindTable("gamma"), nullptr);
+  EXPECT_EQ(storage.GetTable(99), nullptr);
+
+  ASSERT_TRUE(storage.LoadRow(*t1, 1, Row{{"v", Value(int64_t{7})}}).ok());
+  EXPECT_FALSE(storage.LoadRow(42, 1, Row{}).ok());
+  const RowEntry* e = storage.GetTable(*t1)->Get(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->version.initial());
+  EXPECT_EQ(storage.MakeItemId(*t1, 1), (ItemId{3, *t1, 1}));
+}
+
+}  // namespace
+}  // namespace hermes::db

@@ -1,0 +1,482 @@
+// Unit tests of the history toolkit, including exact reproductions of the
+// paper's example histories:
+//   H1 (section 3)  — global view distortion after a unilateral abort and
+//                     resubmission,
+//   H2 (section 5.1) — local view distortion through a direct conflict,
+//   H3 (section 5.1) — local view distortion through purely indirect
+//                     conflicts (reversed commit orders, no shared items).
+// The view-serializability oracle must reject all three and accept their
+// well-ordered variants.
+
+#include <gtest/gtest.h>
+
+#include "history/graphs.h"
+#include "history/projection.h"
+#include "history/recorder.h"
+#include "history/view_checker.h"
+
+namespace hermes::history {
+namespace {
+
+// Builds op sequences the way the execution engine would record them:
+// version tags carry per-subtransaction write sequence numbers, reads carry
+// the observed tag.
+class HistoryBuilder {
+ public:
+  // Sites and items.
+  static constexpr SiteId kA = 0;
+  static constexpr SiteId kB = 1;
+
+  ItemId Item(SiteId site, int64_t key) const { return ItemId{site, 0, key}; }
+
+  db::VersionTag Write(const SubTxnId& subtxn, const ItemId& item,
+                       bool is_delete = false) {
+    const db::VersionTag tag{subtxn, ++write_seq_[subtxn]};
+    Op op;
+    op.kind = is_delete ? OpKind::kDelete : OpKind::kWrite;
+    op.subtxn = subtxn;
+    op.site = item.site;
+    op.item = item;
+    op.version = tag;
+    Append(op);
+    return tag;
+  }
+
+  void Read(const SubTxnId& subtxn, const ItemId& item,
+            const db::VersionTag& from) {
+    Op op;
+    op.kind = OpKind::kRead;
+    op.subtxn = subtxn;
+    op.site = item.site;
+    op.item = item;
+    op.version = from;
+    Append(op);
+  }
+
+  void Prepare(const SubTxnId& subtxn, SiteId site) {
+    Op op;
+    op.kind = OpKind::kPrepare;
+    op.subtxn = subtxn;
+    op.site = site;
+    Append(op);
+  }
+
+  void LocalCommit(const SubTxnId& subtxn, SiteId site) {
+    Op op;
+    op.kind = OpKind::kLocalCommit;
+    op.subtxn = subtxn;
+    op.site = site;
+    Append(op);
+  }
+
+  void LocalAbort(const SubTxnId& subtxn, SiteId site) {
+    Op op;
+    op.kind = OpKind::kLocalAbort;
+    op.subtxn = subtxn;
+    op.site = site;
+    op.unilateral = true;
+    Append(op);
+  }
+
+  void GlobalCommit(const TxnId& txn) {
+    Op op;
+    op.kind = OpKind::kGlobalCommit;
+    op.subtxn = SubTxnId{txn, 0};
+    op.site = 2;  // coordinating site
+    Append(op);
+  }
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  void Append(Op op) {
+    op.seq = ops_.size();
+    op.at = static_cast<sim::Time>(ops_.size());
+    ops_.push_back(op);
+  }
+
+  std::vector<Op> ops_;
+  std::map<SubTxnId, uint64_t> write_seq_;
+};
+
+SubTxnId Sub(int64_t k, int resubmission = 0) {
+  return SubTxnId{TxnId::MakeGlobal(2, k), resubmission};
+}
+SubTxnId Local(SiteId site, int64_t k) {
+  return SubTxnId{TxnId::MakeLocal(site, k), 0};
+}
+
+// --- H1: global view distortion (paper section 3) ----------------------------
+
+std::vector<Op> BuildH1() {
+  HistoryBuilder h;
+  const auto X = h.Item(HistoryBuilder::kA, 0);
+  const auto Y = h.Item(HistoryBuilder::kA, 1);
+  const auto Z = h.Item(HistoryBuilder::kB, 2);
+  const db::VersionTag t0{};  // initial transaction T_0
+
+  const SubTxnId t10 = Sub(1, 0), t11 = Sub(1, 1), t20 = Sub(2, 0);
+
+  // T1 original execution.
+  h.Read(t10, X, t0);
+  h.Read(t10, Y, t0);
+  h.Write(t10, Y);
+  h.Read(t10, Z, t0);
+  const auto w10z = h.Write(t10, Z);
+  h.Prepare(t10, HistoryBuilder::kA);
+  h.Prepare(t10, HistoryBuilder::kB);
+  h.GlobalCommit(t10.txn);
+  h.LocalAbort(t10, HistoryBuilder::kA);  // unilateral abort at site a
+  h.LocalCommit(t10, HistoryBuilder::kB);
+
+  // T2 runs in the failure window: deletes Y, updates X, updates Z.
+  h.Write(t20, Y, /*is_delete=*/true);
+  h.Read(t20, X, t0);
+  const auto w20x = h.Write(t20, X);
+  h.Read(t20, Z, w10z);
+  h.Write(t20, Z);
+  h.Prepare(t20, HistoryBuilder::kA);
+  h.Prepare(t20, HistoryBuilder::kB);
+  h.GlobalCommit(t20.txn);
+  h.LocalCommit(t20, HistoryBuilder::kA);
+  h.LocalCommit(t20, HistoryBuilder::kB);
+
+  // T1's resubmission at a: Y is gone, so the decomposition shrank to a
+  // single read — which now observes T2's X. Two views for T1.
+  h.Read(t11, X, w20x);
+  h.LocalCommit(t11, HistoryBuilder::kA);
+  return h.ops();
+}
+
+TEST(PaperHistories, H1GlobalViewDistortionIsNotViewSerializable) {
+  const auto ops = BuildH1();
+  const auto committed = CommittedProjection(ops);
+  // Both T1 and T2 are committed and complete, so nothing is dropped.
+  EXPECT_EQ(committed.size(), ops.size());
+  EXPECT_EQ(VerifyReplayMatchesRecorded(committed), "");
+
+  const auto check = CheckViewSerializability(committed);
+  EXPECT_EQ(check.verdict, Verdict::kNotSerializable) << check.reason;
+}
+
+TEST(PaperHistories, H1LocalProjectionAtSiteAIsClassicallySerializable) {
+  // The paper's point: H1(^a) *looks* serializable to the local scheduler
+  // (whose committed projection excludes the aborted T^a_10); only the
+  // redefined C(H) exposes the distortion.
+  const auto ops = BuildH1();
+  const auto site_a = SiteProjection(ops, HistoryBuilder::kA);
+  // Classical local view: drop T10's aborted ops, keep T11 and T20.
+  std::vector<Op> classical;
+  for (const Op& op : site_a) {
+    if (op.subtxn == Sub(1, 0)) continue;
+    classical.push_back(op);
+  }
+  const auto check = CheckViewSerializability(classical);
+  EXPECT_EQ(check.verdict, Verdict::kSerializable) << check.reason;
+}
+
+TEST(PaperHistories, H1SerializationGraphHasCycle) {
+  const auto committed = CommittedProjection(BuildH1());
+  EXPECT_TRUE(BuildSerializationGraph(committed).HasCycle());
+}
+
+// --- H2: local view distortion, direct conflict (section 5.1) ---------------
+
+std::vector<Op> BuildH2() {
+  HistoryBuilder h;
+  const auto X = h.Item(HistoryBuilder::kA, 0);
+  const auto Y = h.Item(HistoryBuilder::kA, 1);
+  const auto Q = h.Item(HistoryBuilder::kA, 3);
+  const auto U = h.Item(HistoryBuilder::kA, 4);
+  const auto Z = h.Item(HistoryBuilder::kB, 2);
+  const db::VersionTag t0{};
+
+  const SubTxnId t10 = Sub(1, 0), t11 = Sub(1, 1), t30 = Sub(3, 0);
+  const SubTxnId l4 = Local(HistoryBuilder::kA, 4);
+
+  // T1 as in H1.
+  h.Read(t10, X, t0);
+  h.Read(t10, Y, t0);
+  h.Write(t10, Y);
+  h.Read(t10, Z, t0);
+  const auto w10z = h.Write(t10, Z);
+  h.Prepare(t10, HistoryBuilder::kA);
+  h.Prepare(t10, HistoryBuilder::kB);
+  h.GlobalCommit(t10.txn);
+  h.LocalAbort(t10, HistoryBuilder::kA);
+  h.LocalCommit(t10, HistoryBuilder::kB);
+
+  // T3 reads Z from T1 at b and writes Q at a; commits at a *before* T1's
+  // resubmission commits there (reversed local commit orders).
+  h.Read(t30, Z, w10z);
+  h.Read(t30, Q, t0);
+  const auto w30q = h.Write(t30, Q);
+  h.Prepare(t30, HistoryBuilder::kA);
+  h.Prepare(t30, HistoryBuilder::kB);
+  h.GlobalCommit(t30.txn);
+  h.LocalCommit(t30, HistoryBuilder::kA);
+  h.LocalCommit(t30, HistoryBuilder::kB);
+
+  // Local transaction L4 at a: sees T3's Q but T_0's Y — an inconsistent
+  // view (T3 observed T1's effects, L4 does not).
+  h.Read(l4, Q, w30q);
+  h.Read(l4, Y, t0);
+  h.Write(l4, U);
+  h.LocalCommit(l4, HistoryBuilder::kA);
+
+  // T1's resubmission at a.
+  h.Read(t11, X, t0);
+  h.Read(t11, Y, t0);
+  h.Write(t11, Y);
+  h.LocalCommit(t11, HistoryBuilder::kA);
+  return h.ops();
+}
+
+TEST(PaperHistories, H2LocalViewDistortionIsNotViewSerializable) {
+  const auto committed = CommittedProjection(BuildH2());
+  EXPECT_EQ(VerifyReplayMatchesRecorded(committed), "");
+  const auto check = CheckViewSerializability(committed);
+  EXPECT_EQ(check.verdict, Verdict::kNotSerializable) << check.reason;
+}
+
+TEST(PaperHistories, H2CommitOrderGraphIsCyclic) {
+  const auto committed = CommittedProjection(BuildH2());
+  const TxnGraph cg = BuildCommitOrderGraph(committed);
+  EXPECT_TRUE(cg.HasCycle()) << cg.ToString();
+  // The cycle runs through T1 and T3 (commits reversed across a and b).
+  EXPECT_TRUE(cg.HasEdge(Sub(3, 0).txn, Sub(1, 0).txn));
+  EXPECT_TRUE(cg.HasEdge(Sub(1, 0).txn, Sub(3, 0).txn));
+}
+
+// --- H3: local view distortion, indirect conflicts only (section 5.1) -------
+
+// T5 writes A@a and C@b, T6 writes B@a and D@b — no direct conflict
+// anywhere, so their prepares may occur in any relative order at the two
+// sites. Unilateral aborts open the failure windows in which local readers
+// observe the reversed commit orders. (Without failures, rigorous LTMs keep
+// prepared subtransactions' locks, so locals cannot read around them — "if
+// no unilateral aborts of prepared local subtransactions occur, then no
+// anomalies can occur".)
+std::vector<Op> BuildH3(bool reversed_commit_orders) {
+  HistoryBuilder h;
+  const auto A = h.Item(HistoryBuilder::kA, 0);
+  const auto B = h.Item(HistoryBuilder::kA, 1);
+  const auto C = h.Item(HistoryBuilder::kB, 2);
+  const auto D = h.Item(HistoryBuilder::kB, 3);
+  const db::VersionTag t0{};
+
+  const SubTxnId t5 = Sub(5, 0), t5r = Sub(5, 1);
+  const SubTxnId t6 = Sub(6, 0), t6r = Sub(6, 1);
+  const SubTxnId l7 = Local(HistoryBuilder::kA, 7);
+  const SubTxnId l8 = Local(HistoryBuilder::kB, 8);
+
+  const auto w5a = h.Write(t5, A);
+  h.Write(t5, C);
+  const auto w6b = h.Write(t6, B);
+  const auto w6d = h.Write(t6, D);
+  (void)w6b;
+  h.Prepare(t5, HistoryBuilder::kA);
+  h.Prepare(t5, HistoryBuilder::kB);
+  h.Prepare(t6, HistoryBuilder::kA);
+  h.Prepare(t6, HistoryBuilder::kB);
+  h.GlobalCommit(t5.txn);
+  h.GlobalCommit(t6.txn);
+
+  // Site a: T6's subtransaction is unilaterally aborted (its write of B is
+  // undone and its locks released); T5 commits; local L7 reads A from T5
+  // and B from T_0 — it sees T5 but not T6. T6 is then resubmitted and
+  // commits at a.
+  h.LocalAbort(t6, HistoryBuilder::kA);
+  h.LocalCommit(t5, HistoryBuilder::kA);
+  h.Read(l7, A, w5a);
+  h.Read(l7, B, t0);
+  h.LocalCommit(l7, HistoryBuilder::kA);
+  h.Write(t6r, B);
+  h.LocalCommit(t6r, HistoryBuilder::kA);
+
+  if (reversed_commit_orders) {
+    // Site b mirrors the failure with the roles swapped: T5's
+    // subtransaction aborts, T6 commits first, and L8 sees T6 but not T5 —
+    // the pair of local views is jointly unserializable.
+    h.LocalAbort(t5, HistoryBuilder::kB);
+    h.LocalCommit(t6, HistoryBuilder::kB);
+    h.Read(l8, D, w6d);
+    h.Read(l8, C, t0);
+    h.LocalCommit(l8, HistoryBuilder::kB);
+    const auto w5c_r = h.Write(t5r, C);
+    (void)w5c_r;
+    h.LocalCommit(t5r, HistoryBuilder::kB);
+  } else {
+    // No failure at b: commits land in the same order as at a and L8's
+    // view is consistent with L7's.
+    h.LocalCommit(t5, HistoryBuilder::kB);
+    h.LocalCommit(t6, HistoryBuilder::kB);
+    const auto w5c = t0;  // unused marker
+    (void)w5c;
+    h.Read(l8, D, w6d);
+    h.LocalCommit(l8, HistoryBuilder::kB);
+  }
+  return h.ops();
+}
+
+TEST(PaperHistories, H3IndirectLocalViewDistortionIsNotViewSerializable) {
+  const auto committed = CommittedProjection(BuildH3(true));
+  EXPECT_EQ(VerifyReplayMatchesRecorded(committed), "");
+  const auto check = CheckViewSerializability(committed);
+  EXPECT_EQ(check.verdict, Verdict::kNotSerializable) << check.reason;
+  // No direct conflict between T5 and T6, yet CG is cyclic.
+  EXPECT_FALSE(BuildSerializationGraph(committed)
+                   .HasEdge(Sub(5, 0).txn, Sub(6, 0).txn));
+  EXPECT_TRUE(BuildCommitOrderGraph(committed).HasCycle());
+}
+
+TEST(PaperHistories, H3WithAlignedCommitOrdersIsViewSerializable) {
+  const auto committed = CommittedProjection(BuildH3(false));
+  EXPECT_FALSE(BuildCommitOrderGraph(committed).HasCycle());
+  const auto check = CheckViewSerializability(committed);
+  EXPECT_EQ(check.verdict, Verdict::kSerializable) << check.reason;
+}
+
+// --- committed projection ----------------------------------------------------
+
+TEST(Projection, DropsAbortedGlobalAndKeepsAbortedSubtxnOfCommitted) {
+  HistoryBuilder h;
+  const auto X = h.Item(0, 0);
+  const db::VersionTag t0{};
+  const SubTxnId committed0 = Sub(1, 0), committed1 = Sub(1, 1);
+  const SubTxnId aborted = Sub(2, 0);
+
+  h.Read(committed0, X, t0);
+  h.Prepare(committed0, 0);
+  h.GlobalCommit(committed0.txn);
+  h.LocalAbort(committed0, 0);
+  h.Read(committed1, X, t0);
+  h.LocalCommit(committed1, 0);
+
+  h.Read(aborted, X, t0);  // global transaction that never commits
+
+  const auto fates = ClassifyTransactions(h.ops());
+  EXPECT_TRUE(fates.at(committed0.txn).InCommittedProjection());
+  EXPECT_FALSE(fates.at(aborted.txn).InCommittedProjection());
+  EXPECT_EQ(fates.at(committed0.txn).resubmissions, 1);
+  EXPECT_EQ(fates.at(committed0.txn).unilateral_aborts, 1);
+
+  const auto committed = CommittedProjection(h.ops());
+  // All of T1's ops survive — including the unilaterally aborted
+  // subtransaction's read — and T2's read is dropped.
+  ASSERT_EQ(committed.size(), 6u);
+  for (const Op& op : committed) {
+    EXPECT_EQ(op.subtxn.txn, committed0.txn);
+  }
+}
+
+TEST(Projection, GlobalTxnMissingALocalCommitIsIncomplete) {
+  HistoryBuilder h;
+  const auto X = h.Item(0, 0);
+  const auto Z = h.Item(1, 1);
+  const SubTxnId t = Sub(1, 0);
+  h.Write(t, X);
+  h.Write(t, Z);
+  h.Prepare(t, 0);
+  h.Prepare(t, 1);
+  h.GlobalCommit(t.txn);
+  h.LocalCommit(t, 0);  // site 1's local commit still missing
+
+  const auto fates = ClassifyTransactions(h.ops());
+  EXPECT_TRUE(fates.at(t.txn).committed);
+  EXPECT_FALSE(fates.at(t.txn).complete);
+  EXPECT_TRUE(CommittedProjection(h.ops()).empty());
+}
+
+TEST(OrderInvariant, HoldsForWellFormedHistories) {
+  EXPECT_EQ(CheckOrderInvariant(BuildH1()), "");
+  EXPECT_EQ(CheckOrderInvariant(BuildH2()), "");
+  EXPECT_EQ(CheckOrderInvariant(BuildH3(true)), "");
+}
+
+TEST(OrderInvariant, DetectsLocalCommitBeforeGlobalCommit) {
+  HistoryBuilder h;
+  const SubTxnId t = Sub(1, 0);
+  h.Write(t, h.Item(0, 0));
+  h.Prepare(t, 0);
+  h.LocalCommit(t, 0);  // before C_k: the 2PC protocol forbids this
+  h.GlobalCommit(t.txn);
+  EXPECT_NE(CheckOrderInvariant(h.ops()), "");
+}
+
+TEST(OrderInvariant, DetectsPrepareAfterGlobalCommit) {
+  HistoryBuilder h;
+  const SubTxnId t = Sub(1, 0);
+  h.Write(t, h.Item(0, 0));
+  h.GlobalCommit(t.txn);
+  h.Prepare(t, 0);  // C_k requires all READY votes, hence all prepares
+  h.LocalCommit(t, 0);
+  EXPECT_NE(CheckOrderInvariant(h.ops()), "");
+}
+
+// --- graphs -------------------------------------------------------------------
+
+TEST(Graphs, TopologicalOrderOfAcyclicGraph) {
+  TxnGraph g;
+  const TxnId a = TxnId::MakeGlobal(0, 1);
+  const TxnId b = TxnId::MakeGlobal(0, 2);
+  const TxnId c = TxnId::MakeGlobal(0, 3);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(a, c);
+  EXPECT_FALSE(g.HasCycle());
+  const auto topo = g.TopologicalOrder();
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(*topo, (std::vector<TxnId>{a, b, c}));
+}
+
+TEST(Graphs, FindCycleReturnsClosedPath) {
+  TxnGraph g;
+  const TxnId a = TxnId::MakeGlobal(0, 1);
+  const TxnId b = TxnId::MakeGlobal(0, 2);
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  const auto cycle = g.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 3u);
+  EXPECT_EQ(cycle->front(), cycle->back());
+  EXPECT_FALSE(g.TopologicalOrder().has_value());
+}
+
+// --- replay -------------------------------------------------------------------
+
+TEST(Replay, AbortRestoresPreviousVersion) {
+  HistoryBuilder h;
+  const auto X = h.Item(0, 0);
+  const SubTxnId w1 = Local(0, 1), w2 = Local(0, 2), r = Local(0, 3);
+  const auto v1 = h.Write(w1, X);
+  h.LocalCommit(w1, 0);
+  h.Write(w2, X);
+  h.LocalAbort(w2, 0);
+  h.Read(r, X, v1);
+  h.LocalCommit(r, 0);
+
+  std::vector<const Op*> order;
+  for (const Op& op : h.ops()) order.push_back(&op);
+  const ReplayOutcome out = Replay(order);
+  // The read (seq 4) observes w1's version because w2 was rolled back.
+  EXPECT_EQ(out.reads_from.at(4), v1);
+  EXPECT_EQ(out.final_versions.at(X), v1);
+}
+
+TEST(Replay, MultipleWritesBySameTxnUnwindTogether) {
+  HistoryBuilder h;
+  const auto X = h.Item(0, 0);
+  const SubTxnId w = Local(0, 1);
+  h.Write(w, X);
+  h.Write(w, X);
+  h.LocalAbort(w, 0);
+
+  std::vector<const Op*> order;
+  for (const Op& op : h.ops()) order.push_back(&op);
+  const ReplayOutcome out = Replay(order);
+  EXPECT_TRUE(out.final_versions.at(X).initial());
+}
+
+}  // namespace
+}  // namespace hermes::history

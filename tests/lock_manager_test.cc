@@ -1,0 +1,185 @@
+// Unit tests of the S2PL lock manager: grant rules, FIFO queuing, upgrades,
+// timeouts, wait-for edges.
+
+#include "ltm/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::ltm {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest()
+      : locks_(LockManagerConfig{100 * sim::kMillisecond}, &loop_) {}
+
+  // Requests a lock and records the outcome in `results`.
+  void Acquire(LtmTxnHandle txn, int64_t key, LockMode mode,
+               std::vector<std::pair<LtmTxnHandle, Status>>& results) {
+    locks_.Acquire(txn, Item(key), mode, [&results, txn](Status s) {
+      results.emplace_back(txn, std::move(s));
+    });
+  }
+
+  static ItemId Item(int64_t key) { return ItemId{0, 0, key}; }
+
+  sim::EventLoop loop_;
+  LockManager locks_;
+};
+
+TEST_F(LockManagerTest, SharedLocksAreCompatible) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kShared, got);
+  Acquire(2, 7, LockMode::kShared, got);
+  loop_.Run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[0].second.ok());
+  EXPECT_TRUE(got[1].second.ok());
+  EXPECT_TRUE(locks_.Holds(1, Item(7), LockMode::kShared));
+  EXPECT_FALSE(locks_.Holds(1, Item(7), LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kExclusive, got);
+  Acquire(2, 7, LockMode::kExclusive, got);
+  loop_.RunUntil(1 * sim::kMillisecond);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 1);
+
+  locks_.ReleaseAll(1);
+  loop_.RunUntil(2 * sim::kMillisecond);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].first, 2);
+  EXPECT_TRUE(got[1].second.ok());
+}
+
+TEST_F(LockManagerTest, ReacquisitionIsImmediate) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kExclusive, got);
+  Acquire(1, 7, LockMode::kExclusive, got);
+  Acquire(1, 7, LockMode::kShared, got);  // weaker than held X
+  loop_.Run();
+  EXPECT_EQ(got.size(), 3u);
+  for (const auto& [txn, status] : got) EXPECT_TRUE(status.ok());
+}
+
+TEST_F(LockManagerTest, UpgradeWhenSoleHolder) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kShared, got);
+  loop_.Run();
+  Acquire(1, 7, LockMode::kExclusive, got);
+  loop_.Run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[1].second.ok());
+  EXPECT_TRUE(locks_.Holds(1, Item(7), LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherReadersAndJumpsQueue) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kShared, got);
+  Acquire(2, 7, LockMode::kShared, got);
+  loop_.Run();
+  got.clear();
+  // Txn 3 queues for X, then txn 1 requests an upgrade: the upgrade must be
+  // served first once txn 2 releases.
+  Acquire(3, 7, LockMode::kExclusive, got);
+  Acquire(1, 7, LockMode::kExclusive, got);
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  EXPECT_TRUE(got.empty());
+
+  locks_.ReleaseAll(2);
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 1);  // upgrade granted before txn 3
+
+  locks_.ReleaseAll(1);
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].first, 3);
+}
+
+TEST_F(LockManagerTest, FifoPreventsWriterStarvation) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kShared, got);
+  loop_.Run();
+  got.clear();
+  Acquire(2, 7, LockMode::kExclusive, got);  // queued writer
+  Acquire(3, 7, LockMode::kShared, got);     // must NOT jump the writer
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  EXPECT_TRUE(got.empty());
+
+  locks_.ReleaseAll(1);
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 2);
+  locks_.ReleaseAll(2);
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].first, 3);
+}
+
+TEST_F(LockManagerTest, WaitTimesOut) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kExclusive, got);
+  Acquire(2, 7, LockMode::kExclusive, got);
+  loop_.Run();  // nothing releases txn 1's lock
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[0].second.ok());
+  EXPECT_EQ(got[1].second.code(), StatusCode::kTimeout);
+  EXPECT_EQ(locks_.timeouts(), 1);
+}
+
+TEST_F(LockManagerTest, TimeoutOfBlockedHeadUnblocksFollowers) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kShared, got);
+  Acquire(2, 7, LockMode::kExclusive, got);  // blocked head
+  Acquire(3, 7, LockMode::kShared, got);     // behind the writer
+  loop_.Run();  // txn 2 times out; txn 3 should then be granted
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got[0].second.ok());
+  // Order: txn 3 is granted when txn 2's timeout fires.
+  bool t2_timed_out = false, t3_granted = false;
+  for (const auto& [txn, status] : got) {
+    if (txn == 2) t2_timed_out = status.code() == StatusCode::kTimeout;
+    if (txn == 3) t3_granted = status.ok();
+  }
+  EXPECT_TRUE(t2_timed_out);
+  EXPECT_TRUE(t3_granted);
+}
+
+TEST_F(LockManagerTest, CancelWaitsDropsCallbacks) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kExclusive, got);
+  Acquire(2, 7, LockMode::kExclusive, got);
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  locks_.CancelWaits(2);
+  loop_.Run();
+  // Only txn 1's grant fired; txn 2's callback was dropped, not timed out.
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(locks_.timeouts(), 0);
+}
+
+TEST_F(LockManagerTest, ReleaseSingleItem) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kShared, got);
+  Acquire(1, 8, LockMode::kShared, got);
+  loop_.Run();
+  locks_.Release(1, Item(7));
+  EXPECT_FALSE(locks_.Holds(1, Item(7), LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(1, Item(8), LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, WaitForEdgesReflectBlocking) {
+  std::vector<std::pair<LtmTxnHandle, Status>> got;
+  Acquire(1, 7, LockMode::kExclusive, got);
+  Acquire(2, 7, LockMode::kExclusive, got);
+  loop_.RunUntil(loop_.Now() + sim::kMillisecond);
+  const auto edges = locks_.WaitForEdges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].first, 2);
+  EXPECT_EQ(edges[0].second, 1);
+}
+
+}  // namespace
+}  // namespace hermes::ltm

@@ -1,0 +1,236 @@
+// Site crash and Agent-log recovery tests (the paper treats a site crash
+// as a collective unilateral abort; the agent's force-written log makes the
+// prepared state durable).
+
+#include <gtest/gtest.h>
+
+#include "core/mdbs.h"
+#include "history/projection.h"
+#include "history/view_checker.h"
+
+namespace hermes {
+namespace {
+
+using core::CertPolicy;
+using core::GlobalTxnResult;
+using core::GlobalTxnSpec;
+using core::Mdbs;
+using core::MdbsConfig;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void Build(int sites) {
+    MdbsConfig config;
+    config.num_sites = sites;
+    config.agent.alive_check_interval = 5 * sim::kMillisecond;
+    mdbs_ = std::make_unique<Mdbs>(config, &loop_);
+    table_ = *mdbs_->CreateTableEverywhere("t");
+    for (SiteId s = 0; s < sites; ++s) {
+      for (int64_t k = 0; k < 8; ++k) {
+        ASSERT_TRUE(mdbs_->LoadRow(s, table_, k,
+                                   db::Row{{"v", db::Value(int64_t{0})}})
+                        .ok());
+      }
+    }
+    loop_.set_max_events(10'000'000);
+  }
+
+  int64_t Val(SiteId site, int64_t key) {
+    const db::RowEntry* e = mdbs_->storage(site)->GetTable(table_)->Get(key);
+    EXPECT_NE(e, nullptr);
+    EXPECT_TRUE(e->live());
+    return std::get<int64_t>(*e->row->Get("v"));
+  }
+
+  void ExpectSerializable() {
+    const auto committed =
+        history::CommittedProjection(mdbs_->recorder().ops());
+    EXPECT_EQ(history::VerifyReplayMatchesRecorded(committed), "");
+    EXPECT_NE(history::CheckViewSerializability(committed).verdict,
+              history::Verdict::kNotSerializable);
+  }
+
+  sim::EventLoop loop_;
+  std::unique_ptr<Mdbs> mdbs_;
+  db::TableId table_ = -1;
+};
+
+TEST_F(RecoveryTest, CrashOfPreparedSiteRecoversAndCommits) {
+  Build(2);
+  // Crash site 0 right after T's subtransaction there becomes prepared —
+  // before the coordinator's COMMIT arrives. Recovery must rebuild the
+  // in-doubt subtransaction from the Agent log, resubmit it, learn the
+  // decision (via the in-flight COMMIT and the inquiry), and commit.
+  bool crashed = false;
+  mdbs_->agent(0)->set_prepared_hook([&](const TxnId&, LtmTxnHandle) {
+    if (crashed) return;
+    crashed = true;
+    loop_.ScheduleAfter(100, [this]() { mdbs_->CrashSite(0); });
+  });
+
+  GlobalTxnSpec spec;
+  spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{-10})});
+  spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{10})});
+  std::optional<GlobalTxnResult> result;
+  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+  loop_.Run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(crashed);
+  EXPECT_TRUE(result->status.ok()) << result->status;
+  // Exactly-once effects despite crash + resubmission.
+  EXPECT_EQ(Val(0, 1), -10);
+  EXPECT_EQ(Val(1, 1), 10);
+  EXPECT_GE(mdbs_->metrics().resubmissions, 1);
+  // The log recorded the full life cycle.
+  EXPECT_TRUE(mdbs_->agent(0)->log().HasComplete(result->gtid));
+  EXPECT_TRUE(mdbs_->agent(0)->log().InDoubt().empty());
+  ExpectSerializable();
+}
+
+TEST_F(RecoveryTest, CrashDuringRollbackEndsInAbortViaInquiry) {
+  Build(2);
+  // T's subtransaction at site 1 is killed while still active, so site 1
+  // REFUSEs and the coordinator rolls back. Site 0 — already prepared —
+  // crashes before the ROLLBACK reaches it; recovery must learn the abort
+  // decision and undo the resubmitted work.
+  TxnId gtid;
+  bool killed = false;
+  bool crashed = false;
+  mdbs_->agent(0)->set_prepared_hook([&](const TxnId& id, LtmTxnHandle) {
+    if (crashed || !(id == gtid)) return;
+    crashed = true;
+    loop_.ScheduleAfter(100, [this]() { mdbs_->CrashSite(0); });
+  });
+
+  GlobalTxnSpec spec;
+  spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{5})});
+  spec.steps.push_back({1, db::MakeAddKey(table_, 2, "v", int64_t{5})});
+  std::optional<GlobalTxnResult> result;
+  gtid = mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+
+  // Kill site 1's subtransaction after its command completed (~1.2 ms)
+  // but before PREPARE arrives there (~3.2 ms): at 2.5 ms it is active and
+  // its death makes the later PREPARE refuse.
+  loop_.ScheduleAfter(2500, [&]() {
+    const LtmTxnHandle h = mdbs_->agent(1)->HandleOf(gtid);
+    if (h != kInvalidLtmTxn && mdbs_->ltm(1)->IsActive(h)) {
+      (void)mdbs_->ltm(1)->InjectUnilateralAbort(h);
+      killed = true;
+    }
+  });
+  loop_.Run();
+
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(killed);
+  ASSERT_TRUE(crashed);
+  EXPECT_FALSE(result->status.ok());
+  // All effects rolled back everywhere, including the recovered
+  // resubmission at site 0.
+  EXPECT_EQ(Val(0, 1), 0);
+  EXPECT_EQ(Val(1, 2), 0);
+  EXPECT_TRUE(mdbs_->agent(0)->log().HasAbort(gtid));
+  EXPECT_TRUE(mdbs_->agent(0)->log().InDoubt().empty());
+  ExpectSerializable();
+}
+
+TEST_F(RecoveryTest, CrashAbortsLocalTransactionsAndRestoresData) {
+  Build(1);
+  // A local transaction holds uncommitted updates when the site crashes;
+  // the collective abort must restore before-images.
+  const LtmTxnHandle local =
+      mdbs_->ltm(0)->Begin(SubTxnId{TxnId::MakeLocal(0, 1), 0});
+  std::optional<Status> cmd_status;
+  mdbs_->ltm(0)->Execute(local, db::MakeAddKey(table_, 3, "v", int64_t{99}),
+                         [&](const Status& s, const db::CmdResult&) {
+                           cmd_status = s;
+                         });
+  loop_.Run();
+  ASSERT_TRUE(cmd_status.has_value());
+  ASSERT_TRUE(cmd_status->ok());
+  EXPECT_EQ(Val(0, 3), 99);
+
+  mdbs_->CrashSite(0);
+  loop_.Run();
+  EXPECT_EQ(Val(0, 3), 0);  // before-image restored
+  EXPECT_FALSE(mdbs_->ltm(0)->IsActive(local));
+  EXPECT_FALSE(mdbs_->ltm(0)->Commit(local).ok());
+}
+
+TEST_F(RecoveryTest, RepeatedCrashesStillConverge) {
+  Build(2);
+  int crashes = 0;
+  mdbs_->agent(0)->set_prepared_hook([&](const TxnId&, LtmTxnHandle) {
+    if (crashes >= 2) return;
+    ++crashes;
+    loop_.ScheduleAfter(100, [this]() { mdbs_->CrashSite(0); });
+  });
+
+  GlobalTxnSpec spec;
+  spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{1})});
+  spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{1})});
+  std::optional<GlobalTxnResult> result;
+  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+  loop_.Run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok()) << result->status;
+  EXPECT_EQ(Val(0, 1), 1);
+  EXPECT_EQ(Val(1, 1), 1);
+  ExpectSerializable();
+}
+
+TEST_F(RecoveryTest, InquiryForForgottenTransactionGetsPresumedAbort) {
+  Build(1);
+  // A fabricated inquiry about a transaction the coordinator never knew:
+  // the coordinator answers ROLLBACK (presumed abort), and the agent —
+  // which does not know it either — acks harmlessly.
+  const int64_t before = mdbs_->network().messages_sent();
+  mdbs_->network().Send(0, 0,
+                        core::Message{core::InquiryMsg{
+                            TxnId::MakeGlobal(0, 424242)}});
+  loop_.Run();
+  // Inquiry + decision + ack all flowed without wedging anything.
+  EXPECT_GE(mdbs_->network().messages_sent(), before + 3);
+}
+
+TEST_F(RecoveryTest, WorkloadSurvivesMidRunCrash) {
+  Build(3);
+  // A stream of transfers; site 1 crashes in the middle of the run.
+  int committed = 0, aborted = 0, submitted = 0;
+  constexpr int kTxns = 40;
+  std::function<void()> next = [&]() {
+    if (submitted >= kTxns) return;
+    const int i = submitted++;
+    GlobalTxnSpec spec;
+    const SiteId a = static_cast<SiteId>(i % 3);
+    const SiteId b = static_cast<SiteId>((i + 1) % 3);
+    spec.steps.push_back(
+        {a, db::MakeAddKey(table_, i % 8, "v", int64_t{-1})});
+    spec.steps.push_back(
+        {b, db::MakeAddKey(table_, i % 8, "v", int64_t{1})});
+    mdbs_->Submit(spec, [&](const GlobalTxnResult& r) {
+      r.status.ok() ? ++committed : ++aborted;
+      next();
+    });
+  };
+  for (int c = 0; c < 4; ++c) loop_.ScheduleAfter(0, [&]() { next(); });
+  loop_.ScheduleAfter(20 * sim::kMillisecond,
+                      [this]() { mdbs_->CrashSite(1); });
+  loop_.Run();
+
+  EXPECT_EQ(committed + aborted, kTxns);
+  EXPECT_GT(committed, 0);
+  // Sum of all values must be zero: every transfer applied fully or not at
+  // all, across the crash.
+  int64_t total = 0;
+  for (SiteId s = 0; s < 3; ++s) {
+    for (int64_t k = 0; k < 8; ++k) total += Val(s, k);
+  }
+  EXPECT_EQ(total, 0);
+  EXPECT_TRUE(mdbs_->agent(1)->log().InDoubt().empty());
+  ExpectSerializable();
+}
+
+}  // namespace
+}  // namespace hermes

@@ -1,0 +1,120 @@
+// Unit tests of the discrete-event simulation kernel and site clocks.
+
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/site_clock.h"
+
+namespace hermes::sim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(30, [&] { order.push_back(3); });
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 30);
+}
+
+TEST(EventLoop, SameTimeEventsRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  Time observed = -1;
+  loop.ScheduleAfter(10, [&] {
+    loop.ScheduleAfter(5, [&] { observed = loop.Now(); });
+  });
+  loop.Run();
+  EXPECT_EQ(observed, 15);
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  EventLoop loop;
+  Time observed = -1;
+  loop.ScheduleAt(10, [&] {
+    loop.ScheduleAt(3, [&] { observed = loop.Now(); });  // in the past
+  });
+  loop.Run();
+  EXPECT_EQ(observed, 10);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // double cancel
+  loop.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(loop.Empty());
+}
+
+TEST(EventLoop, CancelUnknownIdIsRejected) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Cancel(kInvalidEvent));
+  EXPECT_FALSE(loop.Cancel(12345));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  for (Time t = 10; t <= 100; t += 10) {
+    loop.ScheduleAt(t, [&] { ++count; });
+  }
+  EXPECT_EQ(loop.RunUntil(50), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.Now(), 50);
+  EXPECT_EQ(loop.RunUntil(200), 5u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventLoop, StepExecutesOneEvent) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(1, [&] { ++count; });
+  loop.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_FALSE(loop.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) loop.ScheduleAfter(1, chain);
+  };
+  loop.ScheduleAfter(0, chain);
+  loop.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.Now(), 99);
+}
+
+TEST(SiteClock, OffsetAndDrift) {
+  EventLoop loop;
+  SiteClock skewed(&loop, /*offset=*/500, /*drift_ppm=*/0);
+  EXPECT_EQ(skewed.Read(), 500);
+
+  SiteClock fast(&loop, 0, /*drift_ppm=*/1000);  // 0.1% fast
+  loop.ScheduleAt(1'000'000, [] {});
+  loop.Run();
+  EXPECT_EQ(fast.Read(), 1'001'000);
+  EXPECT_EQ(skewed.Read(), 1'000'500);
+}
+
+}  // namespace
+}  // namespace hermes::sim

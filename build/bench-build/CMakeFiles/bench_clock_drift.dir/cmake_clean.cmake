@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_clock_drift"
+  "../bench/bench_clock_drift.pdb"
+  "CMakeFiles/bench_clock_drift.dir/bench_clock_drift.cpp.o"
+  "CMakeFiles/bench_clock_drift.dir/bench_clock_drift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clock_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deadlock"
+  "../bench/bench_deadlock.pdb"
+  "CMakeFiles/bench_deadlock.dir/bench_deadlock.cpp.o"
+  "CMakeFiles/bench_deadlock.dir/bench_deadlock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

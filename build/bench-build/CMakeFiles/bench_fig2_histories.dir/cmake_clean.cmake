@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_histories"
+  "../bench/bench_fig2_histories.pdb"
+  "CMakeFiles/bench_fig2_histories.dir/bench_fig2_histories.cpp.o"
+  "CMakeFiles/bench_fig2_histories.dir/bench_fig2_histories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_histories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

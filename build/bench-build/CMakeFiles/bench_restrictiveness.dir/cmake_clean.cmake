@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_restrictiveness"
+  "../bench/bench_restrictiveness.pdb"
+  "CMakeFiles/bench_restrictiveness.dir/bench_restrictiveness.cpp.o"
+  "CMakeFiles/bench_restrictiveness.dir/bench_restrictiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restrictiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_transfer.dir/banking_transfer.cpp.o"
+  "CMakeFiles/banking_transfer.dir/banking_transfer.cpp.o.d"
+  "banking_transfer"
+  "banking_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

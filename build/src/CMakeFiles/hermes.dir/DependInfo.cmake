@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgm/cgm_mdbs.cc" "src/CMakeFiles/hermes.dir/cgm/cgm_mdbs.cc.o" "gcc" "src/CMakeFiles/hermes.dir/cgm/cgm_mdbs.cc.o.d"
+  "/root/repo/src/cgm/cgm_scheduler.cc" "src/CMakeFiles/hermes.dir/cgm/cgm_scheduler.cc.o" "gcc" "src/CMakeFiles/hermes.dir/cgm/cgm_scheduler.cc.o.d"
+  "/root/repo/src/cgm/commit_graph.cc" "src/CMakeFiles/hermes.dir/cgm/commit_graph.cc.o" "gcc" "src/CMakeFiles/hermes.dir/cgm/commit_graph.cc.o.d"
+  "/root/repo/src/cgm/global_locks.cc" "src/CMakeFiles/hermes.dir/cgm/global_locks.cc.o" "gcc" "src/CMakeFiles/hermes.dir/cgm/global_locks.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/hermes.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hermes.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str.cc" "src/CMakeFiles/hermes.dir/common/str.cc.o" "gcc" "src/CMakeFiles/hermes.dir/common/str.cc.o.d"
+  "/root/repo/src/core/agent.cc" "src/CMakeFiles/hermes.dir/core/agent.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/agent.cc.o.d"
+  "/root/repo/src/core/agent_log.cc" "src/CMakeFiles/hermes.dir/core/agent_log.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/agent_log.cc.o.d"
+  "/root/repo/src/core/alive_intervals.cc" "src/CMakeFiles/hermes.dir/core/alive_intervals.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/alive_intervals.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/CMakeFiles/hermes.dir/core/coordinator.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/coordinator.cc.o.d"
+  "/root/repo/src/core/mdbs.cc" "src/CMakeFiles/hermes.dir/core/mdbs.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/mdbs.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/CMakeFiles/hermes.dir/core/messages.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/messages.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/hermes.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/serial_number.cc" "src/CMakeFiles/hermes.dir/core/serial_number.cc.o" "gcc" "src/CMakeFiles/hermes.dir/core/serial_number.cc.o.d"
+  "/root/repo/src/db/command.cc" "src/CMakeFiles/hermes.dir/db/command.cc.o" "gcc" "src/CMakeFiles/hermes.dir/db/command.cc.o.d"
+  "/root/repo/src/db/predicate.cc" "src/CMakeFiles/hermes.dir/db/predicate.cc.o" "gcc" "src/CMakeFiles/hermes.dir/db/predicate.cc.o.d"
+  "/root/repo/src/db/storage.cc" "src/CMakeFiles/hermes.dir/db/storage.cc.o" "gcc" "src/CMakeFiles/hermes.dir/db/storage.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/hermes.dir/db/table.cc.o" "gcc" "src/CMakeFiles/hermes.dir/db/table.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/CMakeFiles/hermes.dir/db/value.cc.o" "gcc" "src/CMakeFiles/hermes.dir/db/value.cc.o.d"
+  "/root/repo/src/history/graphs.cc" "src/CMakeFiles/hermes.dir/history/graphs.cc.o" "gcc" "src/CMakeFiles/hermes.dir/history/graphs.cc.o.d"
+  "/root/repo/src/history/op.cc" "src/CMakeFiles/hermes.dir/history/op.cc.o" "gcc" "src/CMakeFiles/hermes.dir/history/op.cc.o.d"
+  "/root/repo/src/history/projection.cc" "src/CMakeFiles/hermes.dir/history/projection.cc.o" "gcc" "src/CMakeFiles/hermes.dir/history/projection.cc.o.d"
+  "/root/repo/src/history/recorder.cc" "src/CMakeFiles/hermes.dir/history/recorder.cc.o" "gcc" "src/CMakeFiles/hermes.dir/history/recorder.cc.o.d"
+  "/root/repo/src/history/view_checker.cc" "src/CMakeFiles/hermes.dir/history/view_checker.cc.o" "gcc" "src/CMakeFiles/hermes.dir/history/view_checker.cc.o.d"
+  "/root/repo/src/ltm/command_executor.cc" "src/CMakeFiles/hermes.dir/ltm/command_executor.cc.o" "gcc" "src/CMakeFiles/hermes.dir/ltm/command_executor.cc.o.d"
+  "/root/repo/src/ltm/local_txn.cc" "src/CMakeFiles/hermes.dir/ltm/local_txn.cc.o" "gcc" "src/CMakeFiles/hermes.dir/ltm/local_txn.cc.o.d"
+  "/root/repo/src/ltm/lock_manager.cc" "src/CMakeFiles/hermes.dir/ltm/lock_manager.cc.o" "gcc" "src/CMakeFiles/hermes.dir/ltm/lock_manager.cc.o.d"
+  "/root/repo/src/ltm/ltm.cc" "src/CMakeFiles/hermes.dir/ltm/ltm.cc.o" "gcc" "src/CMakeFiles/hermes.dir/ltm/ltm.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/hermes.dir/net/network.cc.o" "gcc" "src/CMakeFiles/hermes.dir/net/network.cc.o.d"
+  "/root/repo/src/sim/event_loop.cc" "src/CMakeFiles/hermes.dir/sim/event_loop.cc.o" "gcc" "src/CMakeFiles/hermes.dir/sim/event_loop.cc.o.d"
+  "/root/repo/src/sim/site_clock.cc" "src/CMakeFiles/hermes.dir/sim/site_clock.cc.o" "gcc" "src/CMakeFiles/hermes.dir/sim/site_clock.cc.o.d"
+  "/root/repo/src/workload/config.cc" "src/CMakeFiles/hermes.dir/workload/config.cc.o" "gcc" "src/CMakeFiles/hermes.dir/workload/config.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/hermes.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/hermes.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/hermes.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/hermes.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgm_test.dir/cgm_test.cc.o"
+  "CMakeFiles/cgm_test.dir/cgm_test.cc.o.d"
+  "cgm_test"
+  "cgm_test.pdb"
+  "cgm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

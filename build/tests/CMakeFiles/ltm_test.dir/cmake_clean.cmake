@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltm_test.dir/ltm_test.cc.o"
+  "CMakeFiles/ltm_test.dir/ltm_test.cc.o.d"
+  "ltm_test"
+  "ltm_test.pdb"
+  "ltm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

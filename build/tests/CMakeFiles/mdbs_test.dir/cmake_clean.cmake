@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdbs_test.dir/mdbs_test.cc.o"
+  "CMakeFiles/mdbs_test.dir/mdbs_test.cc.o.d"
+  "mdbs_test"
+  "mdbs_test.pdb"
+  "mdbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

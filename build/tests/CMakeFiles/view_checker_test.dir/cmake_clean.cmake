@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_checker_test.dir/view_checker_test.cc.o"
+  "CMakeFiles/view_checker_test.dir/view_checker_test.cc.o.d"
+  "view_checker_test"
+  "view_checker_test.pdb"
+  "view_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -52,6 +52,9 @@ int main() {
     }
   }
   table.Print();
+  bench::WriteBenchArtifact("ablation_order",
+                            "4 sites, 10 global clients, p_fail=0.05", 3100,
+                            table);
   std::printf(
       "\nExpected shape: both variants stay correct, but submit-time\n"
       "numbering suffers more extension refusals and commit stalls —\n"

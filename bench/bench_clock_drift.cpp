@@ -54,6 +54,10 @@ int main() {
                  r.CommitsPerSecond(), bench::VerdictCell(r));
   }
   table.Print();
+  bench::WriteBenchArtifact("clock_drift",
+                            "4 sites, 8 global clients, p_fail=0.05, "
+                            "alternating +/- skew",
+                            505, table);
   std::printf(
       "\nExpected shape: correctness (history column) is unaffected by any\n"
       "skew; extension refusals and commit-certification retries rise once\n"

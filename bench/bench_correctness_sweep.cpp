@@ -77,6 +77,11 @@ int main() {
     }
   }
   table.Print();
+  bench::WriteBenchArtifact(
+      "correctness_sweep",
+      StrCat("3 sites, 6 rows/table, 4 global + 6 local clients, ",
+             kRunsPerCell, " runs/cell"),
+      9000, table);
   std::printf(
       "\nExpected shape: the full certifier row shows 0 violations at every\n"
       "failure rate; the naive agent accumulates violations; partial\n"

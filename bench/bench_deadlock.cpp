@@ -54,6 +54,9 @@ int main() {
     }
   }
   table.Print();
+  bench::WriteBenchArtifact("deadlock",
+                            "2 sites, 4 hot rows, write-heavy, 8 clients",
+                            8800, table);
   std::printf(
       "\nExpected shape: with short timeouts, timeout-only resolution\n"
       "aborts many non-deadlocked waiters; with long timeouts it wastes\n"

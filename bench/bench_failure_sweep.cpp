@@ -28,7 +28,9 @@ int main() {
       "(4 sites, 8 global clients, 1 local client/site, full certifier)\n\n");
   bench::TablePrinter table({"p_fail", "committed", "aborted", "resub",
                              "refuse ivl", "refuse ext", "refuse dead",
-                             "commit retries", "tput/s", "history"});
+                             "commit retries", "tput/s", "p50 ms", "p95 ms",
+                             "p99 ms", "history"});
+  std::string base_config;
   for (double p : {0.0, 0.05, 0.1, 0.2, 0.35, 0.5}) {
     // Average over several seeds: a single straggler transaction (lock
     // timeout near the end of a run) can otherwise dominate the measured
@@ -38,6 +40,7 @@ int main() {
             dead = 0, retries = 0;
     double tput = 0;
     bool ok = true;
+    trace::Histogram latencies;
     for (int s = 0; s < kSeeds; ++s) {
       WorkloadConfig config;
       config.seed = 42 + static_cast<uint64_t>(p * 100) +
@@ -49,7 +52,9 @@ int main() {
       config.target_global_txns = 120;
       config.p_prepared_abort = p;
       config.alive_check_interval = 10 * sim::kMillisecond;
+      if (base_config.empty()) base_config = config.ToString();
       const RunResult r = Driver::Run(config);
+      latencies.Merge(r.metrics.latency_hist);
       committed += r.metrics.global_committed;
       aborted += r.metrics.global_aborted;
       resub += r.metrics.resubmissions;
@@ -62,9 +67,11 @@ int main() {
            r.verdict != history::Verdict::kNotSerializable;
     }
     table.AddRow(p, committed, aborted, resub, ivl, ext, dead, retries,
-                 tput, ok ? "VSR" : "VIOLATED");
+                 tput, latencies.PercentileMs(50), latencies.PercentileMs(95),
+                 latencies.PercentileMs(99), ok ? "VSR" : "VIOLATED");
   }
   table.Print();
+  bench::WriteBenchArtifact("failure_sweep", base_config, 42, table);
   std::printf(
       "\nExpected shape: resubmissions and interval-refusals grow with the\n"
       "failure rate; throughput degrades gracefully; the history column\n"

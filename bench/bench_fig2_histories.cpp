@@ -175,7 +175,7 @@ ScenarioResult RunH2(CertPolicy policy) {
   return out;
 }
 
-void Report(const char* title,
+void Report(const char* title, const char* artifact_name,
             const std::function<ScenarioResult(CertPolicy)>& run) {
   std::printf("%s\n", title);
   bench::TablePrinter table({"policy", "T1", "intruder", "local", "resub",
@@ -192,6 +192,7 @@ void Report(const char* title,
                  history::VerdictName(r.verdict));
   }
   table.Print();
+  bench::WriteBenchArtifact(artifact_name, title, 0, table);
   std::printf("\n");
 }
 
@@ -200,8 +201,10 @@ void Report(const char* title,
 
 int main() {
   std::printf("E1/E2 — paper histories H1 and H2 through the live stack\n\n");
-  hermes::Report("H1 — global view distortion (section 3):", hermes::RunH1);
-  hermes::Report("H2 — local view distortion (section 5.1):", hermes::RunH2);
+  hermes::Report("H1 — global view distortion (section 3):",
+                 "fig2_histories_h1", hermes::RunH1);
+  hermes::Report("H2 — local view distortion (section 5.1):",
+                 "fig2_histories_h2", hermes::RunH2);
   std::printf(
       "Expectation (paper): with certification disabled both anomalies\n"
       "materialize (NOT-VIEW-SERIALIZABLE); every certifying policy\n"

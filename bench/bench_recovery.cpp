@@ -117,6 +117,9 @@ int main() {
                  r.serializable ? "consistent" : "VIOLATED");
   }
   table.Print();
+  bench::WriteBenchArtifact("recovery",
+                            "120 transfers, 3 sites, round-robin crashes", 7,
+                            table);
   std::printf(
       "\nExpected shape: commits dominate even under repeated crashes;\n"
       "conservation and history consistency hold in every row.\n");

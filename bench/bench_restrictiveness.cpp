@@ -65,6 +65,9 @@ void RunE3() {
     }
   }
   table.Print();
+  bench::WriteBenchArtifact("restrictiveness_e3",
+                            "4 sites, 64 rows/table, uniform access", 1000,
+                            table);
   std::printf(
       "\nExpected shape: the 2CM cert-abort column is identically 0 (the\n"
       "paper's failure-free claim); CGM serializes same-site-pair\n"
@@ -118,6 +121,9 @@ void RunE4() {
     }
   }
   table.Print();
+  bench::WriteBenchArtifact("restrictiveness_e4",
+                            "MPL 8, 4 tables/site, CGM granularity sweep",
+                            2000, table);
   std::printf(
       "\nExpected shape: 2CM throughput tracks item-level contention only;\n"
       "CGM improves with finer granules but stays behind 2CM because the\n"

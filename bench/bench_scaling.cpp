@@ -30,7 +30,8 @@ int main() {
       "2-site transactions, failure-free)\n\n");
   bench::TablePrinter table({"system", "sites", "committed", "aborted",
                              "tput/s", "tput/site/s", "mean lat ms",
-                             "messages"});
+                             "p50 ms", "p95 ms", "p99 ms", "messages"});
+  std::string base_config;
   for (int sites : {2, 4, 8, 16}) {
     for (int sys = 0; sys < 2; ++sys) {
       WorkloadConfig config;
@@ -44,15 +45,19 @@ int main() {
       config.record_history = false;
       config.system = sys == 0 ? System::k2CM : System::kCGM;
       config.cgm_granularity = cgm::Granularity::kSite;
+      if (base_config.empty()) base_config = config.ToString();
       const RunResult r = Driver::Run(config);
+      const trace::Histogram& hist = r.metrics.latency_hist;
       table.AddRow(config.system == System::k2CM ? "2CM" : "CGM/site",
                    sites, r.metrics.global_committed,
                    r.metrics.global_aborted, r.CommitsPerSecond(),
                    r.CommitsPerSecond() / sites, r.metrics.MeanLatencyMs(),
-                   r.messages);
+                   hist.PercentileMs(50), hist.PercentileMs(95),
+                   hist.PercentileMs(99), r.messages);
     }
   }
   table.Print();
+  bench::WriteBenchArtifact("scaling", base_config, 77, table);
   std::printf(
       "\nExpected shape: 2CM per-site throughput stays roughly flat as\n"
       "sites are added (fully decentralized); CGM's per-site throughput\n"

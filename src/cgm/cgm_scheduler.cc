@@ -5,24 +5,41 @@ namespace hermes::cgm {
 CgmScheduler::CgmScheduler(SiteId endpoint, SiteId client_endpoint,
                            const CgmSchedulerConfig& config,
                            sim::EventLoop* loop, net::Network* network,
-                           core::Metrics* metrics)
+                           core::Metrics* metrics, trace::Tracer* tracer)
     : endpoint_(endpoint),
       client_endpoint_(client_endpoint),
       config_(config),
       loop_(loop),
       network_(network),
       metrics_(metrics),
+      tracer_(tracer),
       locks_(config.lock_timeout, loop) {}
 
 void CgmScheduler::TryAdmission(const TxnId& gtid, std::vector<SiteId> sites,
                                 sim::Time deadline) {
   if (graph_.TryAdd(gtid, sites)) {
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCgmAdmission;
+      e.txn = gtid;
+      e.site = endpoint_;
+      tracer_->Record(std::move(e));
+    }
     network_->Send(endpoint_, client_endpoint_,
                    CgmMessage{CommitCheckReplyMsg{gtid, Status::Ok()}});
     return;
   }
   if (loop_->Now() >= deadline) {
     ++metrics_->cgm_graph_rejections;
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCgmAdmission;
+      e.txn = gtid;
+      e.site = endpoint_;
+      e.ok = false;
+      e.detail = "commit graph: admission would create a loop";
+      tracer_->Record(std::move(e));
+    }
     network_->Send(
         endpoint_, client_endpoint_,
         CgmMessage{CommitCheckReplyMsg{
@@ -43,8 +60,20 @@ void CgmScheduler::Handle(const net::Envelope& env) {
   if (const auto* m = std::get_if<LockRequestMsg>(msg)) {
     const TxnId gtid = m->gtid;
     const uint64_t request_id = m->request_id;
-    locks_.AcquireAll(gtid, m->granules, [this, gtid, request_id](Status s) {
+    const int64_t granules = static_cast<int64_t>(m->granules.size());
+    locks_.AcquireAll(gtid, m->granules,
+                      [this, gtid, request_id, granules](Status s) {
       if (!s.ok()) ++metrics_->cgm_lock_timeouts;
+      if (tracer_ != nullptr) {
+        trace::Event e;
+        e.kind = trace::EventKind::kCgmLock;
+        e.txn = gtid;
+        e.site = endpoint_;
+        e.value = granules;
+        e.ok = s.ok();
+        if (!s.ok()) e.detail = s.ToString();
+        tracer_->Record(std::move(e));
+      }
       network_->Send(endpoint_, client_endpoint_,
                      CgmMessage{LockReplyMsg{gtid, request_id, s}});
     });

@@ -18,6 +18,7 @@
 #include "cgm/global_locks.h"
 #include "core/metrics.h"
 #include "net/network.h"
+#include "trace/trace.h"
 
 namespace hermes::cgm {
 
@@ -63,9 +64,11 @@ struct CgmSchedulerConfig {
 
 class CgmScheduler {
  public:
+  // `tracer` may be null (tracing disabled).
   CgmScheduler(SiteId endpoint, SiteId client_endpoint,
                const CgmSchedulerConfig& config, sim::EventLoop* loop,
-               net::Network* network, core::Metrics* metrics);
+               net::Network* network, core::Metrics* metrics,
+               trace::Tracer* tracer = nullptr);
 
   CgmScheduler(const CgmScheduler&) = delete;
   CgmScheduler& operator=(const CgmScheduler&) = delete;
@@ -84,6 +87,7 @@ class CgmScheduler {
   sim::EventLoop* loop_;
   net::Network* network_;
   core::Metrics* metrics_;
+  trace::Tracer* tracer_;
   GlobalLockManager locks_;
   CommitGraph graph_;
 };

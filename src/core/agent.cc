@@ -21,12 +21,14 @@ const char* CertPolicyName(CertPolicy policy) {
 }
 
 TwoPCAgent::TwoPCAgent(const AgentConfig& config, sim::EventLoop* loop,
-                       net::Network* network, ltm::Ltm* ltm, Metrics* metrics)
+                       net::Network* network, ltm::Ltm* ltm, Metrics* metrics,
+                       trace::Tracer* tracer)
     : config_(config),
       loop_(loop),
       network_(network),
       ltm_(ltm),
-      metrics_(metrics) {
+      metrics_(metrics),
+      tracer_(tracer) {
   ltm_->SetUanListener(
       [this](const SubTxnId& id, LtmTxnHandle handle) {
         OnUnilateralAbort(id, handle);
@@ -132,6 +134,16 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   ++metrics_->prepares_received;
   AgentTxn* txn = FindTxn(msg.gtid);
   if (txn == nullptr) {
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCertRefuse;
+      e.txn = msg.gtid;
+      e.site = config_.site;
+      e.sn = msg.sn;
+      e.refuse = trace::RefuseKind::kUnknownTxn;
+      e.ok = false;
+      tracer_->Record(std::move(e));
+    }
     network_->Send(config_.site, from,
                    Message{VoteMsg{msg.gtid, /*ready=*/false,
                                    Status::NotFound("unknown transaction")}});
@@ -139,6 +151,16 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   }
   txn->coordinator = from;
   txn->sn = msg.sn;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kPrepareRecv;
+    e.txn = msg.gtid;
+    e.site = config_.site;
+    e.peer = from;
+    e.resubmission = txn->resubmission;
+    e.sn = msg.sn;
+    tracer_->Record(std::move(e));
+  }
 
   const bool extension = config_.policy == CertPolicy::kPrepareExtended ||
                          config_.policy == CertPolicy::kFull;
@@ -147,10 +169,25 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     // number is already committed here — this PREPARE arrived out of order
     // and committing it later could close a cycle in CG(H).
     ++metrics_->refuse_extension;
-    Refuse(*txn, Status::Rejected(
-                     StrCat("prepare certification extension: ",
-                            msg.sn.ToString(), " < committed ",
-                            max_committed_sn_.ToString())));
+    const Status reason = Status::Rejected(
+        StrCat("prepare certification extension: ", msg.sn.ToString(),
+               " < committed ", max_committed_sn_.ToString()));
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCertRefuse;
+      e.txn = txn->gtid;
+      e.site = config_.site;
+      e.resubmission = txn->resubmission;
+      e.sn = msg.sn;
+      e.refuse = trace::RefuseKind::kExtension;
+      e.ok = false;
+      e.detail = reason.message();
+      if (max_committed_gtid_.valid()) {
+        e.related.push_back(max_committed_gtid_);
+      }
+      tracer_->Record(std::move(e));
+    }
+    Refuse(*txn, reason);
     return;
   }
 
@@ -175,6 +212,20 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   if (config_.policy != CertPolicy::kNone &&
       !alive_table_.CertifiableAgainstAll(candidate)) {
     ++metrics_->refuse_interval;
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCertRefuse;
+      e.txn = txn->gtid;
+      e.site = config_.site;
+      e.resubmission = txn->resubmission;
+      e.sn = msg.sn;
+      e.refuse = trace::RefuseKind::kInterval;
+      e.ok = false;
+      e.detail = StrCat("candidate alive interval [", candidate.begin, ",",
+                        candidate.end, "] disjoint from prepared peer(s)");
+      e.related = alive_table_.NonIntersecting(candidate);
+      tracer_->Record(std::move(e));
+    }
     Refuse(*txn,
            Status::Rejected("basic prepare certification: alive intervals "
                             "do not intersect"));
@@ -185,6 +236,18 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   alive_table_.Insert(txn->gtid, candidate, msg.sn);
   if (!txn->alive || !ltm_->IsActive(txn->ltm_handle)) {
     ++metrics_->refuse_dead;
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCertRefuse;
+      e.txn = txn->gtid;
+      e.site = config_.site;
+      e.resubmission = txn->resubmission;
+      e.sn = msg.sn;
+      e.refuse = trace::RefuseKind::kDead;
+      e.ok = false;
+      e.detail = "unilaterally aborted before prepare";
+      tracer_->Record(std::move(e));
+    }
     alive_table_.Remove(txn->gtid);
     txn->phase = Phase::kAborted;
     network_->Send(config_.site, from,
@@ -200,6 +263,15 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
                              .gtid = txn->gtid,
                              .sn = msg.sn});
   txn->phase = Phase::kPrepared;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kCertReady;
+    e.txn = txn->gtid;
+    e.site = config_.site;
+    e.resubmission = txn->resubmission;
+    e.sn = msg.sn;
+    tracer_->Record(std::move(e));
+  }
   ltm_->recorder()->RecordPrepare(SubTxnId{txn->gtid, txn->resubmission},
                                   config_.site);
   if (config_.bind_bound_data) BindAccessedItems(*txn);
@@ -248,6 +320,15 @@ void TwoPCAgent::StartResubmission(AgentTxn& txn) {
     ++metrics_->resubmission_failures;
   }
   ++txn.resubmission;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kResubmitStart;
+    e.txn = txn.gtid;
+    e.site = config_.site;
+    e.resubmission = txn.resubmission;
+    e.value = txn.resubmit_attempts;
+    tracer_->Record(std::move(e));
+  }
   log_.Append(
       LogRecord{.kind = LogRecordKind::kResubmission, .gtid = txn.gtid});
   txn.alive = true;
@@ -304,6 +385,14 @@ void TwoPCAgent::OnResubmissionComplete(AgentTxn& txn) {
   txn.resubmitting = false;
   txn.resubmit_attempts = 0;
   txn.last_completion = loop_->Now();
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kResubmitDone;
+    e.txn = txn.gtid;
+    e.site = config_.site;
+    e.resubmission = txn.resubmission;
+    tracer_->Record(std::move(e));
+  }
   // "A new interval is always initiated after the resubmission of all the
   // commands is complete."
   alive_table_.Restart(txn.gtid, loop_->Now());
@@ -351,6 +440,16 @@ void TwoPCAgent::TryCommit(AgentTxn& txn) {
   if (config_.policy == CertPolicy::kFull &&
       !alive_table_.SmallestSerialNumber(txn.gtid)) {
     ++metrics_->commit_cert_retries;
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kCommitRetry;
+      e.txn = txn.gtid;
+      e.site = config_.site;
+      e.resubmission = txn.resubmission;
+      e.sn = txn.sn;
+      e.related = alive_table_.SmallerSerialNumbers(txn.gtid);
+      tracer_->Record(std::move(e));
+    }
     if (txn.commit_retry_timer == sim::kInvalidEvent) {
       const TxnId gtid = txn.gtid;
       txn.commit_retry_timer = loop_->ScheduleAfter(
@@ -390,7 +489,19 @@ void TwoPCAgent::CompleteCommit(AgentTxn& txn) {
   CancelTimers(txn);
   UnbindAll(txn);
   alive_table_.Remove(txn.gtid);
-  if (max_committed_sn_ < txn.sn) max_committed_sn_ = txn.sn;
+  if (max_committed_sn_ < txn.sn) {
+    max_committed_sn_ = txn.sn;
+    max_committed_gtid_ = txn.gtid;
+  }
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kLocalCommit;
+    e.txn = txn.gtid;
+    e.site = config_.site;
+    e.resubmission = txn.resubmission;
+    e.sn = txn.sn;
+    tracer_->Record(std::move(e));
+  }
   log_.Append(LogRecord{.kind = LogRecordKind::kComplete, .gtid = txn.gtid});
   network_->Send(config_.site, txn.coordinator,
                  Message{AckMsg{txn.gtid, /*commit=*/true}});
@@ -404,6 +515,15 @@ void TwoPCAgent::ProcessRollback(AgentTxn& txn) {
   UnbindAll(txn);
   alive_table_.Remove(txn.gtid);
   txn.phase = Phase::kAborted;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kLocalAbort;
+    e.txn = txn.gtid;
+    e.site = config_.site;
+    e.resubmission = txn.resubmission;
+    e.ok = false;
+    tracer_->Record(std::move(e));
+  }
   log_.Append(LogRecord{.kind = LogRecordKind::kAbort, .gtid = txn.gtid});
   network_->Send(config_.site, txn.coordinator,
                  Message{AckMsg{txn.gtid, /*commit=*/false}});
@@ -437,6 +557,7 @@ void TwoPCAgent::Crash() {
   txns_.clear();
   alive_table_ = AliveIntervalTable();
   max_committed_sn_ = SerialNumber{};
+  max_committed_gtid_ = TxnId{};
 }
 
 void TwoPCAgent::Recover() {
@@ -445,6 +566,7 @@ void TwoPCAgent::Recover() {
     if (record.kind == LogRecordKind::kPrepare &&
         log_.HasComplete(record.gtid) && max_committed_sn_ < record.sn) {
       max_committed_sn_ = record.sn;
+      max_committed_gtid_ = record.gtid;
     }
   }
   // Rebuild every in-doubt subtransaction: prepared, not alive, with its

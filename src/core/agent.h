@@ -40,6 +40,7 @@
 #include "ltm/ltm.h"
 #include "net/network.h"
 #include "sim/event_loop.h"
+#include "trace/trace.h"
 
 namespace hermes::core {
 
@@ -76,8 +77,10 @@ class TwoPCAgent {
   // prepared subtransactions.
   using PreparedHook = std::function<void(const TxnId&, LtmTxnHandle)>;
 
+  // `tracer` may be null (tracing disabled).
   TwoPCAgent(const AgentConfig& config, sim::EventLoop* loop,
-             net::Network* network, ltm::Ltm* ltm, Metrics* metrics);
+             net::Network* network, ltm::Ltm* ltm, Metrics* metrics,
+             trace::Tracer* tracer = nullptr);
   ~TwoPCAgent();
 
   TwoPCAgent(const TwoPCAgent&) = delete;
@@ -169,12 +172,15 @@ class TwoPCAgent {
   net::Network* network_;
   ltm::Ltm* ltm_;
   Metrics* metrics_;
+  trace::Tracer* tracer_;
 
   AgentLog log_;
   AliveIntervalTable alive_table_;
   // Largest serial number of any subtransaction committed at this agent —
-  // the state of the prepare certification extension.
+  // the state of the prepare certification extension — and the transaction
+  // that holds it (conflicting-transaction context for REFUSE traces).
   SerialNumber max_committed_sn_;
+  TxnId max_committed_gtid_;
 
   std::map<TxnId, AgentTxn> txns_;
   PreparedHook prepared_hook_;

@@ -14,6 +14,27 @@ bool AliveIntervalTable::CertifiableAgainstAll(
   return true;
 }
 
+std::vector<TxnId> AliveIntervalTable::NonIntersecting(
+    const AliveInterval& candidate) const {
+  std::vector<TxnId> out;
+  for (const auto& [gtid, entry] : entries_) {
+    if (!candidate.Intersects(entry.interval)) out.push_back(gtid);
+  }
+  return out;
+}
+
+std::vector<TxnId> AliveIntervalTable::SmallerSerialNumbers(
+    const TxnId& gtid) const {
+  auto self = entries_.find(gtid);
+  assert(self != entries_.end());
+  std::vector<TxnId> out;
+  for (const auto& [other_gtid, entry] : entries_) {
+    if (other_gtid == gtid) continue;
+    if (entry.sn < self->second.sn) out.push_back(other_gtid);
+  }
+  return out;
+}
+
 void AliveIntervalTable::Insert(const TxnId& gtid,
                                 const AliveInterval& interval,
                                 const SerialNumber& sn) {

@@ -46,6 +46,15 @@ class AliveIntervalTable {
   // certification test).
   bool CertifiableAgainstAll(const AliveInterval& candidate) const;
 
+  // Transactions whose stored interval does NOT intersect `candidate` — the
+  // conflicting-transaction context of a basic-certification REFUSE
+  // (diagnostics/tracing; empty iff CertifiableAgainstAll).
+  std::vector<TxnId> NonIntersecting(const AliveInterval& candidate) const;
+
+  // Prepared transactions other than `gtid` with a smaller serial number —
+  // the ones a commit-certification retry is waiting on.
+  std::vector<TxnId> SmallerSerialNumbers(const TxnId& gtid) const;
+
   void Insert(const TxnId& gtid, const AliveInterval& interval,
               const SerialNumber& sn);
   void Remove(const TxnId& gtid);

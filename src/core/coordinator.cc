@@ -8,12 +8,14 @@ namespace hermes::core {
 
 Coordinator::Coordinator(SiteId site, sim::EventLoop* loop,
                          net::Network* network, const sim::SiteClock* clock,
-                         history::Recorder* recorder, Metrics* metrics)
+                         history::Recorder* recorder, Metrics* metrics,
+                         trace::Tracer* tracer)
     : site_(site),
       loop_(loop),
       network_(network),
       recorder_(recorder),
       metrics_(metrics),
+      tracer_(tracer),
       sn_generator_(site, clock) {}
 
 Coordinator::CoordTxn* Coordinator::FindTxn(const TxnId& gtid) {
@@ -28,6 +30,14 @@ TxnId Coordinator::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb) {
   txn.spec = std::move(spec);
   txn.cb = std::move(cb);
   txn.start_time = loop_->Now();
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kTxnBegin;
+    e.txn = gtid;
+    e.site = site_;
+    e.value = static_cast<int64_t>(txn.spec.steps.size());
+    tracer_->Record(std::move(e));
+  }
   if (sn_at_submit_) txn.sn = sn_generator_.Next();
   if (txn.spec.steps.empty()) {
     txn.failure = Status::InvalidArgument("global transaction has no steps");
@@ -71,6 +81,15 @@ void Coordinator::SendStep(CoordTxn& txn) {
   if (txn.begun.insert(step.site).second) {
     network_->Send(site_, step.site, Message{BeginMsg{txn.gtid}});
   }
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kStepStart;
+    e.txn = txn.gtid;
+    e.site = site_;
+    e.peer = step.site;
+    e.value = static_cast<int64_t>(txn.next_step);
+    tracer_->Record(std::move(e));
+  }
   network_->Send(site_, step.site,
                  Message{DmlRequestMsg{txn.gtid,
                                        static_cast<int32_t>(txn.next_step),
@@ -81,6 +100,17 @@ void Coordinator::OnDmlResponse(const DmlResponseMsg& msg) {
   CoordTxn* txn = FindTxn(msg.gtid);
   if (txn == nullptr || txn->phase != Phase::kExecuting) return;
   if (msg.cmd_index != static_cast<int32_t>(txn->next_step)) return;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kStepEnd;
+    e.txn = msg.gtid;
+    e.site = site_;
+    e.peer = txn->spec.steps[txn->next_step].site;
+    e.value = msg.cmd_index;
+    e.ok = msg.status.ok();
+    if (!msg.status.ok()) e.detail = msg.status.ToString();
+    tracer_->Record(std::move(e));
+  }
   if (!msg.status.ok()) {
     ++metrics_->global_aborted_dml;
     StartRollback(*txn, msg.status);
@@ -131,6 +161,15 @@ void Coordinator::SendPrepares(CoordTxn& txn) {
   if (!sn_at_submit_) txn.sn = sn_generator_.Next();
   txn.votes_pending = txn.begun;
   for (SiteId s : txn.begun) {
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kPrepareSend;
+      e.txn = txn.gtid;
+      e.site = site_;
+      e.peer = s;
+      e.sn = txn.sn;
+      tracer_->Record(std::move(e));
+    }
     network_->Send(site_, s, Message{PrepareMsg{txn.gtid, txn.sn}});
   }
 }
@@ -139,6 +178,16 @@ void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
   CoordTxn* txn = FindTxn(msg.gtid);
   if (txn == nullptr || txn->phase != Phase::kPreparing) return;
   txn->votes_pending.erase(from);
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kVoteRecv;
+    e.txn = msg.gtid;
+    e.site = site_;
+    e.peer = from;
+    e.ok = msg.ready;
+    if (!msg.ready) e.detail = msg.reason.ToString();
+    tracer_->Record(std::move(e));
+  }
   if (!msg.ready) {
     ++metrics_->global_aborted_cert;
     txn->certification_refused = true;
@@ -153,6 +202,15 @@ void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
     txn->phase = Phase::kCommitting;
     txn->acks_pending = txn->begun;
     for (SiteId s : txn->begun) {
+      if (tracer_ != nullptr) {
+        trace::Event e;
+        e.kind = trace::EventKind::kDecisionSend;
+        e.txn = txn->gtid;
+        e.site = site_;
+        e.peer = s;
+        e.ok = true;
+        tracer_->Record(std::move(e));
+      }
       network_->Send(site_, s, Message{DecisionMsg{txn->gtid, true}});
     }
   }
@@ -194,6 +252,16 @@ void Coordinator::StartRollback(CoordTxn& txn, const Status& reason) {
   }
   txn.acks_pending = txn.begun;
   for (SiteId s : txn.begun) {
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kDecisionSend;
+      e.txn = txn.gtid;
+      e.site = site_;
+      e.peer = s;
+      e.ok = false;
+      e.detail = reason.ToString();
+      tracer_->Record(std::move(e));
+    }
     network_->Send(site_, s, Message{DecisionMsg{txn.gtid, false}});
   }
 }
@@ -203,6 +271,15 @@ void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
   if (txn == nullptr) return;
   if (txn->phase != Phase::kCommitting && txn->phase != Phase::kRollingBack) {
     return;
+  }
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kAckRecv;
+    e.txn = msg.gtid;
+    e.site = site_;
+    e.peer = from;
+    e.ok = msg.commit;
+    tracer_->Record(std::move(e));
   }
   txn->acks_pending.erase(from);
   if (txn->acks_pending.empty()) {
@@ -216,6 +293,16 @@ void Coordinator::FinishTxn(CoordTxn& txn, bool committed) {
     metrics_->AddLatency(loop_->Now() - txn.start_time);
   } else {
     ++metrics_->global_aborted;
+  }
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kTxnEnd;
+    e.txn = txn.gtid;
+    e.site = site_;
+    e.value = loop_->Now() - txn.start_time;
+    e.ok = committed;
+    if (!committed) e.detail = txn.failure.ToString();
+    tracer_->Record(std::move(e));
   }
   if (hooks_.on_finished) hooks_.on_finished(txn.gtid, committed);
   GlobalTxnResult result;

@@ -29,6 +29,7 @@
 #include "net/network.h"
 #include "sim/event_loop.h"
 #include "sim/site_clock.h"
+#include "trace/trace.h"
 
 namespace hermes::core {
 
@@ -75,9 +76,10 @@ struct CoordinatorHooks {
 
 class Coordinator {
  public:
+  // `tracer` may be null (tracing disabled).
   Coordinator(SiteId site, sim::EventLoop* loop, net::Network* network,
               const sim::SiteClock* clock, history::Recorder* recorder,
-              Metrics* metrics);
+              Metrics* metrics, trace::Tracer* tracer = nullptr);
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
@@ -143,6 +145,7 @@ class Coordinator {
   net::Network* network_;
   history::Recorder* recorder_;
   Metrics* metrics_;
+  trace::Tracer* tracer_;
   SerialNumberGenerator sn_generator_;
   CoordinatorHooks hooks_;
 

@@ -17,6 +17,14 @@ struct Mdbs::LocalRun : std::enable_shared_from_this<Mdbs::LocalRun> {
   std::vector<db::CmdResult> results;
 
   void Start() {
+    if (mdbs->config_.tracer != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kLocalTxnBegin;
+      e.txn = id;
+      e.site = spec.site;
+      e.value = static_cast<int64_t>(spec.commands.size());
+      mdbs->config_.tracer->Record(std::move(e));
+    }
     handle = mdbs->ltm(spec.site)->Begin(SubTxnId{id, 0});
     RunNext();
   }
@@ -55,6 +63,15 @@ struct Mdbs::LocalRun : std::enable_shared_from_this<Mdbs::LocalRun> {
   }
 
   void Finish(const Status& status) {
+    if (mdbs->config_.tracer != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kLocalTxnEnd;
+      e.txn = id;
+      e.site = spec.site;
+      e.ok = status.ok();
+      if (!status.ok()) e.detail = status.ToString();
+      mdbs->config_.tracer->Record(std::move(e));
+    }
     if (cb) {
       cb(LocalTxnResult{id, status, std::move(results)});
     }
@@ -66,7 +83,8 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
   assert(config_.num_sites > 0);
   recorder_ = std::make_unique<history::Recorder>(loop_);
   recorder_->set_enabled(config_.record_history);
-  network_ = std::make_unique<net::Network>(config_.network, loop_);
+  network_ = std::make_unique<net::Network>(config_.network, loop_,
+                                            config_.tracer);
   next_local_seq_.resize(static_cast<size_t>(config_.num_sites), 0);
 
   for (SiteId s = 0; s < config_.num_sites; ++s) {
@@ -86,16 +104,17 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
     ltm_config.site = s;
     site->ltm = std::make_unique<ltm::Ltm>(ltm_config, loop_,
                                            site->storage.get(),
-                                           recorder_.get());
+                                           recorder_.get(), config_.tracer);
 
     AgentConfig agent_config = config_.agent;
     agent_config.site = s;
     site->agent = std::make_unique<TwoPCAgent>(agent_config, loop_,
                                                network_.get(),
-                                               site->ltm.get(), &metrics_);
+                                               site->ltm.get(), &metrics_,
+                                               config_.tracer);
     site->coordinator = std::make_unique<Coordinator>(
         s, loop_, network_.get(), site->clock.get(), recorder_.get(),
-        &metrics_);
+        &metrics_, config_.tracer);
     sites_.push_back(std::move(site));
   }
   for (SiteId s = 0; s < config_.num_sites; ++s) {
@@ -169,6 +188,13 @@ TxnId Mdbs::SubmitLocal(LocalTxnSpec spec, LocalTxnCallback cb) {
 
 void Mdbs::CrashSite(SiteId site) {
   Site& s = *sites_[site];
+  if (config_.tracer != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kSiteCrash;
+    e.site = site;
+    e.ok = false;
+    config_.tracer->Record(std::move(e));
+  }
   // Wipe agent volatile state first so the UAN storm from the collective
   // abort below hits an agent that no longer knows the transactions.
   s.agent->Crash();
@@ -177,6 +203,12 @@ void Mdbs::CrashSite(SiteId site) {
   }
   s.ltm->ClearBindings();
   s.agent->Recover();
+  if (config_.tracer != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kSiteRecover;
+    e.site = site;
+    config_.tracer->Record(std::move(e));
+  }
 }
 
 void Mdbs::SetCoordinatorHooks(const CoordinatorHooks& hooks) {

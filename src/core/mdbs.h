@@ -36,6 +36,9 @@ struct MdbsConfig {
   std::vector<sim::Duration> clock_offsets;
   std::vector<int64_t> clock_drift_ppm;
   bool record_history = true;
+  // Optional structured tracer shared by every component (null = disabled).
+  // Not owned; must outlive the Mdbs.
+  trace::Tracer* tracer = nullptr;
 };
 
 // A transaction submitted directly at one LDBS's local interface,

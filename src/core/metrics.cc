@@ -16,6 +16,9 @@ std::string Metrics::ToString() const {
   StrAppend(out, "local: committed=", local_committed,
             " aborted=", local_aborted, "\n");
   StrAppend(out, "latency: mean_ms=", MeanLatencyMs(),
+            " p50_ms=", latency_hist.PercentileMs(50),
+            " p95_ms=", latency_hist.PercentileMs(95),
+            " p99_ms=", latency_hist.PercentileMs(99),
             " max_ms=", static_cast<double>(latency_max) / 1000.0, "\n");
   return out;
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "sim/event_loop.h"
+#include "trace/histogram.h"
 
 namespace hermes::core {
 
@@ -32,10 +33,12 @@ struct Metrics {
   int64_t local_committed = 0;
   int64_t local_aborted = 0;
 
-  // Latency of committed global transactions (virtual time).
+  // Latency of committed global transactions (virtual time). The histogram
+  // provides p50/p95/p99 beyond the running mean/max.
   int64_t latency_samples = 0;
   sim::Duration latency_total = 0;
   sim::Duration latency_max = 0;
+  trace::Histogram latency_hist;
 
   // CGM baseline specifics.
   int64_t cgm_graph_rejections = 0;   // commit-graph loop refusals
@@ -45,6 +48,7 @@ struct Metrics {
     ++latency_samples;
     latency_total += d;
     if (d > latency_max) latency_max = d;
+    latency_hist.Add(d);
   }
   double MeanLatencyMs() const {
     return latency_samples == 0

@@ -8,11 +8,12 @@
 namespace hermes::ltm {
 
 Ltm::Ltm(const LtmConfig& config, sim::EventLoop* loop, db::Storage* storage,
-         history::Recorder* recorder)
+         history::Recorder* recorder, trace::Tracer* tracer)
     : config_(config),
       loop_(loop),
       storage_(storage),
       recorder_(recorder),
+      tracer_(tracer),
       locks_(LockManagerConfig{config.lock_wait_timeout}, loop) {
   assert(storage_->site() == config_.site);
   if (config_.deadlock_detection) {
@@ -144,6 +145,16 @@ Status Ltm::AbortInternal(LtmTxnHandle handle, bool unilateral,
   ++stats_.aborted;
   if (unilateral) {
     ++stats_.unilateral_aborts;
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kUnilateralAbort;
+      e.txn = txn->id.txn;
+      e.site = config_.site;
+      e.resubmission = txn->id.resubmission;
+      e.ok = false;
+      e.detail = reason.ToString();
+      tracer_->Record(std::move(e));
+    }
     if (txn->global() && uan_listener_) {
       // Deliver UAN asynchronously to avoid re-entrancy into the agent.
       const SubTxnId id = txn->id;

@@ -36,6 +36,7 @@
 #include "ltm/local_txn.h"
 #include "ltm/lock_manager.h"
 #include "sim/event_loop.h"
+#include "trace/trace.h"
 
 namespace hermes::ltm {
 
@@ -79,8 +80,9 @@ class Ltm {
   // (identity of the aborted subtransaction, its LTM handle)
   using UanListener = std::function<void(const SubTxnId&, LtmTxnHandle)>;
 
+  // `tracer` may be null (tracing disabled).
   Ltm(const LtmConfig& config, sim::EventLoop* loop, db::Storage* storage,
-      history::Recorder* recorder);
+      history::Recorder* recorder, trace::Tracer* tracer = nullptr);
   ~Ltm();
 
   Ltm(const Ltm&) = delete;
@@ -168,6 +170,7 @@ class Ltm {
   sim::EventLoop* loop_;
   db::Storage* storage_;
   history::Recorder* recorder_;
+  trace::Tracer* tracer_;
   LockManager locks_;
 
   LtmTxnHandle next_handle_ = 1;

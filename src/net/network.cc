@@ -5,8 +5,9 @@
 
 namespace hermes::net {
 
-Network::Network(const NetworkConfig& config, sim::EventLoop* loop)
-    : config_(config), loop_(loop), rng_(config.seed) {}
+Network::Network(const NetworkConfig& config, sim::EventLoop* loop,
+                 trace::Tracer* tracer)
+    : config_(config), loop_(loop), tracer_(tracer), rng_(config.seed) {}
 
 void Network::RegisterEndpoint(SiteId site, Handler handler) {
   assert(endpoints_.find(site) == endpoints_.end());
@@ -27,6 +28,14 @@ void Network::Send(SiteId from, SiteId to, std::any payload) {
   if (at < last) at = last;
   last = at;
   ++messages_sent_;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kMsgSend;
+    e.site = from;
+    e.peer = to;
+    e.value = at - loop_->Now();
+    tracer_->Record(std::move(e));
+  }
   Envelope env{from, to, std::move(payload)};
   loop_->ScheduleAt(at, [this, to, env = std::move(env)]() {
     auto it = endpoints_.find(to);

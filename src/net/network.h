@@ -19,6 +19,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "sim/event_loop.h"
+#include "trace/trace.h"
 
 namespace hermes::net {
 
@@ -43,7 +44,9 @@ class Network {
  public:
   using Handler = std::function<void(const Envelope&)>;
 
-  Network(const NetworkConfig& config, sim::EventLoop* loop);
+  // `tracer` may be null (tracing disabled).
+  Network(const NetworkConfig& config, sim::EventLoop* loop,
+          trace::Tracer* tracer = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -61,6 +64,7 @@ class Network {
  private:
   NetworkConfig config_;
   sim::EventLoop* loop_;
+  trace::Tracer* tracer_;
   Rng rng_;
   std::map<SiteId, Handler> endpoints_;
   // Last scheduled delivery time per ordered (from, to) pair, for FIFO.

@@ -1,0 +1,244 @@
+#include "trace/analyzer.h"
+
+#include <algorithm>
+
+#include "common/str.h"
+
+namespace hermes::trace {
+
+std::string ResubmissionChain::ToString() const {
+  std::string out = StrCat("chain ", EncodeTxnId(txn), "@", site, ": ",
+                           unilateral_aborts, " unilateral abort(s), ",
+                           attempts.size(), " resubmission(s)");
+  for (const ResubmissionAttempt& a : attempts) {
+    StrAppend(out, " [j=", a.resubmission, " attempt=", a.attempt, " t=",
+              a.started, a.completed >= 0 ? StrCat("..", a.completed)
+                                          : std::string("..died"),
+              "]");
+  }
+  StrAppend(out, locally_committed ? " -> committed" : " -> not committed");
+  return out;
+}
+
+std::string Refusal::ToString() const {
+  std::string out = StrCat("refuse ", EncodeTxnId(txn), "@", site, " t=",
+                           at, " kind=", RefuseKindName(kind));
+  if (!conflicting.empty()) {
+    out += " conflicting=";
+    for (size_t i = 0; i < conflicting.size(); ++i) {
+      if (i > 0) out += ',';
+      out += EncodeTxnId(conflicting[i]);
+    }
+  }
+  if (!detail.empty()) StrAppend(out, " (", detail, ")");
+  return out;
+}
+
+SiteTimeline& TraceAnalyzer::SiteOf(TxnTimeline& txn, SiteId site) {
+  SiteTimeline& s = txn.sites[site];
+  s.site = site;
+  return s;
+}
+
+ResubmissionChain& TraceAnalyzer::ChainSlot(const TxnId& txn, SiteId site) {
+  const auto key = std::make_pair(txn, site);
+  auto it = chain_index_.find(key);
+  if (it == chain_index_.end()) {
+    it = chain_index_.emplace(key, chains_.size()).first;
+    ResubmissionChain chain;
+    chain.txn = txn;
+    chain.site = site;
+    chains_.push_back(std::move(chain));
+  }
+  return chains_[it->second];
+}
+
+TraceAnalyzer::TraceAnalyzer(std::vector<Event> events)
+    : events_(std::move(events)) {
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (!e.txn.valid()) continue;
+    TxnTimeline& txn = timelines_[e.txn];
+    txn.txn = e.txn;
+    txn.events.push_back(i);
+
+    switch (e.kind) {
+      case EventKind::kTxnBegin:
+        txn.coordinator = e.site;
+        txn.begin = e.at;
+        txn.steps = e.value;
+        break;
+      case EventKind::kTxnEnd:
+        txn.end = e.at;
+        txn.finished = true;
+        txn.committed = e.ok;
+        break;
+      case EventKind::kStepStart: {
+        SiteTimeline& s = SiteOf(txn, e.peer);
+        if (s.dml.begin < 0) s.dml.begin = e.at;
+        break;
+      }
+      case EventKind::kStepEnd: {
+        SiteTimeline& s = SiteOf(txn, e.peer);
+        s.dml.end = e.at;
+        break;
+      }
+      case EventKind::kPrepareSend:
+        SiteOf(txn, e.peer).prepare.begin = e.at;
+        break;
+      case EventKind::kVoteRecv: {
+        SiteTimeline& s = SiteOf(txn, e.peer);
+        s.prepare.end = e.at;
+        s.voted = true;
+        s.vote_ready = e.ok;
+        break;
+      }
+      case EventKind::kDecisionSend:
+        SiteOf(txn, e.peer).decision.begin = e.at;
+        break;
+      case EventKind::kAckRecv:
+        SiteOf(txn, e.peer).decision.end = e.at;
+        break;
+      case EventKind::kCertRefuse: {
+        SiteOf(txn, e.site).refuse = e.refuse;
+        Refusal r;
+        r.txn = e.txn;
+        r.site = e.site;
+        r.at = e.at;
+        r.kind = e.refuse;
+        r.detail = e.detail;
+        r.conflicting = e.related;
+        refusals_.push_back(std::move(r));
+        break;
+      }
+      case EventKind::kUnilateralAbort: {
+        // Local transactions can be unilaterally aborted too (lock
+        // timeouts); chains only track global subtransactions.
+        if (!e.txn.global()) break;
+        SiteOf(txn, e.site).unilateral_aborts += 1;
+        ChainSlot(e.txn, e.site).unilateral_aborts += 1;
+        break;
+      }
+      case EventKind::kResubmitStart: {
+        SiteOf(txn, e.site).resubmissions += 1;
+        ResubmissionAttempt attempt;
+        attempt.resubmission = e.resubmission;
+        attempt.attempt = e.value;
+        attempt.started = e.at;
+        ChainSlot(e.txn, e.site).attempts.push_back(attempt);
+        break;
+      }
+      case EventKind::kResubmitDone: {
+        ResubmissionChain& chain = ChainSlot(e.txn, e.site);
+        if (!chain.attempts.empty()) {
+          chain.attempts.back().completed = e.at;
+        }
+        break;
+      }
+      case EventKind::kLocalCommit: {
+        SiteOf(txn, e.site).locally_committed = true;
+        auto it = chain_index_.find(std::make_pair(e.txn, e.site));
+        if (it != chain_index_.end()) {
+          chains_[it->second].locally_committed = true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Keep only chains that actually saw a failure or resubmission.
+  std::vector<ResubmissionChain> active;
+  chain_index_.clear();
+  for (ResubmissionChain& chain : chains_) {
+    if (chain.unilateral_aborts == 0 && chain.attempts.empty()) continue;
+    chain_index_[std::make_pair(chain.txn, chain.site)] = active.size();
+    active.push_back(std::move(chain));
+  }
+  chains_ = std::move(active);
+}
+
+const TxnTimeline* TraceAnalyzer::Timeline(const TxnId& txn) const {
+  auto it = timelines_.find(txn);
+  return it == timelines_.end() ? nullptr : &it->second;
+}
+
+const ResubmissionChain* TraceAnalyzer::ChainOf(const TxnId& txn,
+                                                SiteId site) const {
+  auto it = chain_index_.find(std::make_pair(txn, site));
+  return it == chain_index_.end() ? nullptr : &chains_[it->second];
+}
+
+std::string TraceAnalyzer::ReportTxn(const TxnId& txn) const {
+  const TxnTimeline* timeline = Timeline(txn);
+  if (timeline == nullptr) {
+    return StrCat(EncodeTxnId(txn), ": not in trace\n");
+  }
+  std::string out =
+      StrCat(EncodeTxnId(txn), " coordinator=", timeline->coordinator,
+             timeline->finished
+                 ? (timeline->committed ? " COMMITTED" : " ABORTED")
+                 : " UNFINISHED",
+             timeline->begin >= 0 && timeline->end >= 0
+                 ? StrCat(" latency=", timeline->end - timeline->begin, "us")
+                 : std::string(),
+             "\n");
+  for (size_t index : timeline->events) {
+    const Event& e = events_[index];
+    StrAppend(out, "  t=", e.at, " ", EventKindName(e.kind));
+    if (e.site != kInvalidSite) StrAppend(out, " site=", e.site);
+    if (e.peer != kInvalidSite) StrAppend(out, " peer=", e.peer);
+    if (e.resubmission >= 0) StrAppend(out, " j=", e.resubmission);
+    if (e.value >= 0) StrAppend(out, " value=", e.value);
+    if (e.sn.valid()) StrAppend(out, " sn=", EncodeSerialNumber(e.sn));
+    if (e.refuse != RefuseKind::kNone) {
+      StrAppend(out, " refuse=", RefuseKindName(e.refuse));
+    }
+    if (!e.related.empty()) {
+      out += " related=";
+      for (size_t i = 0; i < e.related.size(); ++i) {
+        if (i > 0) out += ',';
+        out += EncodeTxnId(e.related[i]);
+      }
+    }
+    if (!e.detail.empty()) StrAppend(out, " \"", e.detail, "\"");
+    out += '\n';
+  }
+  for (const auto& [site, s] : timeline->sites) {
+    StrAppend(out, "  site ", site, ":");
+    if (s.dml.complete()) StrAppend(out, " dml=", s.dml.length(), "us");
+    if (s.prepare.complete()) {
+      StrAppend(out, " prepare=", s.prepare.length(), "us");
+    }
+    if (s.decision.complete()) {
+      StrAppend(out, " decision=", s.decision.length(), "us");
+    }
+    if (s.resubmissions > 0) StrAppend(out, " resub=", s.resubmissions);
+    if (s.refuse != RefuseKind::kNone) {
+      StrAppend(out, " refused=", RefuseKindName(s.refuse));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceAnalyzer::Summary() const {
+  int64_t committed = 0, aborted = 0, unfinished = 0;
+  for (const auto& [id, t] : timelines_) {
+    if (!id.global()) continue;
+    if (!t.finished) {
+      ++unfinished;
+    } else if (t.committed) {
+      ++committed;
+    } else {
+      ++aborted;
+    }
+  }
+  return StrCat("trace: ", events_.size(), " events, ", timelines_.size(),
+                " transactions (", committed, " committed, ", aborted,
+                " aborted, ", unfinished, " unfinished), ", chains_.size(),
+                " resubmission chain(s), ", refusals_.size(),
+                " certification refusal(s)");
+}
+
+}  // namespace hermes::trace

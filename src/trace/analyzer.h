@@ -1,0 +1,127 @@
+// Reconstructs per-transaction timelines from a recorded trace.
+//
+// The analyzer turns a flat event stream back into the paper's objects of
+// interest: the full resubmission chain of a global subtransaction whose
+// local incarnations were unilaterally aborted (T^s_k0, T^s_k1, ... in the
+// paper's notation), every certification REFUSE together with the
+// conflicting transactions that caused it, and per-site 2PC phase spans
+// (DML, PREPARE -> vote, decision -> ACK) for latency attribution.
+
+#ifndef HERMES_TRACE_ANALYZER_H_
+#define HERMES_TRACE_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hermes::trace {
+
+// Half-open observation span; begin/end are -1 until observed.
+struct PhaseSpan {
+  sim::Time begin = -1;
+  sim::Time end = -1;
+
+  bool complete() const { return begin >= 0 && end >= 0; }
+  sim::Duration length() const { return complete() ? end - begin : 0; }
+};
+
+// One local subtransaction created by a resubmission.
+struct ResubmissionAttempt {
+  int32_t resubmission = 0;  // index j of the local subtransaction T^s_kj
+  int64_t attempt = 0;       // attempt number within one prepared period
+  sim::Time started = -1;
+  sim::Time completed = -1;  // -1 if the attempt itself died
+};
+
+// Resubmission history of one global subtransaction at one site.
+struct ResubmissionChain {
+  TxnId txn;
+  SiteId site = kInvalidSite;
+  int unilateral_aborts = 0;
+  std::vector<ResubmissionAttempt> attempts;
+  bool locally_committed = false;
+
+  std::string ToString() const;
+};
+
+// One certification REFUSE, with its conflicting-transaction context.
+struct Refusal {
+  TxnId txn;
+  SiteId site = kInvalidSite;
+  sim::Time at = -1;
+  RefuseKind kind = RefuseKind::kNone;
+  std::string detail;
+  // Transactions whose state caused the refusal: the prepared
+  // subtransactions with non-intersecting alive intervals (kInterval), or
+  // the holder of the committed SN high-water mark (kExtension).
+  std::vector<TxnId> conflicting;
+
+  std::string ToString() const;
+};
+
+// 2PC phases of one global transaction at one participating site.
+struct SiteTimeline {
+  SiteId site = kInvalidSite;
+  PhaseSpan dml;       // first DML step sent .. last response received
+  PhaseSpan prepare;   // PREPARE sent .. vote received
+  PhaseSpan decision;  // decision sent .. ACK received
+  bool voted = false;
+  bool vote_ready = false;
+  RefuseKind refuse = RefuseKind::kNone;
+  int resubmissions = 0;
+  int unilateral_aborts = 0;
+  bool locally_committed = false;
+};
+
+struct TxnTimeline {
+  TxnId txn;
+  SiteId coordinator = kInvalidSite;
+  sim::Time begin = -1;
+  sim::Time end = -1;
+  bool finished = false;
+  bool committed = false;
+  int64_t steps = -1;  // declared step count (kTxnBegin value)
+  std::map<SiteId, SiteTimeline> sites;
+  std::vector<size_t> events;  // indices into events(), in trace order
+};
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(std::vector<Event> events);
+
+  const std::vector<Event>& events() const { return events_; }
+  const std::map<TxnId, TxnTimeline>& timelines() const {
+    return timelines_;
+  }
+  const TxnTimeline* Timeline(const TxnId& txn) const;
+
+  // Chains with at least one unilateral abort or resubmission, in order of
+  // first occurrence.
+  const std::vector<ResubmissionChain>& ResubmissionChains() const {
+    return chains_;
+  }
+  const ResubmissionChain* ChainOf(const TxnId& txn, SiteId site) const;
+
+  const std::vector<Refusal>& Refusals() const { return refusals_; }
+
+  // Human-readable timeline of one transaction, one event per line.
+  std::string ReportTxn(const TxnId& txn) const;
+  // Aggregate one-paragraph description of the trace.
+  std::string Summary() const;
+
+ private:
+  SiteTimeline& SiteOf(TxnTimeline& txn, SiteId site);
+  ResubmissionChain& ChainSlot(const TxnId& txn, SiteId site);
+
+  std::vector<Event> events_;
+  std::map<TxnId, TxnTimeline> timelines_;
+  std::vector<ResubmissionChain> chains_;
+  std::map<std::pair<TxnId, SiteId>, size_t> chain_index_;
+  std::vector<Refusal> refusals_;
+};
+
+}  // namespace hermes::trace
+
+#endif  // HERMES_TRACE_ANALYZER_H_

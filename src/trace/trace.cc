@@ -1,0 +1,494 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+
+#include "common/str.h"
+
+namespace hermes::trace {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTxnBegin:
+      return "txn_begin";
+    case EventKind::kStepStart:
+      return "step_start";
+    case EventKind::kStepEnd:
+      return "step_end";
+    case EventKind::kPrepareSend:
+      return "prepare_send";
+    case EventKind::kVoteRecv:
+      return "vote_recv";
+    case EventKind::kDecisionSend:
+      return "decision_send";
+    case EventKind::kAckRecv:
+      return "ack_recv";
+    case EventKind::kTxnEnd:
+      return "txn_end";
+    case EventKind::kPrepareRecv:
+      return "prepare_recv";
+    case EventKind::kCertReady:
+      return "cert_ready";
+    case EventKind::kCertRefuse:
+      return "cert_refuse";
+    case EventKind::kResubmitStart:
+      return "resubmit_start";
+    case EventKind::kResubmitDone:
+      return "resubmit_done";
+    case EventKind::kCommitRetry:
+      return "commit_retry";
+    case EventKind::kLocalCommit:
+      return "local_commit";
+    case EventKind::kLocalAbort:
+      return "local_abort";
+    case EventKind::kUnilateralAbort:
+      return "unilateral_abort";
+    case EventKind::kLocalTxnBegin:
+      return "local_txn_begin";
+    case EventKind::kLocalTxnEnd:
+      return "local_txn_end";
+    case EventKind::kSiteCrash:
+      return "site_crash";
+    case EventKind::kSiteRecover:
+      return "site_recover";
+    case EventKind::kMsgSend:
+      return "msg_send";
+    case EventKind::kInjectFailure:
+      return "inject_failure";
+    case EventKind::kCgmLock:
+      return "cgm_lock";
+    case EventKind::kCgmAdmission:
+      return "cgm_admission";
+  }
+  return "?";
+}
+
+const char* RefuseKindName(RefuseKind kind) {
+  switch (kind) {
+    case RefuseKind::kNone:
+      return "none";
+    case RefuseKind::kInterval:
+      return "interval";
+    case RefuseKind::kExtension:
+      return "extension";
+    case RefuseKind::kDead:
+      return "dead";
+    case RefuseKind::kUnknownTxn:
+      return "unknown_txn";
+  }
+  return "?";
+}
+
+namespace {
+
+// All EventKind values, for name -> kind lookup during parsing.
+constexpr EventKind kAllKinds[] = {
+    EventKind::kTxnBegin,       EventKind::kStepStart,
+    EventKind::kStepEnd,        EventKind::kPrepareSend,
+    EventKind::kVoteRecv,       EventKind::kDecisionSend,
+    EventKind::kAckRecv,        EventKind::kTxnEnd,
+    EventKind::kPrepareRecv,    EventKind::kCertReady,
+    EventKind::kCertRefuse,     EventKind::kResubmitStart,
+    EventKind::kResubmitDone,   EventKind::kCommitRetry,
+    EventKind::kLocalCommit,    EventKind::kLocalAbort,
+    EventKind::kUnilateralAbort, EventKind::kLocalTxnBegin,
+    EventKind::kLocalTxnEnd,    EventKind::kSiteCrash,
+    EventKind::kSiteRecover,    EventKind::kMsgSend,
+    EventKind::kInjectFailure,  EventKind::kCgmLock,
+    EventKind::kCgmAdmission,
+};
+
+constexpr RefuseKind kAllRefuseKinds[] = {
+    RefuseKind::kNone, RefuseKind::kInterval, RefuseKind::kExtension,
+    RefuseKind::kDead, RefuseKind::kUnknownTxn,
+};
+
+}  // namespace
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string EncodeTxnId(const TxnId& id) {
+  if (!id.valid()) return "-";
+  return StrCat(id.global() ? "G" : "L", id.site, ".", id.seq);
+}
+
+Result<TxnId> DecodeTxnId(const std::string& text) {
+  if (text == "-") return TxnId{};
+  if (text.size() < 4 || (text[0] != 'G' && text[0] != 'L')) {
+    return Status::InvalidArgument(StrCat("bad txn id: ", text));
+  }
+  const size_t dot = text.find('.');
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument(StrCat("bad txn id: ", text));
+  }
+  try {
+    const SiteId site =
+        static_cast<SiteId>(std::stol(text.substr(1, dot - 1)));
+    const int64_t seq = std::stoll(text.substr(dot + 1));
+    return text[0] == 'G' ? TxnId::MakeGlobal(site, seq)
+                          : TxnId::MakeLocal(site, seq);
+  } catch (...) {
+    return Status::InvalidArgument(StrCat("bad txn id: ", text));
+  }
+}
+
+std::string EncodeSerialNumber(const core::SerialNumber& sn) {
+  if (!sn.valid()) return "-";
+  return StrCat(sn.clock, "/", sn.coordinator, "/", sn.seq);
+}
+
+Result<core::SerialNumber> DecodeSerialNumber(const std::string& text) {
+  if (text == "-") return core::SerialNumber{};
+  const size_t a = text.find('/');
+  const size_t b = a == std::string::npos ? a : text.find('/', a + 1);
+  if (b == std::string::npos) {
+    return Status::InvalidArgument(StrCat("bad serial number: ", text));
+  }
+  try {
+    core::SerialNumber sn;
+    sn.clock = std::stoll(text.substr(0, a));
+    sn.coordinator =
+        static_cast<SiteId>(std::stol(text.substr(a + 1, b - a - 1)));
+    sn.seq = std::stoll(text.substr(b + 1));
+    return sn;
+  } catch (...) {
+    return Status::InvalidArgument(StrCat("bad serial number: ", text));
+  }
+}
+
+std::string Event::ToJson() const {
+  std::string out;
+  StrAppend(out, "{\"seq\":", seq, ",\"t\":", at, ",\"kind\":\"",
+            EventKindName(kind), "\"");
+  if (txn.valid()) {
+    out += ",\"txn\":";
+    AppendJsonString(out, EncodeTxnId(txn));
+  }
+  if (site != kInvalidSite) StrAppend(out, ",\"site\":", site);
+  if (peer != kInvalidSite) StrAppend(out, ",\"peer\":", peer);
+  if (resubmission >= 0) StrAppend(out, ",\"resub\":", resubmission);
+  if (value >= 0) StrAppend(out, ",\"value\":", value);
+  if (sn.valid()) {
+    out += ",\"sn\":";
+    AppendJsonString(out, EncodeSerialNumber(sn));
+  }
+  if (refuse != RefuseKind::kNone) {
+    StrAppend(out, ",\"refuse\":\"", RefuseKindName(refuse), "\"");
+  }
+  StrAppend(out, ",\"ok\":", ok ? "true" : "false");
+  if (!detail.empty()) {
+    out += ",\"detail\":";
+    AppendJsonString(out, detail);
+  }
+  if (!related.empty()) {
+    out += ",\"related\":[";
+    for (size_t i = 0; i < related.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendJsonString(out, EncodeTxnId(related[i]));
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+void Tracer::Record(Event e) {
+  e.seq = static_cast<int64_t>(events_.size());
+  e.at = loop_ != nullptr ? loop_->Now() : -1;
+  events_.push_back(std::move(e));
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  for (const Event& e : events_) {
+    out += e.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+bool Tracer::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = ToJsonl();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == text.size();
+  return ok;
+}
+
+// --- JSONL parsing -----------------------------------------------------------
+
+namespace {
+
+// Minimal scanner for the flat JSON objects Tracer emits: keys mapping to
+// integers, booleans, strings, or arrays of strings.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : in_(line) {}
+
+  Status Parse(Event& out) {
+    if (!Consume('{')) return Err("expected '{'");
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      if (Consume('}')) break;
+      if (!first && !Consume(',')) return Err("expected ',' or '}'");
+      first = false;
+      SkipSpace();
+      std::string key;
+      Status s = ParseString(key);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipSpace();
+      s = ParseValue(key, out);
+      if (!s.ok()) return s;
+    }
+    SkipSpace();
+    if (pos_ != in_.size()) return Err("trailing characters");
+    return Status::Ok();
+  }
+
+ private:
+  Status ParseValue(const std::string& key, Event& out) {
+    if (key == "seq") return ParseInt(out.seq);
+    if (key == "t") return ParseInt(out.at);
+    if (key == "site") return ParseInt32(out.site);
+    if (key == "peer") return ParseInt32(out.peer);
+    if (key == "resub") return ParseInt32(out.resubmission);
+    if (key == "value") return ParseInt(out.value);
+    if (key == "ok") return ParseBool(out.ok);
+    if (key == "kind") {
+      std::string name;
+      Status s = ParseString(name);
+      if (!s.ok()) return s;
+      for (EventKind k : kAllKinds) {
+        if (name == EventKindName(k)) {
+          out.kind = k;
+          return Status::Ok();
+        }
+      }
+      return Err(StrCat("unknown event kind: ", name));
+    }
+    if (key == "refuse") {
+      std::string name;
+      Status s = ParseString(name);
+      if (!s.ok()) return s;
+      for (RefuseKind k : kAllRefuseKinds) {
+        if (name == RefuseKindName(k)) {
+          out.refuse = k;
+          return Status::Ok();
+        }
+      }
+      return Err(StrCat("unknown refuse kind: ", name));
+    }
+    if (key == "txn") {
+      std::string text;
+      Status s = ParseString(text);
+      if (!s.ok()) return s;
+      Result<TxnId> id = DecodeTxnId(text);
+      if (!id.ok()) return id.status();
+      out.txn = *id;
+      return Status::Ok();
+    }
+    if (key == "sn") {
+      std::string text;
+      Status s = ParseString(text);
+      if (!s.ok()) return s;
+      Result<core::SerialNumber> sn = DecodeSerialNumber(text);
+      if (!sn.ok()) return sn.status();
+      out.sn = *sn;
+      return Status::Ok();
+    }
+    if (key == "detail") return ParseString(out.detail);
+    if (key == "related") {
+      if (!Consume('[')) return Err("expected '['");
+      SkipSpace();
+      if (Consume(']')) return Status::Ok();
+      while (true) {
+        SkipSpace();
+        std::string text;
+        Status s = ParseString(text);
+        if (!s.ok()) return s;
+        Result<TxnId> id = DecodeTxnId(text);
+        if (!id.ok()) return id.status();
+        out.related.push_back(*id);
+        SkipSpace();
+        if (Consume(']')) return Status::Ok();
+        if (!Consume(',')) return Err("expected ',' or ']'");
+      }
+    }
+    return Err(StrCat("unknown key: ", key));
+  }
+
+  Status ParseString(std::string& out) {
+    if (!Consume('"')) return Err("expected '\"'");
+    out.clear();
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= in_.size()) return Err("dangling escape");
+      char esc = in_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) return Err("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = in_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad \\u escape");
+            }
+          }
+          if (code > 0x7f) return Err("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Err("unknown escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseInt(int64_t& out) {
+    const size_t start = pos_;
+    if (pos_ < in_.size() && in_[pos_] == '-') ++pos_;
+    while (pos_ < in_.size() && in_[pos_] >= '0' && in_[pos_] <= '9') ++pos_;
+    if (pos_ == start) return Err("expected integer");
+    try {
+      out = std::stoll(std::string(in_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Err("integer out of range");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseInt32(int32_t& out) {
+    int64_t v = 0;
+    Status s = ParseInt(v);
+    if (!s.ok()) return s;
+    out = static_cast<int32_t>(v);
+    return Status::Ok();
+  }
+
+  Status ParseBool(bool& out) {
+    if (in_.substr(pos_, 4) == "true") {
+      out = true;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    if (in_.substr(pos_, 5) == "false") {
+      out = false;
+      pos_ += 5;
+      return Status::Ok();
+    }
+    return Err("expected boolean");
+  }
+
+  void SkipSpace() {
+    while (pos_ < in_.size() && (in_[pos_] == ' ' || in_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(std::string msg) const {
+    return Status::InvalidArgument(
+        StrCat("trace jsonl at offset ", pos_, ": ", msg));
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Event>> ParseJsonl(const std::string& text) {
+  std::vector<Event> events;
+  size_t start = 0;
+  size_t line_no = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    ++line_no;
+    start = end + 1;
+    if (line.empty()) continue;
+    Event e;
+    const Status s = LineParser(line).Parse(e);
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": ", s.message()));
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+}  // namespace hermes::trace

@@ -1,0 +1,166 @@
+// Structured tracing for the 2PC Agent method.
+//
+// A Tracer collects typed, virtual-time-stamped event records keyed by
+// (TxnId, SiteId): transaction begin/end, per-phase 2PC spans (DML steps,
+// PREPARE -> READY/REFUSE, COMMIT/ROLLBACK -> ACK), certification verdicts
+// with the refusal reason and the conflicting transactions, unilateral
+// aborts, resubmission attempts, site crashes, network sends and the CGM
+// baseline's centralized scheduler decisions.
+//
+// Every protocol component takes an optional `Tracer*`; a null pointer
+// means tracing is disabled and each hook is a single branch
+// (`if (tracer_ != nullptr)`), cheap enough for the certifier hot paths
+// (measured by bench_certifier_micro). Because all components run on one
+// deterministic EventLoop, two runs with the same seed produce byte-
+// identical traces — the JSONL export is suitable for golden files and for
+// cross-run diffing.
+
+#ifndef HERMES_TRACE_TRACE_H_
+#define HERMES_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/serial_number.h"
+#include "sim/event_loop.h"
+
+namespace hermes::trace {
+
+enum class EventKind : uint8_t {
+  // Coordinator-side transaction lifecycle.
+  kTxnBegin,      // global transaction submitted; value = number of steps
+  kStepStart,     // DML step sent; peer = executing site, value = step index
+  kStepEnd,       // DML response received; ok = command status
+  kPrepareSend,   // PREPARE fan-out; peer = participant, sn = SN(k)
+  kVoteRecv,      // READY/REFUSE received; peer = participant, ok = ready
+  kDecisionSend,  // COMMIT/ROLLBACK fan-out; peer = participant, ok = commit
+  kAckRecv,       // ACK received; peer = participant, ok = commit-ack
+  kTxnEnd,        // globally finished; ok = committed, value = latency (us)
+
+  // Agent-side certification, resubmission and local completion.
+  kPrepareRecv,    // PREPARE arrived at the agent; sn = SN(k)
+  kCertReady,      // certification passed, subtransaction now prepared
+  kCertRefuse,     // certification REFUSE; refuse = reason kind,
+                   // related = conflicting transactions (when known)
+  kResubmitStart,  // resubmission of the logged commands began;
+                   // resubmission = new local subtransaction index,
+                   // value = attempt number of this prepared period
+  kResubmitDone,   // all commands re-executed, new alive interval started
+  kCommitRetry,    // commit certification forced a retry;
+                   // related = prepared transactions with smaller SNs
+  kLocalCommit,    // local single-phase commit performed; sn = SN(k)
+  kLocalAbort,     // local rollback performed on coordinator decision
+
+  // LTM-side autonomy events.
+  kUnilateralAbort,  // the LDBS unilaterally aborted a subtransaction;
+                     // resubmission = aborted local subtxn index,
+                     // detail = reason (injected / lock timeout / deadlock)
+
+  // System assembly events.
+  kLocalTxnBegin,  // workload local transaction started at a site
+  kLocalTxnEnd,    // workload local transaction finished; ok = committed
+  kSiteCrash,      // CrashSite: volatile state lost
+  kSiteRecover,    // agent recovery from the log finished
+
+  // Network transport.
+  kMsgSend,  // site -> peer send; value = modeled delivery delay (us)
+
+  // Workload driver.
+  kInjectFailure,  // failure injector armed a unilateral abort;
+                   // value = injection delay (us)
+
+  // CGM baseline centralized scheduler.
+  kCgmLock,       // global lock request decided; ok = granted
+  kCgmAdmission,  // commit-graph admission decided; ok = admitted
+};
+
+// Why a certification refused a PREPARE.
+enum class RefuseKind : uint8_t {
+  kNone = 0,
+  kInterval,    // basic certification: alive intervals do not intersect
+  kExtension,   // extension: SN below the committed high-water mark
+  kDead,        // subtransaction not alive at prepare time
+  kUnknownTxn,  // PREPARE for a transaction the agent does not know
+};
+
+const char* EventKindName(EventKind kind);
+const char* RefuseKindName(RefuseKind kind);
+
+// One trace record. Only `kind` is always meaningful; the other fields are
+// populated per kind as documented on EventKind. Unset fields keep their
+// defaults and are omitted from the JSONL encoding.
+struct Event {
+  int64_t seq = -1;   // assigned by the Tracer: position in the trace
+  sim::Time at = -1;  // virtual time, stamped by the Tracer
+  EventKind kind = EventKind::kTxnBegin;
+  TxnId txn;                     // transaction the event belongs to
+  SiteId site = kInvalidSite;    // site where the event happened
+  SiteId peer = kInvalidSite;    // other endpoint (messages, fan-outs)
+  int32_t resubmission = -1;     // local subtransaction index, if relevant
+  int64_t value = -1;            // kind-specific scalar (see EventKind)
+  core::SerialNumber sn;         // serial number, when relevant
+  RefuseKind refuse = RefuseKind::kNone;
+  bool ok = true;                // kind-specific outcome flag
+  std::string detail;            // free-form context (reason messages)
+  std::vector<TxnId> related;    // other transactions involved
+
+  friend bool operator==(const Event& a, const Event& b) = default;
+
+  // One-line JSON object (no trailing newline). Field order is fixed and
+  // default-valued fields are omitted, so encoding is deterministic.
+  std::string ToJson() const;
+};
+
+class Tracer {
+ public:
+  // `loop` provides the virtual timestamps; it must outlive the tracer.
+  // May be null initially when the event loop is created later (the
+  // workload driver builds its loop inside Run and rebinds the tracer).
+  explicit Tracer(const sim::EventLoop* loop = nullptr) : loop_(loop) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Rebinds the timestamp source (events recorded earlier keep their
+  // stamps).
+  void set_loop(const sim::EventLoop* loop) { loop_ = loop; }
+
+  // Stamps `e.seq` / `e.at` and appends. Callers fill the typed fields.
+  void Record(Event e);
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // One JSON object per line, in record order.
+  std::string ToJsonl() const;
+  // Writes ToJsonl() to `path`; returns false on I/O failure.
+  bool WriteJsonl(const std::string& path) const;
+
+ private:
+  const sim::EventLoop* loop_;
+  std::vector<Event> events_;
+};
+
+// Parses a JSONL trace produced by Tracer::ToJsonl back into events
+// (round-trip: ParseJsonl(t.ToJsonl()) == t.events()). Unknown keys are
+// rejected; blank lines are skipped.
+Result<std::vector<Event>> ParseJsonl(const std::string& text);
+
+// Appends `s` as a double-quoted JSON string, escaping control characters.
+// Shared by the trace exporter and the benchmark artifact writers.
+void AppendJsonString(std::string& out, std::string_view s);
+
+// Compact encodings used inside the JSONL fields.
+std::string EncodeTxnId(const TxnId& id);
+Result<TxnId> DecodeTxnId(const std::string& text);
+std::string EncodeSerialNumber(const core::SerialNumber& sn);
+Result<core::SerialNumber> DecodeSerialNumber(const std::string& text);
+
+}  // namespace hermes::trace
+
+#endif  // HERMES_TRACE_TRACE_H_

@@ -18,6 +18,7 @@ core::MdbsConfig WorkloadConfig::ToMdbsConfig() const {
   core::MdbsConfig config;
   config.num_sites = num_sites;
   config.record_history = record_history;
+  config.tracer = tracer;
   config.network.base_latency = net_base_latency;
   config.network.jitter = net_jitter;
   config.network.seed = seed ^ 0x9e3779b97f4a7c15ULL;

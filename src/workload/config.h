@@ -72,6 +72,10 @@ struct WorkloadConfig {
   // clock_skew (section 5.2 drift experiments).
   sim::Duration clock_skew = 0;
 
+  // Optional structured tracer threaded through every component (null =
+  // disabled). Not owned; must outlive the run.
+  trace::Tracer* tracer = nullptr;
+
   core::MdbsConfig ToMdbsConfig() const;
   cgm::CgmConfig ToCgmConfig() const;
 

@@ -73,12 +73,20 @@ void InstallFailureInjector(const std::shared_ptr<RunState>& st) {
   for (SiteId s = 0; s < st->config.num_sites; ++s) {
     ltm::Ltm* ltm = st->mdbs->ltm(s);
     st->mdbs->agent(s)->set_prepared_hook(
-        [st, ltm](const TxnId& /*gtid*/, LtmTxnHandle handle) {
+        [st, ltm, s](const TxnId& gtid, LtmTxnHandle handle) {
           if (!st->rng.NextBool(st->config.p_prepared_abort)) return;
           const sim::Duration delay = static_cast<sim::Duration>(
               st->rng.NextUint64(static_cast<uint64_t>(
                                      st->config.prepared_abort_max_delay) +
                                  1));
+          if (st->config.tracer != nullptr) {
+            trace::Event e;
+            e.kind = trace::EventKind::kInjectFailure;
+            e.txn = gtid;
+            e.site = s;
+            e.value = delay;
+            st->config.tracer->Record(std::move(e));
+          }
           st->loop->ScheduleAfter(delay, [ltm, handle]() {
             // The handle may already be superseded by a resubmission or
             // committed; injection then fails harmlessly — exactly like a
@@ -138,6 +146,7 @@ void ValidateHistory(const std::shared_ptr<RunState>& st, RunResult& result) {
 RunResult Driver::Run(const WorkloadConfig& config) {
   sim::EventLoop loop;
   loop.set_max_events(200'000'000);
+  if (config.tracer != nullptr) config.tracer->set_loop(&loop);
 
   std::unique_ptr<core::Mdbs> own_mdbs;
   std::unique_ptr<cgm::CgmMdbs> own_cgm;

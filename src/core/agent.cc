@@ -69,7 +69,25 @@ void TwoPCAgent::Handle(SiteId from, const Message& msg) {
 // --- active state ----------------------------------------------------------
 
 void TwoPCAgent::OnBegin(SiteId from, const BeginMsg& msg) {
-  assert(txns_.count(msg.gtid) == 0);
+  if (FindTxn(msg.gtid) != nullptr) {
+    // Duplicate or retransmitted BEGIN: the subtransaction already exists,
+    // nothing to (re)open and nothing to acknowledge.
+    ++metrics_->dup_msgs_absorbed;
+    return;
+  }
+  if (log_.Knows(msg.gtid)) {
+    // The log knows this transaction but the volatile state does not: a
+    // crash wiped it (and recovery did not consider it in-doubt, so its
+    // pre-crash work was rolled back). Re-opening it now would silently
+    // drop the commands executed before the crash, so refuse all further
+    // work: the coordinator's DML requests get "no active subtransaction"
+    // and the global transaction rolls back.
+    AgentTxn& txn = txns_[msg.gtid];
+    txn.gtid = msg.gtid;
+    txn.coordinator = from;
+    txn.phase = Phase::kAborted;
+    return;
+  }
   AgentTxn& txn = txns_[msg.gtid];
   txn.gtid = msg.gtid;
   txn.coordinator = from;
@@ -82,7 +100,32 @@ void TwoPCAgent::OnBegin(SiteId from, const BeginMsg& msg) {
 
 void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
   AgentTxn* txn = FindTxn(msg.gtid);
-  if (txn == nullptr || txn->phase != Phase::kActive) {
+  if (txn == nullptr) {
+    // The BEGIN was lost (or this is a stray duplicate for a transaction
+    // wiped by a crash): stay silent; the coordinator times out and
+    // retransmits BEGIN + DML, or rolls back after enough attempts.
+    return;
+  }
+  if (msg.cmd_index == txn->dml_inflight_index) {
+    // Retransmission of the command currently executing (e.g. a slow lock
+    // wait outlasted the coordinator's timeout): the in-flight execution
+    // will answer.
+    ++metrics_->dup_msgs_absorbed;
+    return;
+  }
+  if (msg.cmd_index <= txn->dml_done_index) {
+    // Already executed: re-send the cached response instead of running the
+    // command a second time (exactly-once execution, at-least-once reply).
+    ++metrics_->dup_msgs_absorbed;
+    if (msg.cmd_index == txn->dml_done_index) {
+      network_->Send(config_.site, from,
+                     Message{DmlResponseMsg{msg.gtid, msg.cmd_index,
+                                            txn->dml_last_status,
+                                            txn->dml_last_result}});
+    }
+    return;
+  }
+  if (txn->phase != Phase::kActive) {
     network_->Send(config_.site, from,
                    Message{DmlResponseMsg{
                        msg.gtid, msg.cmd_index,
@@ -107,12 +150,19 @@ void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
   }
   const TxnId gtid = msg.gtid;
   const int32_t index = msg.cmd_index;
+  txn->dml_inflight_index = index;
   ltm_->Execute(txn->ltm_handle, msg.cmd,
                 [this, gtid, index, from](const Status& status,
                                           const db::CmdResult& result) {
                   AgentTxn* t = FindTxn(gtid);
-                  if (t != nullptr && status.ok()) {
-                    t->last_completion = loop_->Now();
+                  if (t != nullptr) {
+                    if (status.ok()) t->last_completion = loop_->Now();
+                    if (t->dml_inflight_index == index) {
+                      t->dml_inflight_index = -1;
+                      t->dml_done_index = index;
+                      t->dml_last_status = status;
+                      t->dml_last_result = result;
+                    }
                   }
                   network_->Send(config_.site, from,
                                  Message{DmlResponseMsg{gtid, index, status,
@@ -147,6 +197,23 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     network_->Send(config_.site, from,
                    Message{VoteMsg{msg.gtid, /*ready=*/false,
                                    Status::NotFound("unknown transaction")}});
+    return;
+  }
+  if (txn->phase == Phase::kPrepared || txn->phase == Phase::kCommitted) {
+    // Retransmitted PREPARE (the READY vote was lost): re-vote without
+    // re-running certification — the prepare record is already forced and
+    // the alive interval already registered.
+    ++metrics_->dup_msgs_absorbed;
+    network_->Send(config_.site, from,
+                   Message{VoteMsg{msg.gtid, /*ready=*/true, Status::Ok()}});
+    return;
+  }
+  if (txn->phase == Phase::kAborted) {
+    // Retransmitted PREPARE after a refusal (the REFUSE vote was lost).
+    ++metrics_->dup_msgs_absorbed;
+    network_->Send(config_.site, from,
+                   Message{VoteMsg{msg.gtid, /*ready=*/false,
+                                   Status::Aborted("previously refused")}});
     return;
   }
   txn->coordinator = from;
@@ -415,15 +482,19 @@ void TwoPCAgent::OnDecision(SiteId from, const DecisionMsg& msg) {
   if (msg.commit) {
     if (txn->phase == Phase::kCommitted) {
       // Duplicate decision (e.g. the original COMMIT plus a recovery
-      // inquiry reply): re-ack idempotently.
+      // inquiry reply, or a retransmission whose ACK was lost): re-ack
+      // idempotently.
+      ++metrics_->dup_msgs_absorbed;
       network_->Send(config_.site, from, Message{AckMsg{msg.gtid, true}});
       return;
     }
     if (txn->phase != Phase::kPrepared) return;
+    if (txn->commit_pending) ++metrics_->dup_msgs_absorbed;
     txn->commit_pending = true;
     TryCommit(*txn);
   } else {
     if (txn->phase == Phase::kAborted) {
+      ++metrics_->dup_msgs_absorbed;
       network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
       return;
     }

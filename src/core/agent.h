@@ -136,6 +136,13 @@ class TwoPCAgent {
     // Completion time of the last DML command of the current local
     // subtransaction: the start of its certification alive interval.
     sim::Time last_completion = 0;
+    // Duplicate-safe DML handling: highest command index already executed,
+    // the index currently executing (-1 = none), and the cached response of
+    // the last completed command for re-acking retransmitted requests.
+    int32_t dml_done_index = -1;
+    int32_t dml_inflight_index = -1;
+    Status dml_last_status;
+    db::CmdResult dml_last_result;
     SerialNumber sn;
     bool commit_pending = false;  // COMMIT received but not yet performed
     sim::EventId alive_timer = sim::kInvalidEvent;

@@ -69,6 +69,11 @@ class AgentLog {
   // the in-doubt set an agent must recover after a crash.
   std::vector<TxnId> InDoubt() const;
 
+  // True if any record exists for `gtid` — i.e. this agent has ever seen
+  // the transaction, even if all volatile state about it was lost in a
+  // crash.
+  bool Knows(const TxnId& gtid) const { return by_txn_.count(gtid) != 0; }
+
   // Coordinating site recorded with the begin record (kInvalidSite if the
   // transaction is unknown).
   SiteId CoordinatorOf(const TxnId& gtid) const;

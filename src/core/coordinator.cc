@@ -1,5 +1,6 @@
 #include "core/coordinator.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/str.h"
@@ -9,14 +10,20 @@ namespace hermes::core {
 Coordinator::Coordinator(SiteId site, sim::EventLoop* loop,
                          net::Network* network, const sim::SiteClock* clock,
                          history::Recorder* recorder, Metrics* metrics,
-                         trace::Tracer* tracer)
+                         trace::Tracer* tracer,
+                         const CoordinatorRetryConfig& retry)
     : site_(site),
       loop_(loop),
       network_(network),
       recorder_(recorder),
       metrics_(metrics),
       tracer_(tracer),
-      sn_generator_(site, clock) {}
+      sn_generator_(site, clock),
+      retry_(retry) {}
+
+Coordinator::~Coordinator() {
+  for (auto& [gtid, txn] : txns_) CancelRetryTimer(txn);
+}
 
 Coordinator::CoordTxn* Coordinator::FindTxn(const TxnId& gtid) {
   auto it = txns_.find(gtid);
@@ -94,12 +101,15 @@ void Coordinator::SendStep(CoordTxn& txn) {
                  Message{DmlRequestMsg{txn.gtid,
                                        static_cast<int32_t>(txn.next_step),
                                        step.cmd}});
+  ArmRetryTimer(txn);
 }
 
 void Coordinator::OnDmlResponse(const DmlResponseMsg& msg) {
   CoordTxn* txn = FindTxn(msg.gtid);
   if (txn == nullptr || txn->phase != Phase::kExecuting) return;
   if (msg.cmd_index != static_cast<int32_t>(txn->next_step)) return;
+  CancelRetryTimer(*txn);
+  txn->retry_attempt = 0;
   if (tracer_ != nullptr) {
     trace::Event e;
     e.kind = trace::EventKind::kStepEnd;
@@ -172,6 +182,7 @@ void Coordinator::SendPrepares(CoordTxn& txn) {
     }
     network_->Send(site_, s, Message{PrepareMsg{txn.gtid, txn.sn}});
   }
+  ArmRetryTimer(txn);
 }
 
 void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
@@ -200,20 +211,28 @@ void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
     // All READY: record the global commit decision C_k, then COMMIT.
     recorder_->RecordGlobalCommit(txn->gtid, site_);
     txn->phase = Phase::kCommitting;
-    txn->acks_pending = txn->begun;
-    for (SiteId s : txn->begun) {
-      if (tracer_ != nullptr) {
-        trace::Event e;
-        e.kind = trace::EventKind::kDecisionSend;
-        e.txn = txn->gtid;
-        e.site = site_;
-        e.peer = s;
-        e.ok = true;
-        tracer_->Record(std::move(e));
-      }
-      network_->Send(site_, s, Message{DecisionMsg{txn->gtid, true}});
-    }
+    SendDecisions(*txn, /*commit=*/true);
   }
+}
+
+void Coordinator::SendDecisions(CoordTxn& txn, bool commit) {
+  CancelRetryTimer(txn);
+  txn.retry_attempt = 0;
+  txn.acks_pending = txn.begun;
+  for (SiteId s : txn.begun) {
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kDecisionSend;
+      e.txn = txn.gtid;
+      e.site = site_;
+      e.peer = s;
+      e.ok = commit;
+      if (!commit) e.detail = txn.failure.ToString();
+      tracer_->Record(std::move(e));
+    }
+    network_->Send(site_, s, Message{DecisionMsg{txn.gtid, commit}});
+  }
+  ArmRetryTimer(txn);
 }
 
 void Coordinator::Handle(SiteId from, const Message& msg) {
@@ -247,23 +266,11 @@ void Coordinator::StartRollback(CoordTxn& txn, const Status& reason) {
   txn.phase = Phase::kRollingBack;
   recorder_->RecordGlobalAbort(txn.gtid, site_);
   if (txn.begun.empty()) {
+    CancelRetryTimer(txn);
     FinishTxn(txn, /*committed=*/false);
     return;
   }
-  txn.acks_pending = txn.begun;
-  for (SiteId s : txn.begun) {
-    if (tracer_ != nullptr) {
-      trace::Event e;
-      e.kind = trace::EventKind::kDecisionSend;
-      e.txn = txn.gtid;
-      e.site = site_;
-      e.peer = s;
-      e.ok = false;
-      e.detail = reason.ToString();
-      tracer_->Record(std::move(e));
-    }
-    network_->Send(site_, s, Message{DecisionMsg{txn.gtid, false}});
-  }
+  SendDecisions(txn, /*commit=*/false);
 }
 
 void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
@@ -287,7 +294,110 @@ void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
   }
 }
 
+// --- timeouts and retransmission ---------------------------------------------
+
+void Coordinator::ArmRetryTimer(CoordTxn& txn) {
+  CancelRetryTimer(txn);
+  sim::Duration timeout = retry_.timeout;
+  for (int i = 0; i < txn.retry_attempt; ++i) {
+    timeout = std::min(timeout * 2, retry_.max_timeout);
+  }
+  const TxnId gtid = txn.gtid;
+  txn.retry_timer = loop_->ScheduleAfter(
+      timeout, [this, gtid]() { OnRetryTimeout(gtid); });
+}
+
+void Coordinator::CancelRetryTimer(CoordTxn& txn) {
+  if (txn.retry_timer != sim::kInvalidEvent) {
+    loop_->Cancel(txn.retry_timer);
+    txn.retry_timer = sim::kInvalidEvent;
+  }
+}
+
+void Coordinator::TraceRetransmit(const CoordTxn& txn, SiteId peer,
+                                  const char* what) {
+  ++metrics_->retransmits;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kRetransmit;
+    e.txn = txn.gtid;
+    e.site = site_;
+    e.peer = peer;
+    e.value = txn.retry_attempt;
+    e.detail = what;
+    tracer_->Record(std::move(e));
+  }
+}
+
+void Coordinator::OnRetryTimeout(const TxnId& gtid) {
+  CoordTxn* txn = FindTxn(gtid);
+  if (txn == nullptr) return;
+  txn->retry_timer = sim::kInvalidEvent;
+  switch (txn->phase) {
+    case Phase::kExecuting: {
+      if (txn->next_step >= txn->spec.steps.size()) return;
+      ++txn->retry_attempt;
+      if (txn->retry_attempt > retry_.max_attempts) {
+        ++metrics_->global_aborted_timeout;
+        StartRollback(*txn, Status::Unavailable(StrCat(
+                                "step ", txn->next_step, " unacknowledged "
+                                "after ", retry_.max_attempts, " attempts")));
+        return;
+      }
+      // Re-send BEGIN along with the command: either may have been the
+      // loss, and the agent ignores a duplicate BEGIN.
+      const GlobalTxnSpec::Step& step = txn->spec.steps[txn->next_step];
+      TraceRetransmit(*txn, step.site, "dml");
+      network_->Send(site_, step.site, Message{BeginMsg{txn->gtid}});
+      network_->Send(
+          site_, step.site,
+          Message{DmlRequestMsg{txn->gtid,
+                                static_cast<int32_t>(txn->next_step),
+                                step.cmd}});
+      ArmRetryTimer(*txn);
+      break;
+    }
+    case Phase::kPreparing: {
+      if (txn->votes_pending.empty()) return;
+      ++txn->retry_attempt;
+      if (txn->retry_attempt > retry_.max_attempts) {
+        // No decision was taken yet: presumed abort of the unresponsive
+        // participants is always safe.
+        ++metrics_->global_aborted_timeout;
+        ++metrics_->global_aborted_cert;
+        StartRollback(*txn,
+                      Status::Unavailable(StrCat(
+                          txn->votes_pending.size(), " vote(s) missing "
+                          "after ", retry_.max_attempts, " attempts")));
+        return;
+      }
+      for (SiteId s : txn->votes_pending) {
+        TraceRetransmit(*txn, s, "prepare");
+        network_->Send(site_, s, Message{PrepareMsg{txn->gtid, txn->sn}});
+      }
+      ArmRetryTimer(*txn);
+      break;
+    }
+    case Phase::kCommitting:
+    case Phase::kRollingBack: {
+      if (txn->acks_pending.empty()) return;
+      // A decision must reach every participant: retransmit without an
+      // attempt bound, with the backoff capped at max_timeout. The agent
+      // re-acks decisions for transactions in any state.
+      ++txn->retry_attempt;
+      const bool commit = txn->phase == Phase::kCommitting;
+      for (SiteId s : txn->acks_pending) {
+        TraceRetransmit(*txn, s, "decision");
+        network_->Send(site_, s, Message{DecisionMsg{txn->gtid, commit}});
+      }
+      ArmRetryTimer(*txn);
+      break;
+    }
+  }
+}
+
 void Coordinator::FinishTxn(CoordTxn& txn, bool committed) {
+  CancelRetryTimer(txn);
   if (committed) {
     ++metrics_->global_committed;
     metrics_->AddLatency(loop_->Now() - txn.start_time);

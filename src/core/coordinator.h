@@ -59,6 +59,20 @@ struct GlobalTxnResult {
 
 using GlobalTxnCallback = std::function<void(const GlobalTxnResult&)>;
 
+// Timeout/retransmission tuning for unreliable networks. With a reliable
+// network the timers are armed and cancelled but never fire; under message
+// loss they drive bounded-backoff retransmission of BEGIN+DML and PREPARE
+// (giving up into a presumed abort after max_attempts) and unbounded
+// retransmission of COMMIT/ROLLBACK decisions (a decision, once taken,
+// must reach every participant — the agents' handlers are duplicate-safe).
+struct CoordinatorRetryConfig {
+  // First retransmission timeout; doubled per attempt up to max_timeout.
+  sim::Duration timeout = 25 * sim::kMillisecond;
+  sim::Duration max_timeout = 400 * sim::kMillisecond;
+  // Attempts for DML steps and PREPARE before aborting the transaction.
+  int max_attempts = 10;
+};
+
 // CGM (and other DTM variants) interpose here.
 struct CoordinatorHooks {
   // Invoked before executing each step; call done(OK) to proceed,
@@ -79,7 +93,9 @@ class Coordinator {
   // `tracer` may be null (tracing disabled).
   Coordinator(SiteId site, sim::EventLoop* loop, net::Network* network,
               const sim::SiteClock* clock, history::Recorder* recorder,
-              Metrics* metrics, trace::Tracer* tracer = nullptr);
+              Metrics* metrics, trace::Tracer* tracer = nullptr,
+              const CoordinatorRetryConfig& retry = {});
+  ~Coordinator();
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
@@ -126,6 +142,11 @@ class Coordinator {
     Status failure;
     bool certification_refused = false;
     sim::Time start_time = 0;
+    // One retransmission timer per transaction, re-armed per phase: covers
+    // the in-flight DML step while executing, outstanding votes while
+    // preparing and outstanding acks while committing / rolling back.
+    sim::EventId retry_timer = sim::kInvalidEvent;
+    int retry_attempt = 0;
   };
 
   void ExecuteNextStep(const TxnId& gtid);
@@ -134,9 +155,16 @@ class Coordinator {
   void StartCommit(const TxnId& gtid);
   void SendPrepares(CoordTxn& txn);
   void OnVote(SiteId from, const VoteMsg& msg);
+  void SendDecisions(CoordTxn& txn, bool commit);
   void StartRollback(CoordTxn& txn, const Status& reason);
   void OnAck(SiteId from, const AckMsg& msg);
   void FinishTxn(CoordTxn& txn, bool committed);
+
+  // Retransmission machinery.
+  void ArmRetryTimer(CoordTxn& txn);
+  void CancelRetryTimer(CoordTxn& txn);
+  void OnRetryTimeout(const TxnId& gtid);
+  void TraceRetransmit(const CoordTxn& txn, SiteId peer, const char* what);
 
   CoordTxn* FindTxn(const TxnId& gtid);
 
@@ -148,6 +176,7 @@ class Coordinator {
   trace::Tracer* tracer_;
   SerialNumberGenerator sn_generator_;
   CoordinatorHooks hooks_;
+  CoordinatorRetryConfig retry_;
 
   bool sn_at_submit_ = false;
   int64_t next_seq_ = 0;

@@ -114,7 +114,7 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
                                                config_.tracer);
     site->coordinator = std::make_unique<Coordinator>(
         s, loop_, network_.get(), site->clock.get(), recorder_.get(),
-        &metrics_, config_.tracer);
+        &metrics_, config_.tracer, config_.coordinator_retry);
     sites_.push_back(std::move(site));
   }
   for (SiteId s = 0; s < config_.num_sites; ++s) {

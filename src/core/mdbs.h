@@ -30,6 +30,7 @@ struct MdbsConfig {
   // Per-site templates; the site id field is filled in per site.
   ltm::LtmConfig ltm;
   AgentConfig agent;
+  CoordinatorRetryConfig coordinator_retry;
   net::NetworkConfig network;
   // Optional per-site clock skew (section 5.2 experiments). Missing entries
   // default to zero.

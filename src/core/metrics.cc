@@ -8,7 +8,10 @@ std::string Metrics::ToString() const {
   std::string out;
   StrAppend(out, "global: committed=", global_committed,
             " aborted=", global_aborted, " (cert=", global_aborted_cert,
-            ", dml=", global_aborted_dml, ")\n");
+            ", dml=", global_aborted_dml,
+            ", timeout=", global_aborted_timeout, ")\n");
+  StrAppend(out, "network: retransmits=", retransmits,
+            " dup_msgs_absorbed=", dup_msgs_absorbed, "\n");
   StrAppend(out, "certifier: prepares=", prepares_received,
             " refuse[ext=", refuse_extension, " interval=", refuse_interval,
             " dead=", refuse_dead, "] commit_retries=", commit_cert_retries,

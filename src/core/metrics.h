@@ -18,6 +18,11 @@ struct Metrics {
   int64_t global_aborted = 0;
   int64_t global_aborted_cert = 0;      // aborted due to certification REFUSE
   int64_t global_aborted_dml = 0;       // aborted due to a failed command
+  int64_t global_aborted_timeout = 0;   // aborted after retransmissions ran out
+
+  // Unreliable-network robustness (coordinator + agent view).
+  int64_t retransmits = 0;        // protocol messages re-sent after a timeout
+  int64_t dup_msgs_absorbed = 0;  // duplicate messages handled idempotently
 
   // Certifier activity (agent view).
   int64_t prepares_received = 0;

@@ -11,6 +11,7 @@ EventId EventLoop::ScheduleAt(Time at, std::function<void()> fn) {
   if (at < now_) at = now_;
   const EventId id = next_id_++;
   queue_.push(Event{at, id, std::move(fn)});
+  pending_.insert(id);
   return id;
 }
 
@@ -20,10 +21,11 @@ EventId EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
 }
 
 bool EventLoop::Cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return false;
-  // Lazily discarded when popped. Double-cancel and cancel-after-run are
-  // detected by membership in the processed range via cancelled_ bookkeeping.
-  return cancelled_.insert(id).second;
+  // Only a still-pending event can be cancelled: an already-executed or
+  // already-cancelled id is rejected, and nothing is recorded for it.
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);  // tombstone, discarded lazily when popped
+  return true;
 }
 
 bool EventLoop::PopNext(Event& out) {
@@ -36,6 +38,7 @@ bool EventLoop::PopNext(Event& out) {
       queue_.pop();
       continue;
     }
+    pending_.erase(top.id);
     out = std::move(top);
     queue_.pop();
     return true;
@@ -88,7 +91,10 @@ uint64_t EventLoop::RunUntil(Time deadline) {
     }
     ev.fn();
   }
-  if (now_ < deadline && !Empty()) now_ = deadline;
+  // The whole slice up to `deadline` was simulated: advance the clock even
+  // when the queue drained early, so back-to-back RunUntil calls measure
+  // wall-clock-like virtual time instead of sticking at the last event.
+  if (now_ < deadline) now_ = deadline;
   return n;
 }
 

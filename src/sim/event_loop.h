@@ -51,15 +51,16 @@ class EventLoop {
   // processed.
   uint64_t Run();
 
-  // Runs events with time <= `deadline`; afterwards Now() == deadline if any
-  // events remained, or the time of the last event otherwise.
+  // Runs events with time <= `deadline`; afterwards Now() == deadline (the
+  // slice of virtual time was fully simulated even if the queue drained
+  // early), unless Now() was already past it.
   uint64_t RunUntil(Time deadline);
 
   // Runs a single event if one is pending. Returns false if the queue is
   // empty.
   bool Step();
 
-  bool Empty() const { return queue_.size() == cancelled_.size(); }
+  bool Empty() const { return pending_.empty(); }
   uint64_t events_processed() const { return events_processed_; }
 
   // Safety valve for tests: Run() aborts the process after this many events
@@ -87,6 +88,12 @@ class EventLoop {
   uint64_t events_processed_ = 0;
   uint64_t max_events_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  // An id lives in exactly one of these two sets while its Event is still
+  // physically queued: `pending_` until it runs or is cancelled,
+  // `cancelled_` from cancellation until the tombstone is popped. Ids of
+  // already-executed events are in neither, so Cancel can reject them in
+  // O(1) without remembering the whole execution history.
+  std::unordered_set<EventId> pending_;
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -52,6 +52,12 @@ const char* EventKindName(EventKind kind) {
       return "site_recover";
     case EventKind::kMsgSend:
       return "msg_send";
+    case EventKind::kMsgDrop:
+      return "msg_drop";
+    case EventKind::kMsgDup:
+      return "msg_dup";
+    case EventKind::kRetransmit:
+      return "retransmit";
     case EventKind::kInjectFailure:
       return "inject_failure";
     case EventKind::kCgmLock:
@@ -93,8 +99,9 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kUnilateralAbort, EventKind::kLocalTxnBegin,
     EventKind::kLocalTxnEnd,    EventKind::kSiteCrash,
     EventKind::kSiteRecover,    EventKind::kMsgSend,
-    EventKind::kInjectFailure,  EventKind::kCgmLock,
-    EventKind::kCgmAdmission,
+    EventKind::kMsgDrop,        EventKind::kMsgDup,
+    EventKind::kRetransmit,     EventKind::kInjectFailure,
+    EventKind::kCgmLock,        EventKind::kCgmAdmission,
 };
 
 constexpr RefuseKind kAllRefuseKinds[] = {

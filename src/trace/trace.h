@@ -68,6 +68,14 @@ enum class EventKind : uint8_t {
 
   // Network transport.
   kMsgSend,  // site -> peer send; value = modeled delivery delay (us)
+  kMsgDrop,  // injected fault or dead destination swallowed a message;
+             // detail = cause (loss / partition / unregistered)
+  kMsgDup,   // fault injection delivered a second copy; value = its delay
+
+  // Retransmission (coordinator timeout machinery).
+  kRetransmit,  // a protocol message was re-sent after a timeout;
+                // peer = destination, value = attempt number,
+                // detail = message kind (dml / prepare / decision)
 
   // Workload driver.
   kInjectFailure,  // failure injector armed a unilateral abort;

@@ -22,6 +22,13 @@ core::MdbsConfig WorkloadConfig::ToMdbsConfig() const {
   config.network.base_latency = net_base_latency;
   config.network.jitter = net_jitter;
   config.network.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  config.network.loss_prob = net_loss_prob;
+  config.network.dup_prob = net_dup_prob;
+  config.network.reorder_prob = net_reorder_prob;
+  config.network.reorder_window = net_reorder_window;
+  config.coordinator_retry.timeout = retry_timeout;
+  config.coordinator_retry.max_timeout = retry_max_timeout;
+  config.coordinator_retry.max_attempts = retry_max_attempts;
   config.ltm.rigorous = rigorous_ltm;
   config.ltm.lock_wait_timeout = lock_wait_timeout;
   config.ltm.deadlock_detection = deadlock_detection;
@@ -53,7 +60,8 @@ std::string WorkloadConfig::ToString() const {
                 " rows=", rows_per_table, " zipf=", zipf_theta,
                 " gclients=", global_clients,
                 " lclients=", local_clients_per_site,
-                " p_fail=", p_prepared_abort,
+                " p_fail=", p_prepared_abort, " loss=", net_loss_prob,
+                " dup=", net_dup_prob, " reorder=", net_reorder_prob,
                 " policy=", core::CertPolicyName(policy),
                 " target=", target_global_txns, " seed=", seed);
 }

@@ -42,6 +42,12 @@ struct WorkloadConfig {
   // unilaterally aborted by its LDBS while prepared.
   double p_prepared_abort = 0.0;
   sim::Duration prepared_abort_max_delay = 30 * sim::kMillisecond;
+  // Network fault injection (see net::NetworkConfig): per-message loss,
+  // duplicate delivery, and FIFO-breaking reorder probabilities.
+  double net_loss_prob = 0.0;
+  double net_dup_prob = 0.0;
+  double net_reorder_prob = 0.0;
+  sim::Duration net_reorder_window = 5 * sim::kMillisecond;
 
   // --- termination --------------------------------------------------------------
   int target_global_txns = 200;
@@ -66,6 +72,10 @@ struct WorkloadConfig {
   sim::Duration net_jitter = 0;
   sim::Duration alive_check_interval = 25 * sim::kMillisecond;
   sim::Duration commit_retry_interval = 5 * sim::kMillisecond;
+  // Coordinator timeout/retransmission (see core::CoordinatorRetryConfig).
+  sim::Duration retry_timeout = 25 * sim::kMillisecond;
+  sim::Duration retry_max_timeout = 400 * sim::kMillisecond;
+  int retry_max_attempts = 10;
   sim::Duration lock_wait_timeout = 500 * sim::kMillisecond;
   sim::Duration cgm_global_lock_timeout = 1 * sim::kSecond;
   // Per-site clock offsets: site s gets offset (s % 2 ? +1 : -1) *

@@ -191,6 +191,9 @@ RunResult Driver::Run(const WorkloadConfig& config) {
   RunResult result;
   result.metrics = mdbs->metrics();
   result.messages = mdbs->network().messages_sent();
+  result.msgs_dropped = mdbs->network().messages_dropped();
+  result.msgs_duplicated = mdbs->network().messages_duplicated();
+  result.msgs_reordered = mdbs->network().messages_reordered();
   result.end_time = st->done_at >= 0 ? st->done_at : loop.Now();
   result.events = loop.events_processed();
   for (SiteId s = 0; s < config.num_sites; ++s) {
@@ -219,6 +222,10 @@ std::string RunResult::Summary() const {
             ") resub=", metrics.resubmissions,
             " tput=", CommitsPerSecond(), "/s",
             " mean_lat_ms=", metrics.MeanLatencyMs());
+  if (msgs_dropped > 0 || msgs_duplicated > 0 || metrics.retransmits > 0) {
+    StrAppend(out, " drops=", msgs_dropped, " dups=", msgs_duplicated,
+              " retx=", metrics.retransmits);
+  }
   if (history_checked) {
     StrAppend(out, " | CG=", commit_graph_acyclic ? "acyclic" : "CYCLIC",
               " oracle=", history::VerdictName(verdict),

@@ -21,6 +21,10 @@ struct RunResult {
   // LTM stats aggregated over all sites.
   ltm::LtmStats ltm;
   int64_t messages = 0;
+  // Network fault-injection tallies (zero on a reliable network).
+  int64_t msgs_dropped = 0;
+  int64_t msgs_duplicated = 0;
+  int64_t msgs_reordered = 0;
   sim::Time end_time = 0;
   uint64_t events = 0;
   // History validation (when record_history).

@@ -1,0 +1,265 @@
+// Unreliable-network fault matrix: duplicate-safe agent handlers driven
+// with replayed and out-of-order protocol messages, coordinator
+// timeout/retransmission against partitions and lossy links, and a full
+// workload run on a lossy, duplicating, reordering network validated
+// against the serializability oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/mdbs.h"
+#include "workload/driver.h"
+
+namespace hermes {
+namespace {
+
+using core::BeginMsg;
+using core::DecisionMsg;
+using core::DmlRequestMsg;
+using core::Message;
+using core::PrepareMsg;
+using core::SerialNumber;
+
+// Drives the agent at site 0 of a single-site Mdbs with hand-crafted
+// protocol messages from a phantom coordinator (replies are ignored), so
+// duplicated and out-of-order deliveries can be scripted exactly.
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<core::Mdbs> Build() {
+    core::MdbsConfig config;
+    config.num_sites = 1;
+    auto mdbs = std::make_unique<core::Mdbs>(config, &loop_);
+    table_ = *mdbs->CreateTable(0, "t");
+    for (int64_t k = 0; k < 8; ++k) {
+      EXPECT_TRUE(mdbs->LoadRow(0, table_, k,
+                                db::Row{{"v", db::Value(int64_t{0})}})
+                      .ok());
+    }
+    loop_.set_max_events(1'000'000);
+    return mdbs;
+  }
+
+  void Send(core::Mdbs& mdbs, const Message& msg) {
+    mdbs.network().Send(0, 0, msg);
+  }
+
+  void Drain() { loop_.RunUntil(loop_.Now() + 50 * sim::kMillisecond); }
+
+  int64_t Val(core::Mdbs& mdbs, int64_t key) {
+    const db::RowEntry* entry = mdbs.storage(0)->GetTable(table_)->Get(key);
+    if (entry == nullptr || !entry->live()) return -1;
+    return std::get<int64_t>(*entry->row->Get("v"));
+  }
+
+  sim::EventLoop loop_;
+  db::TableId table_ = -1;
+};
+
+TEST_F(FaultMatrixTest, EveryProtocolMessageDuplicatedIsAbsorbedOnce) {
+  auto mdbs = Build();
+  const TxnId g = TxnId::MakeGlobal(0, 1);
+  const auto dml = db::MakeAddKey(table_, 1, "v", int64_t{1});
+
+  Send(*mdbs, Message{BeginMsg{g}});
+  Send(*mdbs, Message{BeginMsg{g}});  // duplicate
+  Send(*mdbs, Message{DmlRequestMsg{g, 0, dml}});
+  Send(*mdbs, Message{DmlRequestMsg{g, 0, dml}});  // duplicate, in flight
+  Drain();
+  Send(*mdbs, Message{DmlRequestMsg{g, 0, dml}});  // duplicate, completed
+  Drain();
+  Send(*mdbs, Message{PrepareMsg{g, SerialNumber{100, 0, 0}}});
+  Send(*mdbs, Message{PrepareMsg{g, SerialNumber{100, 0, 0}}});  // duplicate
+  Drain();
+  Send(*mdbs, Message{DecisionMsg{g, true}});
+  Send(*mdbs, Message{DecisionMsg{g, true}});  // duplicate
+  Drain();
+
+  // The add was applied exactly once and the transaction committed once.
+  EXPECT_EQ(Val(*mdbs, 1), 1);
+  EXPECT_TRUE(mdbs->agent(0)->log().HasComplete(g));
+  EXPECT_EQ(mdbs->agent(0)->log().CommandsOf(g).size(), 1u);
+  EXPECT_EQ(mdbs->agent(0)->alive_table().size(), 0u);
+  EXPECT_GE(mdbs->metrics().dup_msgs_absorbed, 5);
+}
+
+TEST_F(FaultMatrixTest, ReplayedOutOfOrderRunMatchesCleanFinalState) {
+  const TxnId g = TxnId::MakeGlobal(0, 1);
+  const TxnId stray = TxnId::MakeGlobal(0, 99);  // never begun anywhere
+
+  auto clean = Build();
+  const auto dml0 = db::MakeAddKey(table_, 1, "v", int64_t{5});
+  Send(*clean, Message{BeginMsg{g}});
+  Send(*clean, Message{DmlRequestMsg{g, 0, dml0}});
+  Drain();
+  Send(*clean, Message{PrepareMsg{g, SerialNumber{100, 0, 0}}});
+  Drain();
+  Send(*clean, Message{DecisionMsg{g, true}});
+  Drain();
+
+  auto hostile = Build();
+  // DML overtakes its BEGIN: absorbed silently, the retransmission lands.
+  Send(*hostile, Message{DmlRequestMsg{g, 0, dml0}});
+  Send(*hostile, Message{BeginMsg{g}});
+  Send(*hostile, Message{DmlRequestMsg{g, 0, dml0}});
+  Drain();
+  // COMMIT overtakes PREPARE: ignored until the state supports it.
+  Send(*hostile, Message{DecisionMsg{g, true}});
+  Send(*hostile, Message{PrepareMsg{g, SerialNumber{100, 0, 0}}});
+  Drain();
+  // Stray rollback for a transaction this agent never saw: just acked.
+  Send(*hostile, Message{DecisionMsg{stray, false}});
+  // The retransmitted COMMIT (plus one duplicate) completes the protocol.
+  Send(*hostile, Message{DecisionMsg{g, true}});
+  Send(*hostile, Message{DecisionMsg{g, true}});
+  Drain();
+
+  // Same final database state as the fault-free run.
+  for (int64_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(Val(*hostile, k), Val(*clean, k)) << "key " << k;
+  }
+  EXPECT_EQ(Val(*hostile, 1), 5);
+  EXPECT_TRUE(hostile->agent(0)->log().HasComplete(g));
+  EXPECT_EQ(hostile->agent(0)->log().CommandsOf(g).size(), 1u);
+}
+
+TEST_F(FaultMatrixTest, RetransmittedBeginCannotResurrectCrashedTxn) {
+  auto mdbs = Build();
+  const TxnId g = TxnId::MakeGlobal(0, 1);
+  Send(*mdbs, Message{BeginMsg{g}});
+  Send(*mdbs, Message{DmlRequestMsg{
+                  g, 0, db::MakeAddKey(table_, 1, "v", int64_t{1})}});
+  Drain();
+
+  // The site crashes before PREPARE: the add is rolled back, the volatile
+  // transaction is gone, but the agent log still knows the gtid.
+  mdbs->CrashSite(0);
+  EXPECT_EQ(Val(*mdbs, 1), 0);
+
+  // A retransmitted BEGIN + a later DML must not silently re-open the
+  // subtransaction — the command executed before the crash would be lost,
+  // committing only half the subtransaction's work.
+  Send(*mdbs, Message{BeginMsg{g}});
+  Send(*mdbs, Message{DmlRequestMsg{
+                  g, 1, db::MakeAddKey(table_, 2, "v", int64_t{1})}});
+  Drain();
+  Send(*mdbs, Message{PrepareMsg{g, SerialNumber{100, 0, 0}}});
+  Drain();
+
+  // Nothing re-executed, nothing prepared: the vote was REFUSE and the
+  // coordinator will roll the global transaction back.
+  EXPECT_EQ(Val(*mdbs, 1), 0);
+  EXPECT_EQ(Val(*mdbs, 2), 0);
+  EXPECT_EQ(mdbs->agent(0)->log().CommandsOf(g).size(), 1u);
+  EXPECT_EQ(mdbs->agent(0)->alive_table().size(), 0u);
+  EXPECT_FALSE(mdbs->ltm(0)->IsActive(mdbs->agent(0)->HandleOf(g)));
+}
+
+// --- coordinator timeout / retransmission ------------------------------------
+
+TEST(FaultRecovery, CoordinatorRetransmitsThroughATimedPartition) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  config.coordinator_retry.timeout = 5 * sim::kMillisecond;
+  config.coordinator_retry.max_timeout = 20 * sim::kMillisecond;
+  config.coordinator_retry.max_attempts = 100;
+  core::Mdbs mdbs(config, &loop);
+  const db::TableId table = *mdbs.CreateTableEverywhere("t");
+  ASSERT_TRUE(
+      mdbs.LoadRow(1, table, 1, db::Row{{"v", db::Value(int64_t{0})}}).ok());
+
+  // Sites 0 and 1 cannot talk for the first 50ms; every BEGIN/DML sent in
+  // that window is dropped and must be recovered by retransmission.
+  mdbs.network().Partition(0, 1, 50 * sim::kMillisecond);
+
+  core::GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table, 1, "v", int64_t{1}), {}});
+  Status status = Status::Internal("callback never ran");
+  mdbs.Submit(std::move(spec),
+              [&](const core::GlobalTxnResult& result) {
+                status = result.status;
+              },
+              /*coordinator_site=*/0);
+  loop.Run();
+
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(mdbs.metrics().global_committed, 1);
+  EXPECT_GT(mdbs.metrics().retransmits, 0);
+  EXPECT_GT(mdbs.network().messages_dropped(), 0);
+}
+
+TEST(FaultRecovery, CoordinatorGivesUpAfterBoundedAttempts) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  config.coordinator_retry.timeout = 2 * sim::kMillisecond;
+  config.coordinator_retry.max_timeout = 8 * sim::kMillisecond;
+  config.coordinator_retry.max_attempts = 3;
+  core::Mdbs mdbs(config, &loop);
+  const db::TableId table = *mdbs.CreateTableEverywhere("t");
+  ASSERT_TRUE(
+      mdbs.LoadRow(1, table, 1, db::Row{{"v", db::Value(int64_t{0})}}).ok());
+
+  // The 0 -> 1 link loses everything until it heals at t = 200ms — long
+  // after the DML retransmission budget is exhausted. The coordinator must
+  // abort the transaction, then keep retransmitting the ROLLBACK decision
+  // (unbounded) until the healed link finally delivers it.
+  mdbs.network().SetLinkLoss(0, 1, 1.0);
+  loop.ScheduleAt(200 * sim::kMillisecond,
+                  [&] { mdbs.network().ClearLinkLoss(0, 1); });
+
+  core::GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table, 1, "v", int64_t{1}), {}});
+  Status status = Status::Ok();
+  mdbs.Submit(std::move(spec),
+              [&](const core::GlobalTxnResult& result) {
+                status = result.status;
+              },
+              /*coordinator_site=*/0);
+  loop.Run();
+
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(mdbs.metrics().global_aborted, 1);
+  EXPECT_EQ(mdbs.metrics().global_aborted_timeout, 1);
+  EXPECT_EQ(mdbs.metrics().global_committed, 0);
+  const db::RowEntry* entry = mdbs.storage(1)->GetTable(table)->Get(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(std::get<int64_t>(*entry->row->Get("v")), 0);
+}
+
+// --- full workload on an unreliable network ----------------------------------
+
+// Acceptance criterion of the fault-injection work: a 200-transaction
+// seeded workload on a network losing 10% and duplicating 5% of the
+// messages terminates, commits through retransmission, and its committed
+// projection stays view-serializable.
+TEST(FaultWorkload, LossyDuplicatingNetworkStaysViewSerializable) {
+  workload::WorkloadConfig config;
+  config.seed = 20260807;
+  config.num_sites = 4;
+  config.global_clients = 8;
+  config.target_global_txns = 200;
+  config.net_loss_prob = 0.10;
+  config.net_dup_prob = 0.05;
+  config.net_reorder_prob = 0.05;
+  config.record_history = true;
+  const workload::RunResult result = workload::Driver::Run(config);
+
+  EXPECT_EQ(result.metrics.global_committed + result.metrics.global_aborted,
+            200);
+  EXPECT_GT(result.metrics.global_committed, 0);
+  EXPECT_GT(result.metrics.retransmits, 0);
+  EXPECT_GT(result.metrics.dup_msgs_absorbed, 0);
+  EXPECT_GT(result.msgs_dropped, 0);
+  EXPECT_GT(result.msgs_duplicated, 0);
+  ASSERT_TRUE(result.history_checked);
+  EXPECT_TRUE(result.commit_graph_acyclic);
+  EXPECT_TRUE(result.replay_consistent) << result.replay_error;
+  EXPECT_NE(result.verdict, history::Verdict::kNotSerializable)
+      << result.verdict_detail;
+}
+
+}  // namespace
+}  // namespace hermes

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <vector>
 
 namespace hermes::net {
@@ -92,6 +94,142 @@ TEST(Network, IndependentPairsDoNotBlockEachOther) {
   loop.Run();
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].second, got[1].second);  // same latency, no coupling
+}
+
+// --- fault injection ---------------------------------------------------------
+
+TEST(NetworkFaults, UnregisteredDestinationIsDroppedNotFatal) {
+  sim::EventLoop loop;
+  Network net(NetworkConfig{}, &loop);
+  net.RegisterEndpoint(0, [](const Envelope&) {});
+  net.Send(0, 99, 1);  // site 99 never started (or crashed)
+  loop.Run();
+  EXPECT_EQ(net.messages_sent(), 1);
+  EXPECT_EQ(net.messages_dropped(), 1);
+}
+
+TEST(NetworkFaults, LossDropsRoughlyTheConfiguredFraction) {
+  sim::EventLoop loop;
+  NetworkConfig config;
+  config.loss_prob = 0.5;
+  config.seed = 7;
+  Network net(config, &loop);
+  int got = 0;
+  net.RegisterEndpoint(1, [&](const Envelope&) { ++got; });
+  net.RegisterEndpoint(0, [](const Envelope&) {});
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) net.Send(0, 1, i);
+  loop.Run();
+  EXPECT_EQ(got + net.messages_dropped(), n);
+  EXPECT_GT(got, 400);
+  EXPECT_LT(got, 600);
+}
+
+TEST(NetworkFaults, PerLinkLossOverridesGlobalProbability) {
+  sim::EventLoop loop;
+  NetworkConfig config;
+  config.loss_prob = 1.0;  // everything inter-site is lost ...
+  Network net(config, &loop);
+  std::map<SiteId, int> got;
+  for (SiteId s : {1, 2}) {
+    net.RegisterEndpoint(s, [&, s](const Envelope&) { ++got[s]; });
+  }
+  net.RegisterEndpoint(0, [](const Envelope&) {});
+  net.SetLinkLoss(0, 1, 0.0);  // ... except on the pinned-lossless link
+  for (int i = 0; i < 20; ++i) {
+    net.Send(0, 1, i);
+    net.Send(0, 2, i);
+  }
+  loop.Run();
+  EXPECT_EQ(got[1], 20);
+  EXPECT_EQ(got[2], 0);
+  net.ClearLinkLoss(0, 1);
+  net.Send(0, 1, 0);
+  loop.Run();
+  EXPECT_EQ(got[1], 20);  // back to the global probability
+}
+
+TEST(NetworkFaults, DuplicationDeliversASecondCopy) {
+  sim::EventLoop loop;
+  NetworkConfig config;
+  config.dup_prob = 1.0;
+  Network net(config, &loop);
+  std::vector<int> got;
+  net.RegisterEndpoint(1, [&](const Envelope& env) {
+    got.push_back(std::any_cast<int>(env.payload));
+  });
+  net.RegisterEndpoint(0, [](const Envelope&) {});
+  for (int i = 0; i < 10; ++i) net.Send(0, 1, i);
+  loop.Run();
+  EXPECT_EQ(got.size(), 20u);
+  EXPECT_EQ(net.messages_duplicated(), 10);
+  EXPECT_EQ(net.messages_sent(), 10);  // duplicates are not counted as sends
+}
+
+TEST(NetworkFaults, ReorderingBreaksFifoDelivery) {
+  sim::EventLoop loop;
+  NetworkConfig config;
+  config.base_latency = 1 * sim::kMillisecond;
+  config.reorder_prob = 0.3;
+  config.reorder_window = 10 * sim::kMillisecond;
+  config.seed = 11;
+  Network net(config, &loop);
+  std::vector<int> got;
+  net.RegisterEndpoint(1, [&](const Envelope& env) {
+    got.push_back(std::any_cast<int>(env.payload));
+  });
+  net.RegisterEndpoint(0, [](const Envelope&) {});
+  const int n = 100;
+  for (int i = 0; i < n; ++i) net.Send(0, 1, i);
+  loop.Run();
+  ASSERT_EQ(got.size(), static_cast<size_t>(n));  // reordered, never lost
+  EXPECT_GT(net.messages_reordered(), 0);
+  EXPECT_FALSE(std::is_sorted(got.begin(), got.end()));
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(NetworkFaults, PartitionDropsBothDirectionsUntilExpiry) {
+  sim::EventLoop loop;
+  NetworkConfig config;
+  Network net(config, &loop);
+  int got = 0;
+  net.RegisterEndpoint(0, [&](const Envelope&) { ++got; });
+  net.RegisterEndpoint(1, [&](const Envelope&) { ++got; });
+  net.Partition(0, 1, 10 * sim::kMillisecond);
+  EXPECT_TRUE(net.Partitioned(0, 1));
+  EXPECT_TRUE(net.Partitioned(1, 0));
+  net.Send(0, 1, 1);
+  net.Send(1, 0, 2);
+  loop.ScheduleAt(15 * sim::kMillisecond, [&] {
+    EXPECT_FALSE(net.Partitioned(0, 1));  // the window expired
+    net.Send(0, 1, 3);
+    net.Send(1, 0, 4);
+  });
+  loop.Run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net.messages_dropped(), 2);
+}
+
+TEST(NetworkFaults, LocalDeliveryIsExemptFromFaults) {
+  sim::EventLoop loop;
+  NetworkConfig config;
+  config.loss_prob = 1.0;
+  config.dup_prob = 1.0;
+  config.reorder_prob = 1.0;
+  Network net(config, &loop);
+  std::vector<int> got;
+  net.RegisterEndpoint(0, [&](const Envelope& env) {
+    got.push_back(std::any_cast<int>(env.payload));
+  });
+  for (int i = 0; i < 10; ++i) net.Send(0, 0, i);
+  loop.Run();
+  // Exactly once each, in order: a coordinator talking to its co-located
+  // agent never goes through the faulty WAN.
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+  EXPECT_EQ(net.messages_dropped(), 0);
+  EXPECT_EQ(net.messages_duplicated(), 0);
 }
 
 }  // namespace

@@ -80,6 +80,47 @@ TEST(EventLoop, RunUntilStopsAtDeadline) {
   EXPECT_EQ(count, 10);
 }
 
+TEST(EventLoop, RunUntilAdvancesToDeadlineWhenQueueDrains) {
+  EventLoop loop;
+  loop.ScheduleAt(10, [] {});
+  // The queue drains at t=10 but the whole slice up to 100 was simulated:
+  // a caller stepping in 100-unit slices must see time advance even when
+  // nothing is scheduled (regression: Now() used to stick at 10).
+  EXPECT_EQ(loop.RunUntil(100), 1u);
+  EXPECT_EQ(loop.Now(), 100);
+  // An empty slice still advances time ...
+  EXPECT_EQ(loop.RunUntil(250), 0u);
+  EXPECT_EQ(loop.Now(), 250);
+  // ... but a deadline in the past never moves it backwards.
+  EXPECT_EQ(loop.RunUntil(50), 0u);
+  EXPECT_EQ(loop.Now(), 250);
+}
+
+TEST(EventLoop, CancelAfterExecutionReturnsFalse) {
+  EventLoop loop;
+  const EventId id = loop.ScheduleAt(10, [] {});
+  loop.Run();
+  // The event already ran: cancelling it must fail instead of tombstoning
+  // the id (regression: the stale tombstone made Empty() report true while
+  // a later event was still pending).
+  EXPECT_FALSE(loop.Cancel(id));
+  bool ran = false;
+  loop.ScheduleAt(20, [&] { ran = true; });
+  EXPECT_FALSE(loop.Empty());
+  loop.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(loop.Empty());
+}
+
+TEST(EventLoop, EmptyIgnoresCancelledEvents) {
+  EventLoop loop;
+  const EventId id = loop.ScheduleAt(10, [] {});
+  EXPECT_FALSE(loop.Empty());
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_TRUE(loop.Empty());  // only a tombstone remains queued
+  EXPECT_EQ(loop.Run(), 0u);
+}
+
 TEST(EventLoop, StepExecutesOneEvent) {
   EventLoop loop;
   int count = 0;

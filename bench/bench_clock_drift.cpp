@@ -1,66 +1,9 @@
-// E7 — clock drift and serial numbers (paper section 5.2).
-//
-// Serial numbers are generated from per-site real-time clocks expanded with
-// the site id. The paper: "The amount of the time drift among the clocks
-// has no influence on the correctness of the Certifier. The drift may cause
-// unnecessary aborts, only. ... if the amount of the drift is kept within
-// the time of four message exchanges over the network, the solution is as
-// good as an ideally synchronized one."
-//
-// Site clocks are skewed by ±skew (alternating per site); the table reports
-// extension refusals (the unnecessary aborts) and the oracle verdict (must
-// stay serializable at every skew).
+// E7 — clock drift and serial numbers. The sweep implementation lives in
+// bench/sweep_clock_drift.cpp and is shared with bench_suite.
 
-#include <cstdio>
+#include "bench/sweeps.h"
 
-#include "bench/bench_util.h"
-
-namespace hermes {
-namespace {
-
-using workload::Driver;
-using workload::RunResult;
-using workload::WorkloadConfig;
-
-}  // namespace
-}  // namespace hermes
-
-int main() {
-  using namespace hermes;  // NOLINT
-  std::printf(
-      "E7 — unnecessary aborts vs clock skew (message latency 1 ms,\n"
-      "so 4 message exchanges = 4 ms; skew alternates +/- per site)\n\n");
-  bench::TablePrinter table({"skew ms", "skew/latency", "committed",
-                             "aborted", "refuse ext", "commit retries",
-                             "tput/s", "history"});
-  for (sim::Duration skew :
-       {sim::Duration{0}, 1 * sim::kMillisecond, 2 * sim::kMillisecond,
-        4 * sim::kMillisecond, 16 * sim::kMillisecond,
-        64 * sim::kMillisecond}) {
-    WorkloadConfig config;
-    config.seed = 505;
-    config.num_sites = 4;
-    config.rows_per_table = 64;
-    config.global_clients = 8;
-    config.target_global_txns = 120;
-    config.clock_skew = skew;
-    config.p_prepared_abort = 0.05;  // some failures to exercise recovery
-    config.alive_check_interval = 10 * sim::kMillisecond;
-    const RunResult r = Driver::Run(config);
-    table.AddRow(static_cast<double>(skew) / 1000.0,
-                 static_cast<double>(skew) / 1000.0,
-                 r.metrics.global_committed, r.metrics.global_aborted,
-                 r.metrics.refuse_extension, r.metrics.commit_cert_retries,
-                 r.CommitsPerSecond(), bench::VerdictCell(r));
-  }
-  table.Print();
-  bench::WriteBenchArtifact("clock_drift",
-                            "4 sites, 8 global clients, p_fail=0.05, "
-                            "alternating +/- skew",
-                            505, table);
-  std::printf(
-      "\nExpected shape: correctness (history column) is unaffected by any\n"
-      "skew; extension refusals and commit-certification retries rise once\n"
-      "the skew exceeds a few message exchanges, costing only throughput.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return hermes::bench::RunClockDriftSweep(
+      hermes::bench::ParseSweepArgs(argc, argv));
 }

@@ -1,91 +1,10 @@
-// E9 — correctness sweep: the paper's guarantee, measured.
-//
-// Many short randomized runs per policy and failure rate; each recorded
-// history is judged by the oracle (exact view-serializability check on
-// small runs, commit-order-graph acyclicity always). The full certifier
-// must never violate; ablated policies show which distortion each missing
-// mechanism admits.
+// E9 — correctness sweep across certification policies. The sweep
+// implementation lives in bench/sweep_correctness.cpp and is shared with
+// bench_suite.
 
-#include <cstdio>
+#include "bench/sweeps.h"
 
-#include "bench/bench_util.h"
-
-namespace hermes {
-namespace {
-
-using workload::Driver;
-using workload::RunResult;
-using workload::WorkloadConfig;
-
-struct Row {
-  const char* policy;
-  core::CertPolicy value;
-  bool dlu;
-};
-
-}  // namespace
-}  // namespace hermes
-
-int main() {
-  using namespace hermes;  // NOLINT
-  constexpr int kRunsPerCell = 12;
-  std::printf(
-      "E9 — serializability violations over %d randomized runs per cell\n"
-      "(3 sites, 6 rows/table, 4 global + 6 local clients, hot keys)\n\n",
-      kRunsPerCell);
-  bench::TablePrinter table({"policy", "DLU", "p_fail", "runs", "violations",
-                             "CG cycles", "refusals", "resub"});
-  const Row rows[] = {
-      {"none", core::CertPolicy::kNone, false},
-      {"none", core::CertPolicy::kNone, true},
-      {"prepare-only", core::CertPolicy::kPrepareOnly, true},
-      {"prepare-extended", core::CertPolicy::kPrepareExtended, true},
-      {"full", core::CertPolicy::kFull, true},
-  };
-  for (const Row& row : rows) {
-    for (double p : {0.2, 0.5}) {
-      int violations = 0, cg_cycles = 0;
-      int64_t refusals = 0, resub = 0;
-      for (int run = 0; run < kRunsPerCell; ++run) {
-        WorkloadConfig config;
-        config.seed = 9000 + static_cast<uint64_t>(run) +
-                      static_cast<uint64_t>(p * 1000);
-        config.num_sites = 3;
-        config.rows_per_table = 6;
-        config.global_clients = 4;
-        config.local_clients_per_site = 2;
-        config.target_global_txns = 25;
-        config.cmds_per_global_txn = 3;
-        config.global_write_fraction = 0.7;
-        config.p_prepared_abort = p;
-        config.alive_check_interval = 4 * sim::kMillisecond;
-        config.policy = row.value;
-        config.dlu_binding = row.dlu;
-        const RunResult r = Driver::Run(config);
-        if (!r.commit_graph_acyclic) ++cg_cycles;
-        if (!r.replay_consistent ||
-            r.verdict == history::Verdict::kNotSerializable ||
-            !r.commit_graph_acyclic) {
-          ++violations;
-        }
-        refusals += r.metrics.refuse_interval + r.metrics.refuse_extension +
-                    r.metrics.refuse_dead;
-        resub += r.metrics.resubmissions;
-      }
-      table.AddRow(row.policy, row.dlu ? "on" : "off", p, kRunsPerCell,
-                   violations, cg_cycles, refusals, resub);
-    }
-  }
-  table.Print();
-  bench::WriteBenchArtifact(
-      "correctness_sweep",
-      StrCat("3 sites, 6 rows/table, 4 global + 6 local clients, ",
-             kRunsPerCell, " runs/cell"),
-      9000, table);
-  std::printf(
-      "\nExpected shape: the full certifier row shows 0 violations at every\n"
-      "failure rate; the naive agent accumulates violations; partial\n"
-      "policies sit in between (commit certification missing -> CG\n"
-      "cycles possible).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return hermes::bench::RunCorrectnessSweep(
+      hermes::bench::ParseSweepArgs(argc, argv));
 }

@@ -1,80 +1,9 @@
-// E5 — behavior under unilateral aborts (paper sections 1, 4).
-//
-// Sweeps the probability that an LDBS unilaterally aborts a prepared
-// subtransaction and reports commit rates, resubmission activity,
-// certification refusals by kind, and the serializability verdict of the
-// recorded history. The paper's guarantee: view-serializable overall
-// histories "in the presence of most typical failures" — the verdict
-// column must never show a violation for the full certifier.
+// E5 — behavior under unilateral aborts. The sweep implementation lives
+// in bench/sweep_failure.cpp and is shared with bench_suite.
 
-#include <cstdio>
+#include "bench/sweeps.h"
 
-#include "bench/bench_util.h"
-
-namespace hermes {
-namespace {
-
-using workload::Driver;
-using workload::RunResult;
-using workload::WorkloadConfig;
-
-}  // namespace
-}  // namespace hermes
-
-int main() {
-  using namespace hermes;  // NOLINT
-  std::printf(
-      "E5 — commit/abort behavior vs unilateral-abort probability\n"
-      "(4 sites, 8 global clients, 1 local client/site, full certifier)\n\n");
-  bench::TablePrinter table({"p_fail", "committed", "aborted", "resub",
-                             "refuse ivl", "refuse ext", "refuse dead",
-                             "commit retries", "tput/s", "p50 ms", "p95 ms",
-                             "p99 ms", "history"});
-  std::string base_config;
-  for (double p : {0.0, 0.05, 0.1, 0.2, 0.35, 0.5}) {
-    // Average over several seeds: a single straggler transaction (lock
-    // timeout near the end of a run) can otherwise dominate the measured
-    // completion time.
-    constexpr int kSeeds = 3;
-    int64_t committed = 0, aborted = 0, resub = 0, ivl = 0, ext = 0,
-            dead = 0, retries = 0;
-    double tput = 0;
-    bool ok = true;
-    trace::Histogram latencies;
-    for (int s = 0; s < kSeeds; ++s) {
-      WorkloadConfig config;
-      config.seed = 42 + static_cast<uint64_t>(p * 100) +
-                    static_cast<uint64_t>(s) * 1000;
-      config.num_sites = 4;
-      config.rows_per_table = 64;
-      config.global_clients = 8;
-      config.local_clients_per_site = 1;
-      config.target_global_txns = 120;
-      config.p_prepared_abort = p;
-      config.alive_check_interval = 10 * sim::kMillisecond;
-      if (base_config.empty()) base_config = config.ToString();
-      const RunResult r = Driver::Run(config);
-      latencies.Merge(r.metrics.latency_hist);
-      committed += r.metrics.global_committed;
-      aborted += r.metrics.global_aborted;
-      resub += r.metrics.resubmissions;
-      ivl += r.metrics.refuse_interval;
-      ext += r.metrics.refuse_extension;
-      dead += r.metrics.refuse_dead;
-      retries += r.metrics.commit_cert_retries;
-      tput += r.CommitsPerSecond() / kSeeds;
-      ok = ok && r.replay_consistent && r.commit_graph_acyclic &&
-           r.verdict != history::Verdict::kNotSerializable;
-    }
-    table.AddRow(p, committed, aborted, resub, ivl, ext, dead, retries,
-                 tput, latencies.PercentileMs(50), latencies.PercentileMs(95),
-                 latencies.PercentileMs(99), ok ? "VSR" : "VIOLATED");
-  }
-  table.Print();
-  bench::WriteBenchArtifact("failure_sweep", base_config, 42, table);
-  std::printf(
-      "\nExpected shape: resubmissions and interval-refusals grow with the\n"
-      "failure rate; throughput degrades gracefully; the history column\n"
-      "never reports a violation (CG acyclic / view serializable).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return hermes::bench::RunFailureSweep(
+      hermes::bench::ParseSweepArgs(argc, argv));
 }

@@ -1,91 +1,9 @@
-// E13 — robustness on an unreliable network.
-//
-// The paper (section 2) assumes messages "are not corrupted, lost or out of
-// order". This experiment removes that assumption: it sweeps the message
-// loss rate (with fixed duplication and reordering probabilities) and shows
-// that the coordinator's timeout/retransmission machinery plus the
-// duplicate-safe agent handlers keep every run terminating with a
-// view-serializable committed projection — at the cost of retransmissions
-// and latency, which the table quantifies.
-//
-// `--quick` runs a reduced configuration (CI smoke: one seed, fewer
-// transactions) that still exercises every loss rate.
+// E13 — robustness on an unreliable network. The sweep implementation
+// lives in bench/sweep_network_faults.cpp and is shared with bench_suite.
 
-#include <cstdio>
-#include <cstring>
-
-#include "bench/bench_util.h"
-
-namespace hermes {
-namespace {
-
-using workload::Driver;
-using workload::RunResult;
-using workload::WorkloadConfig;
-
-}  // namespace
-}  // namespace hermes
+#include "bench/sweeps.h"
 
 int main(int argc, char** argv) {
-  using namespace hermes;  // NOLINT
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  const int seeds = quick ? 1 : 3;
-  const int txns = quick ? 80 : 200;
-  std::printf(
-      "E13 — 2PC termination and serializability vs message loss\n"
-      "(4 sites, 8 global clients, dup=5%%, reorder=5%%, full certifier%s)\n\n",
-      quick ? ", quick" : "");
-  bench::TablePrinter table({"loss", "committed", "aborted", "abrt timeout",
-                             "retransmit", "dropped", "dup deliv",
-                             "dup absorbed", "tput/s", "p50 ms", "p95 ms",
-                             "history"});
-  std::string base_config;
-  bool all_ok = true;
-  for (double loss : {0.0, 0.02, 0.05, 0.10}) {
-    int64_t committed = 0, aborted = 0, timeouts = 0, retx = 0, dropped = 0,
-            dups = 0, absorbed = 0;
-    double tput = 0;
-    bool ok = true;
-    trace::Histogram latencies;
-    for (int s = 0; s < seeds; ++s) {
-      WorkloadConfig config;
-      config.seed = 42 + static_cast<uint64_t>(loss * 1000) +
-                    static_cast<uint64_t>(s) * 1000;
-      config.num_sites = 4;
-      config.rows_per_table = 64;
-      config.global_clients = 8;
-      config.target_global_txns = txns;
-      config.net_loss_prob = loss;
-      config.net_dup_prob = 0.05;
-      config.net_reorder_prob = 0.05;
-      if (base_config.empty()) base_config = config.ToString();
-      const RunResult r = Driver::Run(config);
-      latencies.Merge(r.metrics.latency_hist);
-      committed += r.metrics.global_committed;
-      aborted += r.metrics.global_aborted;
-      timeouts += r.metrics.global_aborted_timeout;
-      retx += r.metrics.retransmits;
-      dropped += r.msgs_dropped;
-      dups += r.msgs_duplicated;
-      absorbed += r.metrics.dup_msgs_absorbed;
-      tput += r.CommitsPerSecond() / seeds;
-      // Termination: every submitted transaction reached a decision.
-      ok = ok && committed + aborted > 0 && r.replay_consistent &&
-           r.commit_graph_acyclic &&
-           r.verdict != history::Verdict::kNotSerializable;
-    }
-    ok = ok && committed + aborted == static_cast<int64_t>(seeds) * txns;
-    all_ok = all_ok && ok;
-    table.AddRow(loss, committed, aborted, timeouts, retx, dropped, dups,
-                 absorbed, tput, latencies.PercentileMs(50),
-                 latencies.PercentileMs(95), ok ? "VSR" : "VIOLATED");
-  }
-  table.Print();
-  bench::WriteBenchArtifact("network_faults", base_config, 42, table);
-  std::printf(
-      "\nExpected shape: retransmissions and dropped messages grow with the\n"
-      "loss rate while every run still decides all transactions; the\n"
-      "history column never reports a violation. Latency degrades as\n"
-      "retransmission timeouts stretch the 2PC rounds.\n");
-  return all_ok ? 0 : 1;
+  return hermes::bench::RunNetworkFaultsSweep(
+      hermes::bench::ParseSweepArgs(argc, argv));
 }

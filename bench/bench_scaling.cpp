@@ -1,67 +1,10 @@
-// E6 — decentralization: throughput scaling with the number of sites
-// (paper sections 1, 8).
-//
-// "A DTM based on the 2PCA Certifier does not require any centralized
-// component ... simple algorithms that can be replicated onto as many sites
-// as needed." The CGM baseline routes every DML step and every commit
-// admission through one central scheduler node, paying message round trips
-// and coarse-granule serialization. Per-site load is held constant while
-// the number of sites grows.
+// E6 — throughput scaling with the number of sites. The sweep
+// implementation lives in bench/sweep_scaling.cpp and is shared with
+// bench_suite.
 
-#include <cstdio>
+#include "bench/sweeps.h"
 
-#include "bench/bench_util.h"
-
-namespace hermes {
-namespace {
-
-using workload::Driver;
-using workload::RunResult;
-using workload::System;
-using workload::WorkloadConfig;
-
-}  // namespace
-}  // namespace hermes
-
-int main() {
-  using namespace hermes;  // NOLINT
-  std::printf(
-      "E6 — throughput vs number of sites (2 global clients per site,\n"
-      "2-site transactions, failure-free)\n\n");
-  bench::TablePrinter table({"system", "sites", "committed", "aborted",
-                             "tput/s", "tput/site/s", "mean lat ms",
-                             "p50 ms", "p95 ms", "p99 ms", "messages"});
-  std::string base_config;
-  for (int sites : {2, 4, 8, 16}) {
-    for (int sys = 0; sys < 2; ++sys) {
-      WorkloadConfig config;
-      config.seed = 77 + static_cast<uint64_t>(sites);
-      config.num_sites = sites;
-      config.rows_per_table = 128;
-      config.global_clients = 2 * sites;
-      config.target_global_txns = 40 * sites;
-      config.cmds_per_global_txn = 4;
-      config.sites_per_global_txn = 2;
-      config.record_history = false;
-      config.system = sys == 0 ? System::k2CM : System::kCGM;
-      config.cgm_granularity = cgm::Granularity::kSite;
-      if (base_config.empty()) base_config = config.ToString();
-      const RunResult r = Driver::Run(config);
-      const trace::Histogram& hist = r.metrics.latency_hist;
-      table.AddRow(config.system == System::k2CM ? "2CM" : "CGM/site",
-                   sites, r.metrics.global_committed,
-                   r.metrics.global_aborted, r.CommitsPerSecond(),
-                   r.CommitsPerSecond() / sites, r.metrics.MeanLatencyMs(),
-                   hist.PercentileMs(50), hist.PercentileMs(95),
-                   hist.PercentileMs(99), r.messages);
-    }
-  }
-  table.Print();
-  bench::WriteBenchArtifact("scaling", base_config, 77, table);
-  std::printf(
-      "\nExpected shape: 2CM per-site throughput stays roughly flat as\n"
-      "sites are added (fully decentralized); CGM's per-site throughput\n"
-      "collapses because all transactions funnel through the central\n"
-      "scheduler's site-granularity locks and commit graph.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return hermes::bench::RunScalingSweep(
+      hermes::bench::ParseSweepArgs(argc, argv));
 }

@@ -1,0 +1,46 @@
+// Runs every sweep experiment (E5, E6, E7, E9, E13) through the parallel
+// runner in a single process — the one-command regeneration path for the
+// EXPERIMENTS.md sweep tables and their BENCH_<name>.json artifacts.
+//
+//   bench_suite [--quick] [--workers=N]
+//
+// `--workers=0` uses all hardware threads. Exit code is nonzero if any
+// sweep reported a violation or the harness failed.
+
+#include <cstdio>
+
+#include "bench/sweeps.h"
+#include "runner/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace hermes::bench;  // NOLINT
+  const SweepArgs args = ParseSweepArgs(argc, argv);
+  std::printf("bench_suite: %d worker(s)%s\n\n",
+              hermes::runner::EffectiveWorkers(args.workers),
+              args.quick ? ", quick grid" : "");
+
+  struct Entry {
+    const char* name;
+    int (*run)(const SweepArgs&);
+  };
+  const Entry sweeps[] = {
+      {"E5 failure_sweep", RunFailureSweep},
+      {"E6 scaling", RunScalingSweep},
+      {"E7 clock_drift", RunClockDriftSweep},
+      {"E9 correctness_sweep", RunCorrectnessSweep},
+      {"E13 network_faults", RunNetworkFaultsSweep},
+  };
+  int rc = 0;
+  for (const Entry& e : sweeps) {
+    std::printf("==== %s ====\n", e.name);
+    const int one = e.run(args);
+    if (one != 0) {
+      std::fprintf(stderr, "bench_suite: %s failed (exit %d)\n", e.name,
+                   one);
+      rc = 1;
+    }
+    std::printf("\n");
+  }
+  if (rc == 0) std::printf("bench_suite: all sweeps passed\n");
+  return rc;
+}

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/str.h"
+#include "runner/aggregate.h"
 #include "trace/trace.h"
 #include "workload/driver.h"
 
@@ -85,42 +86,20 @@ class TablePrinter {
 // `BENCH_<name>.json` next to the binary with the experiment name, the
 // free-form config description (typically WorkloadConfig::ToString of the
 // base configuration), the seed and every table row keyed by its header.
-// Returns false on I/O failure (the textual table is the source of truth;
-// callers only warn).
+// Delegates to the schema-versioned artifact writer (docs/FORMATS.md), so
+// single-run benchmarks emit the same consolidated format as the sweeps
+// (with an empty cells array). Returns false on I/O failure (the textual
+// table is the source of truth; callers only warn).
 inline bool WriteBenchArtifact(const std::string& name,
                                const std::string& config, uint64_t seed,
                                const TablePrinter& table) {
-  std::string out = "{\n  \"bench\": ";
-  trace::AppendJsonString(out, name);
-  out += ",\n  \"config\": ";
-  trace::AppendJsonString(out, config);
-  StrAppend(out, ",\n  \"seed\": ", seed, ",\n  \"headers\": [");
-  const auto& headers = table.headers();
-  for (size_t i = 0; i < headers.size(); ++i) {
-    if (i > 0) out += ", ";
-    trace::AppendJsonString(out, headers[i]);
-  }
-  out += "],\n  \"rows\": [\n";
-  const auto& rows = table.rows();
-  for (size_t r = 0; r < rows.size(); ++r) {
-    out += "    {";
-    for (size_t i = 0; i < rows[r].size() && i < headers.size(); ++i) {
-      if (i > 0) out += ", ";
-      trace::AppendJsonString(out, headers[i]);
-      out += ": ";
-      trace::AppendJsonString(out, rows[r][i]);
-    }
-    out += r + 1 < rows.size() ? "},\n" : "}\n";
-  }
-  out += "  ]\n}\n";
-
-  const std::string path = StrCat("BENCH_", name, ".json");
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
-  const bool ok = std::fclose(f) == 0 && written == out.size();
-  if (ok) std::printf("\nartifact: %s\n", path.c_str());
-  return ok;
+  runner::BenchArtifact artifact;
+  artifact.bench = name;
+  artifact.config = config;
+  artifact.seed = seed;
+  artifact.headers = table.headers();
+  artifact.rows = table.rows();
+  return runner::WriteBenchArtifactFile(artifact);
 }
 
 inline const char* VerdictCell(const workload::RunResult& r) {

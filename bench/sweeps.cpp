@@ -1,0 +1,57 @@
+#include "bench/sweeps.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runner/runner.h"
+
+namespace hermes::bench {
+
+SweepArgs ParseSweepArgs(int argc, char** argv) {
+  SweepArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      args.workers = std::atoi(a + 10);
+    } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+      args.workers = std::atoi(a + 2);
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--quick] [--workers=N]\n",
+                   a, argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::string Fixed2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+int FinishSweep(const std::string& name, const std::string& config,
+                uint64_t seed, int workers, const TablePrinter& table,
+                const runner::Aggregator& agg) {
+  table.Print();
+  runner::BenchArtifact artifact;
+  artifact.bench = name;
+  artifact.config = config;
+  artifact.seed = seed;
+  artifact.workers = runner::EffectiveWorkers(workers);
+  artifact.headers = table.headers();
+  artifact.rows = table.rows();
+  artifact.cells = agg.cells();
+  if (!runner::WriteBenchArtifactFile(artifact)) {
+    std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",
+                 name.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace hermes::bench

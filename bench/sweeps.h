@@ -1,0 +1,54 @@
+// The sweep experiments of EXPERIMENTS.md (E5, E6, E7, E9, E13), ported
+// onto the parallel runner harness: every (config, seed) point of a grid
+// becomes one runner::RunSpec, the whole grid fans out across worker
+// threads, and per-cell aggregates feed both the printed table and the
+// consolidated BENCH_<name>.json artifact (schema in docs/FORMATS.md).
+//
+// Each sweep is a function so that the per-experiment binaries and the
+// all-in-one bench_suite binary share one implementation.
+
+#ifndef HERMES_BENCH_SWEEPS_H_
+#define HERMES_BENCH_SWEEPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "runner/aggregate.h"
+
+namespace hermes::bench {
+
+// Command-line options shared by every sweep binary.
+struct SweepArgs {
+  // Worker threads for the run fan-out; <= 0 means hardware concurrency.
+  int workers = 1;
+  // Reduced grid (fewer seeds / shorter runs) for CI smoke jobs.
+  bool quick = false;
+};
+
+// Parses `--workers=N` (or `-jN`) and `--quick`; an unknown argument
+// prints a usage message and terminates the process with exit code 2.
+SweepArgs ParseSweepArgs(int argc, char** argv);
+
+// `v` with two decimals, matching the table cell formatting.
+std::string Fixed2(double v);
+
+// Prints the table, writes the consolidated artifact (table rows plus the
+// per-cell aggregates collected by `agg`) and returns 0, or 1 when the
+// artifact could not be written.
+int FinishSweep(const std::string& name, const std::string& config,
+                uint64_t seed, int workers, const TablePrinter& table,
+                const runner::Aggregator& agg);
+
+// Each sweep prints its table, writes BENCH_<name>.json and returns a
+// process exit code: 0 on success, 1 when a correctness guarantee was
+// violated, 2 when the harness itself failed.
+int RunFailureSweep(const SweepArgs& args);        // E5
+int RunScalingSweep(const SweepArgs& args);        // E6
+int RunClockDriftSweep(const SweepArgs& args);     // E7
+int RunCorrectnessSweep(const SweepArgs& args);    // E9
+int RunNetworkFaultsSweep(const SweepArgs& args);  // E13
+
+}  // namespace hermes::bench
+
+#endif  // HERMES_BENCH_SWEEPS_H_

@@ -97,16 +97,6 @@ struct ItemId {
 
 std::ostream& operator<<(std::ostream& os, const ItemId& id);
 
-struct TxnIdHash {
-  size_t operator()(const TxnId& id) const {
-    size_t h = std::hash<int64_t>()(id.seq);
-    h ^= std::hash<int32_t>()(static_cast<int32_t>(id.kind)) + 0x9e3779b9 +
-         (h << 6) + (h >> 2);
-    h ^= std::hash<int32_t>()(id.site) + 0x9e3779b9 + (h << 6) + (h >> 2);
-    return h;
-  }
-};
-
 struct ItemIdHash {
   size_t operator()(const ItemId& id) const {
     size_t h = std::hash<int64_t>()(id.key);
@@ -117,5 +107,20 @@ struct ItemIdHash {
 };
 
 }  // namespace hermes
+
+// TxnId keys the certifier's and agents' hot lookup tables
+// (std::unordered_map), so it gets a first-class std::hash specialization
+// rather than a hasher that every container declaration must name.
+template <>
+struct std::hash<hermes::TxnId> {
+  size_t operator()(const hermes::TxnId& id) const noexcept {
+    size_t h = std::hash<int64_t>()(id.seq);
+    h ^= std::hash<int32_t>()(static_cast<int32_t>(id.kind)) + 0x9e3779b9 +
+         (h << 6) + (h >> 2);
+    h ^= std::hash<int32_t>()(id.site) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
 
 #endif  // HERMES_COMMON_IDS_H_

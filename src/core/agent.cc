@@ -236,9 +236,12 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     // number is already committed here — this PREPARE arrived out of order
     // and committing it later could close a cycle in CG(H).
     ++metrics_->refuse_extension;
+    // The REFUSE reason is a static message: SN details are only rendered
+    // (ToString/StrCat) into the trace event, so certification never builds
+    // strings when tracing is disabled.
     const Status reason = Status::Rejected(
-        StrCat("prepare certification extension: ", msg.sn.ToString(),
-               " < committed ", max_committed_sn_.ToString()));
+        "prepare certification extension: SN below committed high-water "
+        "mark");
     if (tracer_ != nullptr) {
       trace::Event e;
       e.kind = trace::EventKind::kCertRefuse;
@@ -248,7 +251,9 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
       e.sn = msg.sn;
       e.refuse = trace::RefuseKind::kExtension;
       e.ok = false;
-      e.detail = reason.message();
+      e.detail = StrCat("prepare certification extension: ",
+                        msg.sn.ToString(), " < committed ",
+                        max_committed_sn_.ToString());
       if (max_committed_gtid_.valid()) {
         e.related.push_back(max_committed_gtid_);
       }
@@ -264,11 +269,14 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   // between periodic alive checks — without it, a transaction preparing
   // shortly after another's last alive check would be refused spuriously,
   // violating the paper's failure-free-no-aborts property.
-  for (const auto& entry : alive_table_.Snapshot()) {
-    AgentTxn* other = FindTxn(entry.gtid);
+  // (Allocation-free: ExtendEnd only mutates the entry's interval in place,
+  // never the hash table itself, so iterating `entries()` directly is safe;
+  // the refresh is order-independent.)
+  for (const auto& [entry_gtid, entry] : alive_table_.entries()) {
+    AgentTxn* other = FindTxn(entry_gtid);
     if (other != nullptr && !other->resubmitting && other->alive &&
         ltm_->IsActive(other->ltm_handle)) {
-      alive_table_.ExtendEnd(entry.gtid, loop_->Now());
+      alive_table_.ExtendEnd(entry_gtid, loop_->Now());
     }
   }
 

@@ -28,8 +28,8 @@
 #define HERMES_CORE_AGENT_H_
 
 #include <functional>
-#include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -189,7 +189,9 @@ class TwoPCAgent {
   SerialNumber max_committed_sn_;
   TxnId max_committed_gtid_;
 
-  std::map<TxnId, AgentTxn> txns_;
+  // Hashed: FindTxn is on the hot path of every protocol message. Iteration
+  // only happens in Crash/Recover paths where order is immaterial.
+  std::unordered_map<TxnId, AgentTxn> txns_;
   PreparedHook prepared_hook_;
 };
 

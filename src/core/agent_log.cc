@@ -1,5 +1,7 @@
 #include "core/agent_log.h"
 
+#include <algorithm>
+
 namespace hermes::core {
 
 int64_t AgentLog::Append(LogRecord record) {
@@ -40,7 +42,7 @@ std::optional<LogRecord> AgentLog::PrepareRecordOf(const TxnId& gtid) const {
 
 namespace {
 
-bool HasKind(const std::map<TxnId, std::vector<size_t>>& by_txn,
+bool HasKind(const std::unordered_map<TxnId, std::vector<size_t>>& by_txn,
              const std::vector<LogRecord>& records, const TxnId& gtid,
              LogRecordKind kind) {
   auto it = by_txn.find(gtid);
@@ -105,6 +107,7 @@ std::vector<TxnId> AgentLog::InDoubt() const {
     }
     if (prepared && !resolved) out.push_back(gtid);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

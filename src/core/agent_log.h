@@ -11,9 +11,9 @@
 #define HERMES_CORE_AGENT_LOG_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -66,7 +66,8 @@ class AgentLog {
   bool HasComplete(const TxnId& gtid) const;
 
   // Transactions that were prepared but have no complete/abort record —
-  // the in-doubt set an agent must recover after a crash.
+  // the in-doubt set an agent must recover after a crash. Sorted by TxnId
+  // so the recovery order is deterministic.
   std::vector<TxnId> InDoubt() const;
 
   // True if any record exists for `gtid` — i.e. this agent has ever seen
@@ -86,8 +87,9 @@ class AgentLog {
 
  private:
   std::vector<LogRecord> records_;
-  // Secondary index: gtid -> record positions.
-  std::map<TxnId, std::vector<size_t>> by_txn_;
+  // Secondary index: gtid -> record positions. Hashed — CommandsOf runs once
+  // per resubmitted command and Knows once per BEGIN.
+  std::unordered_map<TxnId, std::vector<size_t>> by_txn_;
   int64_t forced_writes_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "core/alive_intervals.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/str.h"
@@ -20,6 +21,7 @@ std::vector<TxnId> AliveIntervalTable::NonIntersecting(
   for (const auto& [gtid, entry] : entries_) {
     if (!candidate.Intersects(entry.interval)) out.push_back(gtid);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -32,16 +34,36 @@ std::vector<TxnId> AliveIntervalTable::SmallerSerialNumbers(
     if (other_gtid == gtid) continue;
     if (entry.sn < self->second.sn) out.push_back(other_gtid);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 void AliveIntervalTable::Insert(const TxnId& gtid,
                                 const AliveInterval& interval,
                                 const SerialNumber& sn) {
+  // Overwriting the cached minimum's entry may change its SN; everything
+  // else can only *improve* the cached minimum, an O(1) update.
+  if (!min_dirty_ && min_sn_gtid_.valid()) {
+    if (gtid == min_sn_gtid_) {
+      min_dirty_ = true;
+    } else {
+      auto min_it = entries_.find(min_sn_gtid_);
+      if (min_it == entries_.end() || sn < min_it->second.sn) {
+        min_sn_gtid_ = gtid;
+      }
+    }
+  } else if (!min_sn_gtid_.valid() && !min_dirty_) {
+    min_sn_gtid_ = gtid;
+  }
   entries_[gtid] = Entry{gtid, interval, sn};
 }
 
-void AliveIntervalTable::Remove(const TxnId& gtid) { entries_.erase(gtid); }
+void AliveIntervalTable::Remove(const TxnId& gtid) {
+  if (entries_.erase(gtid) > 0 && gtid == min_sn_gtid_) {
+    min_sn_gtid_ = TxnId{};
+    min_dirty_ = !entries_.empty();
+  }
+}
 
 void AliveIntervalTable::ExtendEnd(const TxnId& gtid, sim::Time end) {
   auto it = entries_.find(gtid);
@@ -61,27 +83,52 @@ const AliveIntervalTable::Entry* AliveIntervalTable::Find(
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+void AliveIntervalTable::RecomputeMin() const {
+  min_sn_gtid_ = TxnId{};
+  min_dirty_ = false;
+  const Entry* best = nullptr;
+  for (const auto& [gtid, entry] : entries_) {
+    // Tie-break on gtid so the cache is independent of hash order (serial
+    // numbers are unique in practice, but the table does not rely on it).
+    if (best == nullptr || entry.sn < best->sn ||
+        (entry.sn == best->sn && gtid < best->gtid)) {
+      best = &entry;
+    }
+  }
+  if (best != nullptr) min_sn_gtid_ = best->gtid;
+}
+
+TxnId AliveIntervalTable::MinSnTxn() const {
+  if (min_dirty_) RecomputeMin();
+  return min_sn_gtid_;
+}
+
 bool AliveIntervalTable::SmallestSerialNumber(const TxnId& gtid) const {
   auto self = entries_.find(gtid);
   assert(self != entries_.end());
-  for (const auto& [other_gtid, entry] : entries_) {
-    if (other_gtid == gtid) continue;
-    if (entry.sn < self->second.sn) return false;
-  }
-  return true;
+  if (min_dirty_) RecomputeMin();
+  if (!min_sn_gtid_.valid()) return true;
+  if (min_sn_gtid_ == gtid) return true;
+  auto min_it = entries_.find(min_sn_gtid_);
+  assert(min_it != entries_.end());
+  // Equal SNs do not block each other (matches the pre-cache scan, which
+  // only refused on strictly smaller serial numbers).
+  return !(min_it->second.sn < self->second.sn);
 }
 
 std::vector<AliveIntervalTable::Entry> AliveIntervalTable::Snapshot() const {
   std::vector<Entry> out;
   out.reserve(entries_.size());
   for (const auto& [gtid, entry] : entries_) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.gtid < b.gtid; });
   return out;
 }
 
 std::string AliveIntervalTable::ToString() const {
   std::string out;
-  for (const auto& [gtid, entry] : entries_) {
-    StrAppend(out, gtid.ToString(), " [", entry.interval.begin, ",",
+  for (const Entry& entry : Snapshot()) {
+    StrAppend(out, entry.gtid.ToString(), " [", entry.interval.begin, ",",
               entry.interval.end, "] ", entry.sn.ToString(), "\n");
   }
   return out;

@@ -10,13 +10,23 @@
 // prepared state at a site, its last known alive interval [begin, end]. The
 // certification test for a new subtransaction is that its own alive
 // interval has a non-empty intersection with EVERY stored interval.
+//
+// This table sits on the certifier's hot path (every PREPARE and every
+// commit attempt consult it), so it is hashed rather than ordered, and the
+// commit-certification test (is `gtid` the smallest stored serial number?)
+// runs off a cached minimum-SN entry instead of a scan: the cache improves
+// in O(1) on Insert and is recomputed lazily only after the minimum itself
+// was removed or overwritten, which makes the test O(1) amortized.
+// Diagnostic accessors (Snapshot, NonIntersecting, SmallerSerialNumbers,
+// ToString) sort their output by TxnId so traces stay deterministic and
+// independent of hash iteration order.
 
 #ifndef HERMES_CORE_ALIVE_INTERVALS_H_
 #define HERMES_CORE_ALIVE_INTERVALS_H_
 
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -48,11 +58,11 @@ class AliveIntervalTable {
 
   // Transactions whose stored interval does NOT intersect `candidate` — the
   // conflicting-transaction context of a basic-certification REFUSE
-  // (diagnostics/tracing; empty iff CertifiableAgainstAll).
+  // (diagnostics/tracing; empty iff CertifiableAgainstAll). Sorted by TxnId.
   std::vector<TxnId> NonIntersecting(const AliveInterval& candidate) const;
 
   // Prepared transactions other than `gtid` with a smaller serial number —
-  // the ones a commit-certification retry is waiting on.
+  // the ones a commit-certification retry is waiting on. Sorted by TxnId.
   std::vector<TxnId> SmallerSerialNumbers(const TxnId& gtid) const;
 
   void Insert(const TxnId& gtid, const AliveInterval& interval,
@@ -68,16 +78,34 @@ class AliveIntervalTable {
   const Entry* Find(const TxnId& gtid) const;
 
   // Commit certification test (Appendix C): every *other* prepared
-  // subtransaction must have a bigger serial number.
+  // subtransaction must have a bigger serial number. O(1) amortized via the
+  // cached minimum.
   bool SmallestSerialNumber(const TxnId& gtid) const;
 
+  // Transaction holding the smallest stored serial number (invalid TxnId
+  // when the table is empty). Exposed for tests of the min cache.
+  TxnId MinSnTxn() const;
+
   size_t size() const { return entries_.size(); }
+  // Sorted by TxnId (deterministic regardless of hash order).
   std::vector<Entry> Snapshot() const;
+
+  // Read-only view of the underlying hashed entries, for allocation-free
+  // iteration on the prepare path. Iteration order is unspecified — callers
+  // must not let it influence observable behavior.
+  const std::unordered_map<TxnId, Entry>& entries() const { return entries_; }
 
   std::string ToString() const;
 
  private:
-  std::map<TxnId, Entry> entries_;
+  void RecomputeMin() const;
+
+  std::unordered_map<TxnId, Entry> entries_;
+  // Cached gtid of the minimum-SN entry. Invalid when the table is empty;
+  // `min_dirty_` marks it stale (the previous minimum was removed or its SN
+  // overwritten) and triggers one O(n) recomputation on the next query.
+  mutable TxnId min_sn_gtid_;
+  mutable bool min_dirty_ = false;
 };
 
 }  // namespace hermes::core

@@ -16,9 +16,9 @@
 #define HERMES_CORE_COORDINATOR_H_
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -180,7 +180,9 @@ class Coordinator {
 
   bool sn_at_submit_ = false;
   int64_t next_seq_ = 0;
-  std::map<TxnId, CoordTxn> txns_;
+  // Hashed: looked up once per protocol message. Iterated only to cancel
+  // timers on teardown, where order is immaterial.
+  std::unordered_map<TxnId, CoordTxn> txns_;
 };
 
 }  // namespace hermes::core

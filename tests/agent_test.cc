@@ -68,6 +68,49 @@ TEST(AliveIntervalTable, SmallestSerialNumber) {
   EXPECT_FALSE(table.SmallestSerialNumber(g2));
 }
 
+TEST(AliveIntervalTable, MinSnCacheSurvivesRemovalsAndOverwrites) {
+  // The smallest-SN entry is cached; removing or overwriting it must
+  // lazily fall back to the next-smallest, and an insert below the cached
+  // minimum must take over in O(1).
+  AliveIntervalTable table;
+  const TxnId g1 = TxnId::MakeGlobal(0, 1);
+  const TxnId g2 = TxnId::MakeGlobal(0, 2);
+  const TxnId g3 = TxnId::MakeGlobal(0, 3);
+  EXPECT_FALSE(table.MinSnTxn().valid());
+  table.Insert(g2, {0, 10}, SerialNumber{7, 0, 0});
+  table.Insert(g3, {0, 10}, SerialNumber{9, 0, 0});
+  EXPECT_EQ(table.MinSnTxn(), g2);
+  table.Insert(g1, {0, 10}, SerialNumber{3, 0, 0});  // new minimum
+  EXPECT_EQ(table.MinSnTxn(), g1);
+  table.Remove(g1);  // cached min removed -> recompute
+  EXPECT_EQ(table.MinSnTxn(), g2);
+  EXPECT_TRUE(table.SmallestSerialNumber(g2));
+  EXPECT_FALSE(table.SmallestSerialNumber(g3));
+  // Overwriting the cached min with a larger SN must dethrone it.
+  table.Insert(g2, {0, 10}, SerialNumber{20, 0, 0});
+  EXPECT_EQ(table.MinSnTxn(), g3);
+  table.Remove(g3);
+  EXPECT_EQ(table.MinSnTxn(), g2);
+  table.Remove(g2);
+  EXPECT_FALSE(table.MinSnTxn().valid());
+}
+
+TEST(AliveIntervalTable, MinSnTieBreaksDeterministically) {
+  // Equal serial numbers: the smallest TxnId wins, independent of
+  // insertion or hash order (keeps traces deterministic).
+  AliveIntervalTable table;
+  const TxnId a = TxnId::MakeGlobal(0, 1);
+  const TxnId b = TxnId::MakeGlobal(1, 1);
+  table.Insert(b, {0, 10}, SerialNumber{5, 0, 0});
+  table.Insert(a, {0, 10}, SerialNumber{5, 0, 0});
+  table.Remove(b);
+  table.Insert(b, {0, 10}, SerialNumber{5, 0, 0});
+  EXPECT_EQ(table.MinSnTxn(), a);
+  // Equal-SN entries do not block each other's commit certification.
+  EXPECT_TRUE(table.SmallestSerialNumber(a));
+  EXPECT_TRUE(table.SmallestSerialNumber(b));
+}
+
 // --- serial numbers --------------------------------------------------------------
 
 TEST(SerialNumber, TotalOrderAndGenerator) {

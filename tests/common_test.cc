@@ -32,7 +32,7 @@ TEST(Ids, ItemIdComparesLexicographically) {
   EXPECT_LT(a, b);
   EXPECT_LT(b, c);
   EXPECT_EQ(a, (ItemId{0, 1, 5}));
-  TxnIdHash h1;
+  std::hash<TxnId> h1;
   ItemIdHash h2;
   EXPECT_NE(h1(TxnId::MakeGlobal(0, 1)), h1(TxnId::MakeGlobal(0, 2)));
   EXPECT_NE(h2(a), h2(b));

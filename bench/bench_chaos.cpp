@@ -1,0 +1,10 @@
+// E15 — chaos sweep: randomized fault plans, crash recovery, atomicity and
+// determinism oracles. The implementation lives in bench/sweep_chaos.cpp
+// and is shared with bench_suite.
+
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  return hermes::bench::RunChaosSweep(
+      hermes::bench::ParseSweepArgs(argc, argv));
+}

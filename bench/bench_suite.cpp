@@ -1,4 +1,4 @@
-// Runs every sweep experiment (E5, E6, E7, E9, E13) through the parallel
+// Runs every sweep experiment (E5, E6, E7, E9, E13, E15) through the parallel
 // runner in a single process — the one-command regeneration path for the
 // EXPERIMENTS.md sweep tables and their BENCH_<name>.json artifacts.
 //
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
       {"E7 clock_drift", RunClockDriftSweep},
       {"E9 correctness_sweep", RunCorrectnessSweep},
       {"E13 network_faults", RunNetworkFaultsSweep},
+      {"E15 chaos", RunChaosSweep},
   };
   int rc = 0;
   for (const Entry& e : sweeps) {

@@ -48,6 +48,7 @@ int RunScalingSweep(const SweepArgs& args);        // E6
 int RunClockDriftSweep(const SweepArgs& args);     // E7
 int RunCorrectnessSweep(const SweepArgs& args);    // E9
 int RunNetworkFaultsSweep(const SweepArgs& args);  // E13
+int RunChaosSweep(const SweepArgs& args);          // E15
 
 }  // namespace hermes::bench
 

@@ -1,5 +1,6 @@
 #include "core/agent.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/str.h"
@@ -96,6 +97,7 @@ void TwoPCAgent::OnBegin(SiteId from, const BeginMsg& msg) {
   log_.Append(LogRecord{.kind = LogRecordKind::kBegin,
                         .gtid = msg.gtid,
                         .peer = from});
+  ArmOrphanTimer(txn);
 }
 
 void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
@@ -106,6 +108,7 @@ void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
     // retransmits BEGIN + DML, or rolls back after enough attempts.
     return;
   }
+  ArmOrphanTimer(*txn);
   if (msg.cmd_index == txn->dml_inflight_index) {
     // Retransmission of the command currently executing (e.g. a slow lock
     // wait outlasted the coordinator's timeout): the in-flight execution
@@ -218,6 +221,12 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   }
   txn->coordinator = from;
   txn->sn = msg.sn;
+  // Past this point the subtransaction is voting: orphan abandonment is no
+  // longer safe (after READY only the coordinator may decide).
+  if (txn->orphan_timer != sim::kInvalidEvent) {
+    loop_->Cancel(txn->orphan_timer);
+    txn->orphan_timer = sim::kInvalidEvent;
+  }
   if (tracer_ != nullptr) {
     trace::Event e;
     e.kind = trace::EventKind::kPrepareRecv;
@@ -353,7 +362,20 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   network_->Send(config_.site, txn->coordinator,
                  Message{VoteMsg{txn->gtid, /*ready=*/true, Status::Ok()}});
   ScheduleAliveCheck(*txn);
-  if (prepared_hook_) prepared_hook_(txn->gtid, txn->ltm_handle);
+  // Arm the decision wait: if no COMMIT/ROLLBACK arrives in time the agent
+  // starts probing the coordinator — the 2PC blocking window made visible.
+  if (config_.decision_inquiry_timeout > 0) {
+    ArmInquiryTimer(*txn, config_.decision_inquiry_timeout);
+  }
+  if (!prepared_hooks_.empty()) {
+    // Copy what the hooks need first: a hook may crash this site (fault
+    // plans), wiping txns_ and invalidating `txn`.
+    const TxnId gtid = txn->gtid;
+    const LtmTxnHandle handle = txn->ltm_handle;
+    for (size_t i = 0; i < prepared_hooks_.size(); ++i) {
+      prepared_hooks_[i](gtid, handle);
+    }
+  }
 }
 
 // --- alive checks and resubmission (Appendix A) ------------------------------
@@ -499,6 +521,11 @@ void TwoPCAgent::OnDecision(SiteId from, const DecisionMsg& msg) {
     if (txn->phase != Phase::kPrepared) return;
     if (txn->commit_pending) ++metrics_->dup_msgs_absorbed;
     txn->commit_pending = true;
+    // The decision arrived: stop probing for it.
+    if (txn->inquiry_timer != sim::kInvalidEvent) {
+      loop_->Cancel(txn->inquiry_timer);
+      txn->inquiry_timer = sim::kInvalidEvent;
+    }
     TryCommit(*txn);
   } else {
     if (txn->phase == Phase::kAborted) {
@@ -677,13 +704,65 @@ void TwoPCAgent::SendInquiry(const TxnId& gtid) {
       txn->commit_pending) {
     return;
   }
-  network_->Send(config_.site, txn->coordinator,
-                 Message{InquiryMsg{gtid}});
-  // Retry until a decision arrives (the coordinator stays silent while it
-  // is still collecting votes).
-  txn->inquiry_timer = loop_->ScheduleAfter(
-      4 * config_.commit_retry_interval,
-      [this, gtid]() { SendInquiry(gtid); });
+  ++txn->inquiry_attempts;
+  ++metrics_->inquiries_sent;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kInquirySend;
+    e.txn = gtid;
+    e.site = config_.site;
+    e.peer = txn->coordinator;
+    e.value = txn->inquiry_attempts;
+    tracer_->Record(std::move(e));
+  }
+  network_->Send(config_.site, txn->coordinator, Message{InquiryMsg{gtid}});
+  // Retry with capped exponential backoff until a decision arrives: the
+  // coordinator stays silent while still collecting votes, the inquiry or
+  // its reply may be lost, or the coordinator may itself be down — the
+  // prepared agent must keep probing (the blocking window).
+  sim::Duration delay = config_.inquiry_retry_initial;
+  for (int i = 1; i < txn->inquiry_attempts; ++i) {
+    delay = std::min(delay * 2, config_.inquiry_retry_max);
+  }
+  ArmInquiryTimer(*txn, delay);
+}
+
+void TwoPCAgent::ArmInquiryTimer(AgentTxn& txn, sim::Duration delay) {
+  if (txn.inquiry_timer != sim::kInvalidEvent) loop_->Cancel(txn.inquiry_timer);
+  const TxnId gtid = txn.gtid;
+  txn.inquiry_timer = loop_->ScheduleAfter(delay, [this, gtid]() {
+    AgentTxn* t = FindTxn(gtid);
+    if (t != nullptr) t->inquiry_timer = sim::kInvalidEvent;
+    SendInquiry(gtid);
+  });
+}
+
+// --- orphan detection --------------------------------------------------------
+
+void TwoPCAgent::ArmOrphanTimer(AgentTxn& txn) {
+  if (config_.orphan_abort_timeout <= 0) return;
+  if (txn.orphan_timer != sim::kInvalidEvent) {
+    loop_->Cancel(txn.orphan_timer);
+    txn.orphan_timer = sim::kInvalidEvent;
+  }
+  if (txn.phase != Phase::kActive) return;
+  const TxnId gtid = txn.gtid;
+  txn.orphan_timer = loop_->ScheduleAfter(
+      config_.orphan_abort_timeout, [this, gtid]() { OnOrphanTimeout(gtid); });
+}
+
+void TwoPCAgent::OnOrphanTimeout(const TxnId& gtid) {
+  AgentTxn* txn = FindTxn(gtid);
+  if (txn == nullptr) return;
+  txn->orphan_timer = sim::kInvalidEvent;
+  // Only an *active* subtransaction may be abandoned: before the READY vote
+  // the LDBS can unilaterally abort at any time (execution autonomy).
+  // A silent coordinator usually means it crashed before reaching PREPARE;
+  // releasing the orphan's locks keeps the rest of the workload moving.
+  if (txn->phase != Phase::kActive || !txn->alive) return;
+  if (ltm_->IsActive(txn->ltm_handle)) {
+    ltm_->InjectUnilateralAbort(txn->ltm_handle);
+  }
 }
 
 // --- bookkeeping -------------------------------------------------------------
@@ -691,7 +770,7 @@ void TwoPCAgent::SendInquiry(const TxnId& gtid) {
 void TwoPCAgent::CancelTimers(AgentTxn& txn) {
   for (sim::EventId* timer :
        {&txn.alive_timer, &txn.commit_retry_timer, &txn.resubmit_retry_timer,
-        &txn.inquiry_timer}) {
+        &txn.inquiry_timer, &txn.orphan_timer}) {
     if (*timer != sim::kInvalidEvent) {
       loop_->Cancel(*timer);
       *timer = sim::kInvalidEvent;

@@ -68,6 +68,21 @@ struct AgentConfig {
   // DLU: bind accessed items while prepared. Disable only for negative
   // experiments.
   bool bind_bound_data = true;
+  // Decision-wait inquiry: a prepared subtransaction that has not heard a
+  // decision within this timeout starts probing its coordinator with
+  // InquiryMsg — the measurable 2PC blocking window (0 disables).
+  sim::Duration decision_inquiry_timeout = 500 * sim::kMillisecond;
+  // Inquiry retransmission backoff: first retry delay, doubled per attempt
+  // up to the cap. Duplicate inquiries and lost replies are tolerated — the
+  // coordinator's answer is idempotent.
+  sim::Duration inquiry_retry_initial = 20 * sim::kMillisecond;
+  sim::Duration inquiry_retry_max = 320 * sim::kMillisecond;
+  // Orphan detection: an *active* (not yet prepared) subtransaction that
+  // hears nothing from its coordinator for this long is unilaterally
+  // aborted, releasing its locks (0 disables). Always safe before the READY
+  // vote; the chaos sweeps enable it so a crashed coordinator does not
+  // leave orphaned lock holders behind for the rest of the run.
+  sim::Duration orphan_abort_timeout = 0;
 };
 
 class TwoPCAgent {
@@ -89,8 +104,15 @@ class TwoPCAgent {
   // Agent-bound protocol messages (BEGIN, DML, PREPARE, COMMIT/ROLLBACK).
   void Handle(SiteId from, const Message& msg);
 
+  // Replaces every installed hook (tests owning the only hook); the add_
+  // form appends, letting failure injectors and fault-plan triggers
+  // compose on the same agent.
   void set_prepared_hook(PreparedHook hook) {
-    prepared_hook_ = std::move(hook);
+    prepared_hooks_.clear();
+    if (hook) prepared_hooks_.push_back(std::move(hook));
+  }
+  void add_prepared_hook(PreparedHook hook) {
+    if (hook) prepared_hooks_.push_back(std::move(hook));
   }
 
   const AgentLog& log() const { return log_; }
@@ -145,10 +167,12 @@ class TwoPCAgent {
     db::CmdResult dml_last_result;
     SerialNumber sn;
     bool commit_pending = false;  // COMMIT received but not yet performed
+    int inquiry_attempts = 0;     // drives the capped inquiry backoff
     sim::EventId alive_timer = sim::kInvalidEvent;
     sim::EventId commit_retry_timer = sim::kInvalidEvent;
     sim::EventId resubmit_retry_timer = sim::kInvalidEvent;
     sim::EventId inquiry_timer = sim::kInvalidEvent;
+    sim::EventId orphan_timer = sim::kInvalidEvent;
     std::set<ItemId> bound_items;
   };
 
@@ -169,6 +193,9 @@ class TwoPCAgent {
   void BindAccessedItems(AgentTxn& txn);
   void UnbindAll(AgentTxn& txn);
   void SendInquiry(const TxnId& gtid);
+  void ArmInquiryTimer(AgentTxn& txn, sim::Duration delay);
+  void ArmOrphanTimer(AgentTxn& txn);
+  void OnOrphanTimeout(const TxnId& gtid);
   void CancelTimers(AgentTxn& txn);
   void OnUnilateralAbort(const SubTxnId& id, LtmTxnHandle handle);
 
@@ -192,7 +219,7 @@ class TwoPCAgent {
   // Hashed: FindTxn is on the hot path of every protocol message. Iteration
   // only happens in Crash/Recover paths where order is immaterial.
   std::unordered_map<TxnId, AgentTxn> txns_;
-  PreparedHook prepared_hook_;
+  std::vector<PreparedHook> prepared_hooks_;
 };
 
 }  // namespace hermes::core

@@ -31,7 +31,8 @@ Coordinator::CoordTxn* Coordinator::FindTxn(const TxnId& gtid) {
 }
 
 TxnId Coordinator::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb) {
-  const TxnId gtid = TxnId::MakeGlobal(site_, next_seq_++);
+  const TxnId gtid =
+      TxnId::MakeGlobal(site_, epoch_ * kEpochSeqStride + next_seq_++);
   CoordTxn& txn = txns_[gtid];
   txn.gtid = gtid;
   txn.spec = std::move(spec);
@@ -208,8 +209,19 @@ void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
     return;
   }
   if (txn->votes_pending.empty()) {
-    // All READY: record the global commit decision C_k, then COMMIT.
+    // All READY: record the global commit decision C_k and force-write the
+    // decision record *before* the first COMMIT message leaves the site —
+    // without it a crash here would lose the decision while participants
+    // may already be committing, the classic lost-decision atomicity
+    // violation.
     recorder_->RecordGlobalCommit(txn->gtid, site_);
+    if (!skip_decision_log_) {
+      log_.ForceAppend(CoordLogRecord{
+          .kind = CoordRecordKind::kDecision,
+          .gtid = txn->gtid,
+          .participants = std::vector<SiteId>(txn->begun.begin(),
+                                              txn->begun.end())});
+    }
     txn->phase = Phase::kCommitting;
     SendDecisions(*txn, /*commit=*/true);
   }
@@ -243,22 +255,46 @@ void Coordinator::Handle(SiteId from, const Message& msg) {
   } else if (const auto* m = std::get_if<AckMsg>(&msg)) {
     OnAck(from, *m);
   } else if (const auto* m = std::get_if<InquiryMsg>(&msg)) {
-    // Recovery inquiry from a crashed participant.
-    CoordTxn* txn = FindTxn(m->gtid);
-    if (txn == nullptr) {
-      // Fully finished and forgotten, or never existed: a finished
-      // transaction was acked by every participant, so an in-doubt inquirer
-      // can only concern an aborted one — presumed abort.
-      network_->Send(site_, from, Message{DecisionMsg{m->gtid, false}});
-      return;
-    }
-    if (txn->phase == Phase::kCommitting) {
-      network_->Send(site_, from, Message{DecisionMsg{m->gtid, true}});
-    } else if (txn->phase == Phase::kRollingBack) {
-      network_->Send(site_, from, Message{DecisionMsg{m->gtid, false}});
-    }
-    // Still preparing/executing: stay silent, the agent retries.
+    OnInquiry(from, *m);
   }
+}
+
+void Coordinator::OnInquiry(SiteId from, const InquiryMsg& msg) {
+  // Recovery inquiry from a crashed participant or from a prepared agent
+  // whose decision wait timed out (blocking-window probing). Handling is
+  // idempotent: duplicate inquiries get the same reply again, lost replies
+  // are covered by the agent's capped-backoff inquiry retry timer.
+  CoordTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr) {
+    // Fully finished and forgotten, or never existed: a finished
+    // transaction was acked by every participant, so an in-doubt inquirer
+    // can only concern an aborted one — presumed abort.
+    ++metrics_->inquiries_answered_presumed_abort;
+    TraceInquiryReply(msg.gtid, from, /*commit=*/false, "presumed-abort");
+    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, false}});
+    return;
+  }
+  if (txn->phase == Phase::kCommitting) {
+    TraceInquiryReply(msg.gtid, from, /*commit=*/true, nullptr);
+    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, true}});
+  } else if (txn->phase == Phase::kRollingBack) {
+    TraceInquiryReply(msg.gtid, from, /*commit=*/false, nullptr);
+    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, false}});
+  }
+  // Still preparing/executing: stay silent, the agent retries.
+}
+
+void Coordinator::TraceInquiryReply(const TxnId& gtid, SiteId peer,
+                                    bool commit, const char* detail) {
+  if (tracer_ == nullptr) return;
+  trace::Event e;
+  e.kind = trace::EventKind::kInquiryReply;
+  e.txn = gtid;
+  e.site = site_;
+  e.peer = peer;
+  e.ok = commit;
+  if (detail != nullptr) e.detail = detail;
+  tracer_->Record(std::move(e));
 }
 
 void Coordinator::StartRollback(CoordTxn& txn, const Status& reason) {
@@ -291,6 +327,72 @@ void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
   txn->acks_pending.erase(from);
   if (txn->acks_pending.empty()) {
     FinishTxn(*txn, /*committed=*/txn->phase == Phase::kCommitting);
+  }
+}
+
+// --- site crash recovery -----------------------------------------------------
+
+void Coordinator::Crash() {
+  ++metrics_->coordinator_crashes;
+  for (auto& [gtid, txn] : txns_) {
+    CancelRetryTimer(txn);
+    switch (txn.phase) {
+      case Phase::kCommitting:
+        // The decision record is force-written: Recover() re-drives the
+        // COMMIT delivery. Only the client callback fails now — the
+        // pre-crash coordinator can no longer report the outcome.
+        break;
+      case Phase::kRollingBack:
+        // The abort was already recorded by StartRollback; only the
+        // metrics counter (normally bumped in FinishTxn) is still owed.
+        ++metrics_->global_aborted;
+        break;
+      case Phase::kExecuting:
+      case Phase::kPreparing:
+        // Undecided: presumed abort. Participants holding prepared
+        // subtransactions learn it through inquiries after recovery.
+        recorder_->RecordGlobalAbort(txn.gtid, site_);
+        ++metrics_->global_aborted;
+        ++metrics_->global_aborted_crash;
+        break;
+    }
+    if (txn.cb) {
+      GlobalTxnResult result;
+      result.gtid = txn.gtid;
+      result.status = Status::Unavailable("coordinator crashed");
+      result.results = std::move(txn.results);
+      result.latency = loop_->Now() - txn.start_time;
+      // Asynchronously, matching the normal completion path (and because
+      // Crash() may be invoked from inside a protocol handler).
+      loop_->ScheduleAfter(
+          0, [cb = std::move(txn.cb), result = std::move(result)]() {
+            cb(result);
+          });
+    }
+  }
+  txns_.clear();
+}
+
+void Coordinator::Recover() {
+  // Force-write a fresh submission epoch before anything else: next_seq_
+  // is volatile, so without the epoch bump post-recovery transaction ids
+  // could collide with pre-crash ones still held by participants.
+  epoch_ = log_.LastEpoch() + 1;
+  log_.ForceAppend(
+      CoordLogRecord{.kind = CoordRecordKind::kEpoch, .epoch = epoch_});
+  next_seq_ = 0;
+  // Re-drive COMMIT delivery for every decided-but-not-forgotten
+  // transaction. Participants that already processed the decision absorb
+  // the duplicate and re-ack; the rest are unblocked.
+  for (const CoordLogRecord& rec : log_.InFlightDecisions()) {
+    CoordTxn& txn = txns_[rec.gtid];
+    txn.gtid = rec.gtid;
+    txn.phase = Phase::kCommitting;
+    txn.recovered = true;
+    txn.begun.insert(rec.participants.begin(), rec.participants.end());
+    txn.start_time = loop_->Now();
+    ++metrics_->coordinator_redelivered_decisions;
+    SendDecisions(txn, /*commit=*/true);
   }
 }
 
@@ -400,7 +502,16 @@ void Coordinator::FinishTxn(CoordTxn& txn, bool committed) {
   CancelRetryTimer(txn);
   if (committed) {
     ++metrics_->global_committed;
-    metrics_->AddLatency(loop_->Now() - txn.start_time);
+    // Recovered transactions span a crash: their start_time was rebuilt at
+    // recovery and would poison the latency distribution.
+    if (!txn.recovered) metrics_->AddLatency(loop_->Now() - txn.start_time);
+    if (log_.HasDecision(txn.gtid)) {
+      // Every participant acked the COMMIT: no inquiry can arrive that
+      // needs the decision, so forget it (buffered — losing the forget
+      // record only costs a harmless re-delivery after a crash).
+      log_.Append(CoordLogRecord{.kind = CoordRecordKind::kForget,
+                                 .gtid = txn.gtid});
+    }
   } else {
     ++metrics_->global_aborted;
   }

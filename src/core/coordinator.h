@@ -23,6 +23,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "core/coordinator_log.h"
 #include "core/messages.h"
 #include "core/metrics.h"
 #include "history/recorder.h"
@@ -115,6 +116,23 @@ class Coordinator {
   // section 5.2 as overly restrictive.
   void set_sn_at_submit(bool v) { sn_at_submit_ = v; }
 
+  // Ablation for the lost-decision test: skip the decision force-write so a
+  // crash between the commit decision and its delivery forgets the decision
+  // (and the recovered coordinator wrongly presumes abort).
+  void set_skip_decision_log_for_test(bool v) { skip_decision_log_ = v; }
+
+  // --- site crash recovery ------------------------------------------------
+  // Crash() discards all volatile state: every undecided transaction is
+  // failed towards its client (presumed abort — participants learn the
+  // outcome through inquiries), decided ones fall silent until recovery.
+  // Only the coordinator log survives. Recover() force-writes a new
+  // submission epoch (so fresh transaction ids cannot collide with
+  // pre-crash ones) and re-drives COMMIT delivery for every logged decision
+  // without a forget record. Called by Mdbs::CrashSite / RecoverSite.
+  void Crash();
+  void Recover();
+
+  const CoordinatorLog& log() const { return log_; }
   SiteId site() const { return site_; }
   int64_t active_transactions() const {
     return static_cast<int64_t>(txns_.size());
@@ -141,6 +159,9 @@ class Coordinator {
     std::set<SiteId> acks_pending;
     Status failure;
     bool certification_refused = false;
+    // Rebuilt from the log by Recover(): the decision is already recorded,
+    // so only re-drive delivery (and skip the latency sample).
+    bool recovered = false;
     sim::Time start_time = 0;
     // One retransmission timer per transaction, re-armed per phase: covers
     // the in-flight DML step while executing, outstanding votes while
@@ -158,6 +179,9 @@ class Coordinator {
   void SendDecisions(CoordTxn& txn, bool commit);
   void StartRollback(CoordTxn& txn, const Status& reason);
   void OnAck(SiteId from, const AckMsg& msg);
+  void OnInquiry(SiteId from, const InquiryMsg& msg);
+  void TraceInquiryReply(const TxnId& gtid, SiteId peer, bool commit,
+                         const char* detail);
   void FinishTxn(CoordTxn& txn, bool committed);
 
   // Retransmission machinery.
@@ -179,7 +203,15 @@ class Coordinator {
   CoordinatorRetryConfig retry_;
 
   bool sn_at_submit_ = false;
+  bool skip_decision_log_ = false;
+  // Transaction ids are (epoch * stride + seq): next_seq_ is volatile and
+  // resets on crash, but the epoch — recovered from the force-written epoch
+  // records in the log — guarantees post-recovery ids never collide with
+  // pre-crash ones.
+  static constexpr int64_t kEpochSeqStride = 1'000'000'000;
+  int64_t epoch_ = 0;
   int64_t next_seq_ = 0;
+  CoordinatorLog log_;
   // Hashed: looked up once per protocol message. Iterated only to cancel
   // timers on teardown, where order is immaterial.
   std::unordered_map<TxnId, CoordTxn> txns_;

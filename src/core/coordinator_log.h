@@ -1,0 +1,84 @@
+// The Coordinator log (stable storage of one Coordinator).
+//
+// 2PC with presumed abort: the coordinator force-writes a COMMIT decision
+// record *before* the first COMMIT message leaves the site, and appends a
+// (buffered) forget record once every participant has acknowledged. Abort
+// decisions are never logged — an inquiry about a transaction the log does
+// not know is answered "presumed abort". After a crash the log is the only
+// coordinator state that survives: Recover() re-drives decision delivery
+// for every decision without a forget record, and bumps the submission
+// epoch so post-recovery transaction ids can never collide with pre-crash
+// ones.
+//
+// Like the AgentLog, "stable storage" is an in-memory structure in the
+// simulation; the force-write flag models the log discipline so it is
+// visible and testable (a test removing the force-write demonstrably loses
+// decided transactions).
+
+#ifndef HERMES_CORE_COORDINATOR_LOG_H_
+#define HERMES_CORE_COORDINATOR_LOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace hermes::core {
+
+enum class CoordRecordKind : uint8_t {
+  kDecision,  // force-written before any COMMIT is sent
+  kForget,    // appended after all commit ACKs arrived
+  kEpoch,     // force-written during recovery: new submission epoch
+};
+
+struct CoordLogRecord {
+  CoordRecordKind kind = CoordRecordKind::kDecision;
+  TxnId gtid;                        // kDecision / kForget
+  std::vector<SiteId> participants;  // kDecision: sites owed a COMMIT
+  int64_t epoch = 0;                 // kEpoch
+  int64_t lsn = 0;
+  bool forced = false;
+};
+
+class CoordinatorLog {
+ public:
+  CoordinatorLog() = default;
+
+  int64_t Append(CoordLogRecord record);       // buffered write
+  int64_t ForceAppend(CoordLogRecord record);  // force-write (fsync'd)
+
+  // True if a COMMIT decision record exists for `gtid`.
+  bool HasDecision(const TxnId& gtid) const {
+    return decision_index_.count(gtid) != 0;
+  }
+  // True if the transaction was fully acknowledged and forgotten.
+  bool Forgotten(const TxnId& gtid) const {
+    return forgotten_.count(gtid) != 0;
+  }
+
+  // Decisions without a forget record, in log order — the transactions a
+  // recovering coordinator must re-drive to COMMIT.
+  std::vector<CoordLogRecord> InFlightDecisions() const;
+
+  // Largest epoch ever force-written (0 if none).
+  int64_t LastEpoch() const { return last_epoch_; }
+
+  const std::vector<CoordLogRecord>& records() const { return records_; }
+  int64_t forced_writes() const { return forced_writes_; }
+  size_t size() const { return records_.size(); }
+
+ private:
+  int64_t AppendImpl(CoordLogRecord record, bool forced);
+
+  std::vector<CoordLogRecord> records_;
+  std::unordered_map<TxnId, size_t> decision_index_;
+  std::unordered_set<TxnId> forgotten_;
+  int64_t last_epoch_ = 0;
+  int64_t forced_writes_ = 0;
+};
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_COORDINATOR_LOG_H_

@@ -169,12 +169,35 @@ TxnId Mdbs::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb,
   if (coordinator_site == kInvalidSite) {
     coordinator_site = spec.steps.empty() ? 0 : spec.steps[0].site;
   }
+  if (!sites_[coordinator_site]->up) {
+    // The coordinating site is down: the client notices the outage
+    // immediately — the transaction never starts.
+    ++metrics_.global_aborted;
+    ++metrics_.global_aborted_crash;
+    if (cb) {
+      loop_->ScheduleAfter(0, [cb = std::move(cb)]() {
+        GlobalTxnResult r;
+        r.status = Status::Unavailable("coordinating site is down");
+        cb(r);
+      });
+    }
+    return TxnId{};
+  }
   return sites_[coordinator_site]->coordinator->Submit(std::move(spec),
                                                        std::move(cb));
 }
 
 TxnId Mdbs::SubmitLocal(LocalTxnSpec spec, LocalTxnCallback cb) {
   assert(spec.site >= 0 && spec.site < config_.num_sites);
+  if (!sites_[spec.site]->up) {
+    ++metrics_.local_aborted;
+    if (cb) {
+      loop_->ScheduleAfter(0, [cb = std::move(cb)]() {
+        cb(LocalTxnResult{TxnId{}, Status::Unavailable("site is down"), {}});
+      });
+    }
+    return TxnId{};
+  }
   auto run = std::make_shared<LocalRun>();
   run->mdbs = this;
   run->id = TxnId::MakeLocal(spec.site,
@@ -186,23 +209,53 @@ TxnId Mdbs::SubmitLocal(LocalTxnSpec spec, LocalTxnCallback cb) {
   return id;
 }
 
-void Mdbs::CrashSite(SiteId site) {
+void Mdbs::CrashSite(SiteId site, sim::Duration downtime) {
   Site& s = *sites_[site];
+  if (!s.up) return;  // already down: a second crash changes nothing
+  s.up = false;
   if (config_.tracer != nullptr) {
     trace::Event e;
     e.kind = trace::EventKind::kSiteCrash;
     e.site = site;
     e.ok = false;
+    e.value = downtime < 0 ? -1 : downtime;
     config_.tracer->Record(std::move(e));
   }
-  // Wipe agent volatile state first so the UAN storm from the collective
-  // abort below hits an agent that no longer knows the transactions.
+  // A down site answers nothing: drop its endpoint so messages to it —
+  // including ones already in flight — vanish (counted as drops).
+  network_->UnregisterEndpoint(site);
+  // Both co-located roles fail. The coordinator first: its undecided
+  // transactions are presumed aborted, decided ones wait for recovery.
+  s.coordinator->Crash();
+  // Wipe agent volatile state before the collective abort so the UAN storm
+  // from below hits an agent that no longer knows the transactions.
   s.agent->Crash();
   for (LtmTxnHandle handle : s.ltm->ActiveHandles()) {
     (void)s.ltm->InjectUnilateralAbort(handle);
   }
   s.ltm->ClearBindings();
+  if (downtime == 0) {
+    RecoverSiteNow(site);
+  } else if (downtime > 0) {
+    loop_->ScheduleAfter(downtime, [this, site]() { RecoverSiteNow(site); });
+  }
+  // downtime < 0: down until an explicit RecoverSite().
+}
+
+void Mdbs::RecoverSite(SiteId site) { RecoverSiteNow(site); }
+
+void Mdbs::RecoverSiteNow(SiteId site) {
+  Site& s = *sites_[site];
+  if (s.up) return;
+  s.up = true;
+  // Re-register the endpoint first: recovery immediately sends messages
+  // (inquiries, COMMIT re-deliveries) whose replies must be able to
+  // reach this site again.
+  network_->RegisterEndpoint(site, [this, site](const net::Envelope& env) {
+    RouteMessage(site, env);
+  });
   s.agent->Recover();
+  s.coordinator->Recover();
   if (config_.tracer != nullptr) {
     trace::Event e;
     e.kind = trace::EventKind::kSiteRecover;

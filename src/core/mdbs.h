@@ -102,12 +102,31 @@ class Mdbs {
   history::Recorder& recorder() { return *recorder_; }
   Metrics& metrics() { return metrics_; }
 
-  // Simulates a crash of one participating site: every transaction inside
-  // its LTM is collectively (unilaterally) aborted, all volatile agent
-  // state and DLU bindings are lost, and the agent then recovers from its
-  // Agent log (resubmission + coordinator inquiry for in-doubt
-  // subtransactions). Committed data — the database itself — survives.
-  void CrashSite(SiteId site);
+  // Simulates a crash of one site — BOTH co-located roles fail: the
+  // coordinator loses every in-flight global transaction (only its decision
+  // log survives), every transaction inside the LTM is collectively
+  // (unilaterally) aborted, and all volatile agent state and DLU bindings
+  // are lost. Committed data — the database itself — survives. While the
+  // site is down its network endpoint is unregistered, so messages to it
+  // (including in-flight ones) vanish; prepared remote agents block and
+  // probe with inquiries until recovery.
+  //
+  // `downtime` selects the recovery mode:
+  //   0  (default) — recover immediately (legacy crash-and-recover in one
+  //                  step; the outage is only the in-flight message loss);
+  //   >0           — stay down for `downtime` of virtual time, then recover
+  //                  (the measurable blocking window);
+  //   <0           — stay down until an explicit RecoverSite().
+  // Crashing a site that is already down is a deterministic no-op.
+  void CrashSite(SiteId site, sim::Duration downtime = 0);
+
+  // Recovers a crashed site now: re-registers the endpoint, then replays
+  // the agent log (resubmission + inquiries for in-doubt subtransactions)
+  // and the coordinator log (epoch bump + COMMIT re-delivery). No-op if the
+  // site is up.
+  void RecoverSite(SiteId site);
+
+  bool SiteUp(SiteId site) const { return sites_[site]->up; }
 
   // Applies hooks to every coordinator (CGM interposition).
   void SetCoordinatorHooks(const CoordinatorHooks& hooks);
@@ -121,11 +140,13 @@ class Mdbs {
     std::unique_ptr<ltm::Ltm> ltm;
     std::unique_ptr<TwoPCAgent> agent;
     std::unique_ptr<Coordinator> coordinator;
+    bool up = true;
   };
 
   struct LocalRun;  // driver of one SubmitLocal execution
 
   void RouteMessage(SiteId site, const net::Envelope& env);
+  void RecoverSiteNow(SiteId site);
 
   MdbsConfig config_;
   sim::EventLoop* loop_;

@@ -12,6 +12,12 @@ std::string Metrics::ToString() const {
             ", timeout=", global_aborted_timeout, ")\n");
   StrAppend(out, "network: retransmits=", retransmits,
             " dup_msgs_absorbed=", dup_msgs_absorbed, "\n");
+  StrAppend(out, "recovery: coordinator_crashes=", coordinator_crashes,
+            " redelivered_decisions=", coordinator_redelivered_decisions,
+            " aborted_crash=", global_aborted_crash,
+            " inquiries_sent=", inquiries_sent,
+            " presumed_abort_replies=", inquiries_answered_presumed_abort,
+            "\n");
   StrAppend(out, "certifier: prepares=", prepares_received,
             " refuse[ext=", refuse_extension, " interval=", refuse_interval,
             " dead=", refuse_dead, "] commit_retries=", commit_cert_retries,

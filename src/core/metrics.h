@@ -24,6 +24,13 @@ struct Metrics {
   int64_t retransmits = 0;        // protocol messages re-sent after a timeout
   int64_t dup_msgs_absorbed = 0;  // duplicate messages handled idempotently
 
+  // Crash recovery (coordinator log + agent inquiry machinery).
+  int64_t coordinator_crashes = 0;   // coordinator role lost volatile state
+  int64_t coordinator_redelivered_decisions = 0;  // re-driven from the log
+  int64_t global_aborted_crash = 0;  // undecided txns failed by a coord crash
+  int64_t inquiries_sent = 0;        // InquiryMsg probes from prepared agents
+  int64_t inquiries_answered_presumed_abort = 0;  // unknown-txn replies
+
   // Certifier activity (agent view).
   int64_t prepares_received = 0;
   int64_t refuse_extension = 0;   // extended prepare certification failures

@@ -1,0 +1,302 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/str.h"
+
+namespace hermes::fault {
+
+namespace {
+
+constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kCrashSite, FaultKind::kRecoverSite, FaultKind::kPartition,
+    FaultKind::kHeal, FaultKind::kLossBurst};
+
+constexpr TriggerKind kAllTriggerKinds[] = {TriggerKind::kAtTime,
+                                            TriggerKind::kOnPrepared};
+
+// loss_prob is encoded in permille so the JSON stays integer-only (the
+// repo's parsers never deal in floating point text).
+int64_t ToPermille(double p) {
+  return static_cast<int64_t>(p * 1000.0 + (p >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashSite:
+      return "crash_site";
+    case FaultKind::kRecoverSite:
+      return "recover_site";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kLossBurst:
+      return "loss_burst";
+  }
+  return "?";
+}
+
+const char* TriggerKindName(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kAtTime:
+      return "at_time";
+    case TriggerKind::kOnPrepared:
+      return "on_prepared";
+  }
+  return "?";
+}
+
+std::string FaultEvent::ToJson() const {
+  std::string out = "{";
+  StrAppend(out, "\"kind\":\"", FaultKindName(kind), "\"");
+  StrAppend(out, ",\"trigger\":\"", TriggerKindName(trigger), "\"");
+  if (trigger == TriggerKind::kAtTime) {
+    StrAppend(out, ",\"at\":", at);
+  } else {
+    StrAppend(out, ",\"watch_site\":", watch_site, ",\"nth\":", nth);
+  }
+  if (site != kInvalidSite) StrAppend(out, ",\"site\":", site);
+  if (peer != kInvalidSite) StrAppend(out, ",\"peer\":", peer);
+  if (duration != 0) StrAppend(out, ",\"duration\":", duration);
+  if (kind == FaultKind::kLossBurst) {
+    StrAppend(out, ",\"loss_permille\":", ToPermille(loss_prob));
+  }
+  out += "}";
+  return out;
+}
+
+std::string FaultPlan::ToJsonl() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    out += ev.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// Single-line parser mirroring trace::ParseJsonl's hand-rolled style.
+class EventParser {
+ public:
+  explicit EventParser(std::string_view line) : in_(line) {}
+
+  Status Parse(FaultEvent& out) {
+    SkipSpace();
+    if (!Consume('{')) return Err("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      Status s = ParseString(key);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipSpace();
+      s = ParseValue(key, out);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+    SkipSpace();
+    if (pos_ != in_.size()) return Err("trailing characters");
+    return Status::Ok();
+  }
+
+ private:
+  Status ParseValue(const std::string& key, FaultEvent& out) {
+    if (key == "kind") {
+      std::string name;
+      Status s = ParseString(name);
+      if (!s.ok()) return s;
+      for (FaultKind k : kAllFaultKinds) {
+        if (name == FaultKindName(k)) {
+          out.kind = k;
+          return Status::Ok();
+        }
+      }
+      return Err(StrCat("unknown fault kind: ", name));
+    }
+    if (key == "trigger") {
+      std::string name;
+      Status s = ParseString(name);
+      if (!s.ok()) return s;
+      for (TriggerKind k : kAllTriggerKinds) {
+        if (name == TriggerKindName(k)) {
+          out.trigger = k;
+          return Status::Ok();
+        }
+      }
+      return Err(StrCat("unknown trigger kind: ", name));
+    }
+    if (key == "at") return ParseInt(out.at);
+    if (key == "watch_site") return ParseInt32(out.watch_site);
+    if (key == "nth") return ParseInt32(out.nth);
+    if (key == "site") return ParseInt32(out.site);
+    if (key == "peer") return ParseInt32(out.peer);
+    if (key == "duration") return ParseInt(out.duration);
+    if (key == "loss_permille") {
+      int64_t permille = 0;
+      Status s = ParseInt(permille);
+      if (!s.ok()) return s;
+      out.loss_prob = static_cast<double>(permille) / 1000.0;
+      return Status::Ok();
+    }
+    return Err(StrCat("unknown key: ", key));
+  }
+
+  Status ParseString(std::string& out) {
+    if (!Consume('"')) return Err("expected '\"'");
+    out.clear();
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return Status::Ok();
+      out += c;  // fault-plan strings are bare identifiers, never escaped
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseInt(int64_t& out) {
+    const size_t start = pos_;
+    if (pos_ < in_.size() && in_[pos_] == '-') ++pos_;
+    while (pos_ < in_.size() && in_[pos_] >= '0' && in_[pos_] <= '9') ++pos_;
+    if (pos_ == start) return Err("expected integer");
+    try {
+      out = std::stoll(std::string(in_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Err("integer out of range");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseInt32(int32_t& out) {
+    int64_t v = 0;
+    Status s = ParseInt(v);
+    if (!s.ok()) return s;
+    out = static_cast<int32_t>(v);
+    return Status::Ok();
+  }
+
+  void SkipSpace() {
+    while (pos_ < in_.size() && (in_[pos_] == ' ' || in_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(std::string msg) const {
+    return Status::InvalidArgument(
+        StrCat("fault plan at offset ", pos_, ": ", msg));
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  size_t start = 0;
+  size_t line_no = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    ++line_no;
+    start = end + 1;
+    if (line.empty()) continue;
+    FaultEvent ev;
+    const Status s = EventParser(line).Parse(ev);
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": ", s.message()));
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultPlan GenerateChaosPlan(uint64_t seed, const ChaosOptions& opts) {
+  FaultPlan plan;
+  Rng rng(seed);
+  const int sites = std::max(opts.num_sites, 1);
+  const auto draw_time = [&]() -> sim::Time {
+    return opts.horizon > 0
+               ? static_cast<sim::Time>(
+                     rng.NextUint64(static_cast<uint64_t>(opts.horizon)))
+               : 0;
+  };
+  const auto draw_downtime = [&]() -> sim::Duration {
+    if (opts.max_downtime <= opts.min_downtime) return opts.min_downtime;
+    return rng.NextInt(opts.min_downtime, opts.max_downtime);
+  };
+  const auto draw_pair = [&](SiteId& a, SiteId& b) {
+    a = static_cast<SiteId>(rng.NextUint64(static_cast<uint64_t>(sites)));
+    b = static_cast<SiteId>(
+        rng.NextUint64(static_cast<uint64_t>(std::max(sites - 1, 1))));
+    if (b >= a) ++b;
+    if (sites < 2) b = a;
+  };
+
+  for (int i = 0; i < opts.crashes; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kCrashSite;
+    ev.site = static_cast<SiteId>(
+        rng.NextUint64(static_cast<uint64_t>(sites)));
+    ev.duration = draw_downtime();
+    if (rng.NextBool(opts.triggered_fraction)) {
+      ev.trigger = TriggerKind::kOnPrepared;
+      ev.watch_site = ev.site;
+      ev.nth = static_cast<int32_t>(1 + rng.NextUint64(3));
+    } else {
+      ev.trigger = TriggerKind::kAtTime;
+      ev.at = draw_time();
+    }
+    plan.events.push_back(ev);
+  }
+  for (int i = 0; i < opts.partitions && sites >= 2; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kPartition;
+    ev.trigger = TriggerKind::kAtTime;
+    ev.at = draw_time();
+    draw_pair(ev.site, ev.peer);
+    ev.duration = draw_downtime();
+    plan.events.push_back(ev);
+  }
+  for (int i = 0; i < opts.loss_bursts && sites >= 2; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kLossBurst;
+    ev.trigger = TriggerKind::kAtTime;
+    ev.at = draw_time();
+    draw_pair(ev.site, ev.peer);
+    ev.duration = draw_downtime();
+    ev.loss_prob = 0.3 + 0.7 * rng.NextDouble();
+    plan.events.push_back(ev);
+  }
+  // Deterministic, readable order: timed events by firing time, triggered
+  // ones after (stable within each class).
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     const bool at_a = a.trigger == TriggerKind::kAtTime;
+                     const bool at_b = b.trigger == TriggerKind::kAtTime;
+                     if (at_a != at_b) return at_a;
+                     return at_a && a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace hermes::fault

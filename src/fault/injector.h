@@ -1,0 +1,26 @@
+// Wires a declarative FaultPlan into an assembled Mdbs.
+//
+// Time-triggered events are scheduled on the event loop; state-triggered
+// ones (kOnPrepared) install prepared hooks on the watched site's agent via
+// add_prepared_hook, composing with any test hooks already present. Every
+// firing is deferred through ScheduleAfter(0): a trigger observed inside a
+// protocol handler (the agent's OnPrepare) must never crash the component
+// it is executing in.
+
+#ifndef HERMES_FAULT_INJECTOR_H_
+#define HERMES_FAULT_INJECTOR_H_
+
+#include "core/mdbs.h"
+#include "fault/fault_plan.h"
+#include "trace/trace.h"
+
+namespace hermes::fault {
+
+// `tracer` may be null (no kFaultEvent records). The plan is copied; `mdbs`
+// must outlive the run.
+void InstallFaultPlan(const FaultPlan& plan, core::Mdbs* mdbs,
+                      trace::Tracer* tracer = nullptr);
+
+}  // namespace hermes::fault
+
+#endif  // HERMES_FAULT_INJECTOR_H_

@@ -112,6 +112,67 @@ std::string CheckOrderInvariant(const std::vector<Op>& h) {
   return "";
 }
 
+std::string CheckGlobalAtomicity(const std::vector<Op>& h) {
+  // Final outcome of each (transaction, site): data ops and prepares re-open
+  // the outcome (a resubmission after a unilateral abort), local commits and
+  // aborts close it.
+  enum class SiteOutcome : uint8_t {
+    kPending,
+    kCommitted,
+    kAborted,            // rollback requested by the agent/coordinator
+    kAbortedUnilateral,  // the LDBS aborted on its own (resubmittable)
+  };
+  struct TxnState {
+    bool global_commit = false;
+    bool global_abort = false;
+    std::map<SiteId, SiteOutcome> sites;
+  };
+  std::map<TxnId, TxnState> txns;
+  for (const Op& op : h) {
+    if (!op.subtxn.txn.global()) continue;
+    TxnState& t = txns[op.subtxn.txn];
+    switch (op.kind) {
+      case OpKind::kRead:
+      case OpKind::kWrite:
+      case OpKind::kDelete:
+      case OpKind::kPrepare:
+        t.sites[op.site] = SiteOutcome::kPending;
+        break;
+      case OpKind::kLocalCommit:
+        t.sites[op.site] = SiteOutcome::kCommitted;
+        break;
+      case OpKind::kLocalAbort:
+        t.sites[op.site] = op.unilateral ? SiteOutcome::kAbortedUnilateral
+                                         : SiteOutcome::kAborted;
+        break;
+      case OpKind::kGlobalCommit:
+        t.global_commit = true;
+        break;
+      case OpKind::kGlobalAbort:
+        t.global_abort = true;
+        break;
+    }
+  }
+  for (const auto& [id, t] : txns) {
+    if (t.global_commit && t.global_abort) {
+      return StrCat("atomicity violated for ", id.ToString(),
+                    ": both C_k and A_k recorded");
+    }
+    for (const auto& [site, outcome] : t.sites) {
+      if (!t.global_commit && outcome == SiteOutcome::kCommitted) {
+        return StrCat("atomicity violated for ", id.ToString(), ": site ",
+                      site,
+                      " committed locally without a global commit decision");
+      }
+      if (t.global_commit && outcome == SiteOutcome::kAborted) {
+        return StrCat("atomicity violated for ", id.ToString(), ": site ",
+                      site, " rolled back after the commit decision C_k");
+      }
+    }
+  }
+  return "";
+}
+
 std::vector<Op> SiteProjection(const std::vector<Op>& h, SiteId site) {
   std::vector<Op> out;
   for (const Op& op : h) {

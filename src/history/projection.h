@@ -62,6 +62,17 @@ std::vector<Op> SiteProjection(const std::vector<Op>& h, SiteId site);
 // violation. Used as a protocol well-formedness oracle by the driver.
 std::string CheckOrderInvariant(const std::vector<Op>& h);
 
+// Global atomicity oracle for crash/fault runs: in the final state of the
+// history, (1) no transaction has both C_k and A_k, (2) no site commits
+// locally for a transaction without a global commit decision, and (3) once
+// C_k is recorded no site's *final* outcome is a coordinator/agent-requested
+// rollback. A final *unilateral* abort or a still-pending site is a liveness
+// gap, not an atomicity violation: the agent would have resubmitted and
+// committed had the run continued (runs truncated by max_sim_time legally
+// end mid-recovery). Returns "" when atomicity holds, else a description of
+// the first violation.
+std::string CheckGlobalAtomicity(const std::vector<Op>& h);
+
 }  // namespace hermes::history
 
 #endif  // HERMES_HISTORY_PROJECTION_H_

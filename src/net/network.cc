@@ -23,6 +23,8 @@ void Network::RegisterEndpoint(SiteId site, Handler handler) {
   endpoints_[site] = std::move(handler);
 }
 
+void Network::UnregisterEndpoint(SiteId site) { endpoints_.erase(site); }
+
 void Network::SetLinkLoss(SiteId from, SiteId to, double p) {
   link_loss_[{from, to}] = p;
 }

@@ -74,6 +74,10 @@ class Network {
 
   // At most one handler per destination site.
   void RegisterEndpoint(SiteId site, Handler handler);
+  // Removes a site's handler (site crash): messages addressed to it — both
+  // newly sent and already in flight — are dropped and counted. Re-register
+  // when the site recovers. Unknown sites are a no-op.
+  void UnregisterEndpoint(SiteId site);
 
   // Queues `payload` for delivery to `to`'s handler after the modeled
   // latency. Messages between the same ordered pair are delivered in send

@@ -59,6 +59,13 @@ void CellAggregate::AddRun(uint64_t seed, const workload::RunResult& r) {
   Add("commit_cert_retries", static_cast<double>(m.commit_cert_retries));
   Add("retransmits", static_cast<double>(m.retransmits));
   Add("dup_absorbed", static_cast<double>(m.dup_msgs_absorbed));
+  Add("aborted_crash", static_cast<double>(m.global_aborted_crash));
+  Add("coordinator_crashes", static_cast<double>(m.coordinator_crashes));
+  Add("redelivered_decisions",
+      static_cast<double>(m.coordinator_redelivered_decisions));
+  Add("inquiries", static_cast<double>(m.inquiries_sent));
+  Add("inquiries_presumed_abort",
+      static_cast<double>(m.inquiries_answered_presumed_abort));
   Add("local_committed", static_cast<double>(m.local_committed));
   Add("local_aborted", static_cast<double>(m.local_aborted));
   Add("messages", static_cast<double>(r.messages));
@@ -72,7 +79,7 @@ void CellAggregate::AddRun(uint64_t seed, const workload::RunResult& r) {
   const bool violated =
       r.history_checked &&
       (!r.replay_consistent || !r.order_invariant_ok ||
-       !r.commit_graph_acyclic ||
+       !r.commit_graph_acyclic || !r.atomicity_ok ||
        r.verdict == history::Verdict::kNotSerializable);
   Add("violations", violated ? 1.0 : 0.0);
   latency.Merge(m.latency_hist);

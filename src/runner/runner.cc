@@ -118,6 +118,7 @@ std::string Fingerprint(const RunOutput& out) {
             " verdict=", history::VerdictName(r.verdict),
             " replay=", r.replay_consistent ? 1 : 0,
             " order_invariant=", r.order_invariant_ok ? 1 : 0,
+            " atomicity=", r.atomicity_ok ? 1 : 0,
             " ops=", r.history_ops, "\n");
   StrAppend(fp, "trace:\n", out.trace_jsonl);
   return fp;

@@ -50,6 +50,12 @@ const char* EventKindName(EventKind kind) {
       return "site_crash";
     case EventKind::kSiteRecover:
       return "site_recover";
+    case EventKind::kInquirySend:
+      return "inquiry_send";
+    case EventKind::kInquiryReply:
+      return "inquiry_reply";
+    case EventKind::kFaultEvent:
+      return "fault_event";
     case EventKind::kMsgSend:
       return "msg_send";
     case EventKind::kMsgDrop:
@@ -98,10 +104,12 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kLocalCommit,    EventKind::kLocalAbort,
     EventKind::kUnilateralAbort, EventKind::kLocalTxnBegin,
     EventKind::kLocalTxnEnd,    EventKind::kSiteCrash,
-    EventKind::kSiteRecover,    EventKind::kMsgSend,
+    EventKind::kSiteRecover,    EventKind::kInquirySend,
+    EventKind::kInquiryReply,   EventKind::kMsgSend,
     EventKind::kMsgDrop,        EventKind::kMsgDup,
     EventKind::kRetransmit,     EventKind::kInjectFailure,
-    EventKind::kCgmLock,        EventKind::kCgmAdmission,
+    EventKind::kFaultEvent,     EventKind::kCgmLock,
+    EventKind::kCgmAdmission,
 };
 
 constexpr RefuseKind kAllRefuseKinds[] = {

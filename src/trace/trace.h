@@ -63,8 +63,16 @@ enum class EventKind : uint8_t {
   // System assembly events.
   kLocalTxnBegin,  // workload local transaction started at a site
   kLocalTxnEnd,    // workload local transaction finished; ok = committed
-  kSiteCrash,      // CrashSite: volatile state lost
-  kSiteRecover,    // agent recovery from the log finished
+  kSiteCrash,      // CrashSite: both roles lose volatile state;
+                   // value = scheduled downtime (us; 0 = instant recovery)
+  kSiteRecover,    // agent + coordinator recovery from the logs finished
+
+  // Recovery inquiries (2PC blocking window).
+  kInquirySend,   // a prepared agent probes its coordinator for the
+                  // decision; peer = coordinator, value = attempt number
+  kInquiryReply,  // the coordinator answered an inquiry; peer = inquirer,
+                  // ok = commit, detail = "presumed-abort" when the
+                  // transaction was unknown (never logged or forgotten)
 
   // Network transport.
   kMsgSend,  // site -> peer send; value = modeled delivery delay (us)
@@ -80,6 +88,8 @@ enum class EventKind : uint8_t {
   // Workload driver.
   kInjectFailure,  // failure injector armed a unilateral abort;
                    // value = injection delay (us)
+  kFaultEvent,     // a FaultPlan event fired; detail = fault kind,
+                   // site/peer = targets, value = duration (us)
 
   // CGM baseline centralized scheduler.
   kCgmLock,       // global lock request decided; ok = granted

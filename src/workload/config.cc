@@ -37,6 +37,10 @@ core::MdbsConfig WorkloadConfig::ToMdbsConfig() const {
   config.agent.alive_check_interval = alive_check_interval;
   config.agent.commit_retry_interval = commit_retry_interval;
   config.agent.bind_bound_data = dlu_binding;
+  config.agent.decision_inquiry_timeout = decision_inquiry_timeout;
+  config.agent.inquiry_retry_initial = inquiry_retry_initial;
+  config.agent.inquiry_retry_max = inquiry_retry_max;
+  config.agent.orphan_abort_timeout = orphan_abort_timeout;
   if (clock_skew != 0) {
     config.clock_offsets.resize(static_cast<size_t>(num_sites));
     for (int s = 0; s < num_sites; ++s) {
@@ -56,14 +60,19 @@ cgm::CgmConfig WorkloadConfig::ToCgmConfig() const {
 }
 
 std::string WorkloadConfig::ToString() const {
-  return StrCat(SystemName(system), " sites=", num_sites,
-                " rows=", rows_per_table, " zipf=", zipf_theta,
-                " gclients=", global_clients,
-                " lclients=", local_clients_per_site,
-                " p_fail=", p_prepared_abort, " loss=", net_loss_prob,
-                " dup=", net_dup_prob, " reorder=", net_reorder_prob,
-                " policy=", core::CertPolicyName(policy),
-                " target=", target_global_txns, " seed=", seed);
+  std::string out =
+      StrCat(SystemName(system), " sites=", num_sites,
+             " rows=", rows_per_table, " zipf=", zipf_theta,
+             " gclients=", global_clients,
+             " lclients=", local_clients_per_site,
+             " p_fail=", p_prepared_abort, " loss=", net_loss_prob,
+             " dup=", net_dup_prob, " reorder=", net_reorder_prob,
+             " policy=", core::CertPolicyName(policy),
+             " target=", target_global_txns, " seed=", seed);
+  if (!fault_plan.empty()) {
+    StrAppend(out, " faults=", fault_plan.events.size());
+  }
+  return out;
 }
 
 }  // namespace hermes::workload

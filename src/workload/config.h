@@ -9,6 +9,7 @@
 #include "cgm/cgm_mdbs.h"
 #include "core/agent.h"
 #include "core/mdbs.h"
+#include "fault/fault_plan.h"
 
 namespace hermes::workload {
 
@@ -48,10 +49,19 @@ struct WorkloadConfig {
   double net_dup_prob = 0.0;
   double net_reorder_prob = 0.0;
   sim::Duration net_reorder_window = 5 * sim::kMillisecond;
+  // Declarative fault schedule (site crashes, partitions, loss bursts),
+  // installed by the driver before the clients start. 2CM only: the CGM
+  // baseline's centralized scheduler has no crash-recovery story.
+  fault::FaultPlan fault_plan;
 
   // --- termination --------------------------------------------------------------
   int target_global_txns = 200;
   sim::Time max_sim_time = 600 * sim::kSecond;
+  // Extra virtual time granted after the last targeted transaction
+  // completes, letting in-flight recovery (re-deliveries, resubmissions,
+  // inquiries) drain before the history is judged. Chaos runs set ~2s; 0
+  // keeps the legacy stop-at-done behavior.
+  sim::Duration drain_grace = 0;
 
   // --- system under test -----------------------------------------------------
   System system = System::k2CM;
@@ -72,6 +82,11 @@ struct WorkloadConfig {
   sim::Duration net_jitter = 0;
   sim::Duration alive_check_interval = 25 * sim::kMillisecond;
   sim::Duration commit_retry_interval = 5 * sim::kMillisecond;
+  // Agent-side recovery timers (see core::AgentConfig).
+  sim::Duration decision_inquiry_timeout = 500 * sim::kMillisecond;
+  sim::Duration inquiry_retry_initial = 20 * sim::kMillisecond;
+  sim::Duration inquiry_retry_max = 320 * sim::kMillisecond;
+  sim::Duration orphan_abort_timeout = 0;
   // Coordinator timeout/retransmission (see core::CoordinatorRetryConfig).
   sim::Duration retry_timeout = 25 * sim::kMillisecond;
   sim::Duration retry_max_timeout = 400 * sim::kMillisecond;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/str.h"
+#include "fault/injector.h"
 #include "history/projection.h"
 #include "workload/generator.h"
 
@@ -135,6 +136,8 @@ void ValidateHistory(const std::shared_ptr<RunState>& st, RunResult& result) {
   result.replay_consistent = result.replay_error.empty();
   result.order_invariant_error = history::CheckOrderInvariant(ops);
   result.order_invariant_ok = result.order_invariant_error.empty();
+  result.atomicity_error = history::CheckGlobalAtomicity(ops);
+  result.atomicity_ok = result.atomicity_error.empty();
   const history::ViewCheckResult check =
       history::CheckViewSerializability(committed, /*max_txns=*/8);
   result.verdict = check.verdict;
@@ -170,6 +173,9 @@ RunResult Driver::Run(const WorkloadConfig& config) {
   if (config.sn_at_submit) mdbs->SetSnAtSubmit(true);
   LoadData(st);
   InstallFailureInjector(st);
+  if (config.system == System::k2CM && !config.fault_plan.empty()) {
+    fault::InstallFaultPlan(config.fault_plan, mdbs, config.tracer);
+  }
 
   for (int c = 0; c < config.global_clients; ++c) {
     loop.ScheduleAfter(0, [st]() { RunGlobalClient(st); });
@@ -186,6 +192,18 @@ RunResult Driver::Run(const WorkloadConfig& config) {
          !loop.Empty()) {
     loop.RunUntil(std::min(loop.Now() + 100 * sim::kMillisecond,
                            config.max_sim_time));
+  }
+  // Let in-flight recovery work (decision re-deliveries, resubmissions,
+  // inquiries) drain before judging the history, so runs truncated right
+  // after the last client callback do not surface half-finished
+  // transactions to the oracles.
+  if (config.drain_grace > 0) {
+    const sim::Time drain_deadline =
+        std::min(loop.Now() + config.drain_grace, config.max_sim_time);
+    while (!loop.Empty() && loop.Now() < drain_deadline) {
+      loop.RunUntil(std::min(loop.Now() + 100 * sim::kMillisecond,
+                             drain_deadline));
+    }
   }
 
   RunResult result;
@@ -229,7 +247,8 @@ std::string RunResult::Summary() const {
   if (history_checked) {
     StrAppend(out, " | CG=", commit_graph_acyclic ? "acyclic" : "CYCLIC",
               " oracle=", history::VerdictName(verdict),
-              " replay=", replay_consistent ? "ok" : "INCONSISTENT");
+              " replay=", replay_consistent ? "ok" : "INCONSISTENT",
+              " atomicity=", atomicity_ok ? "ok" : "VIOLATED");
   }
   return out;
 }

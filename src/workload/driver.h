@@ -37,6 +37,10 @@ struct RunResult {
   // Paper's order invariant (1): P^i_k < C_k < C^s_k.
   bool order_invariant_ok = true;
   std::string order_invariant_error;
+  // Global atomicity under crashes: decided transactions must not split
+  // into per-site commit and rollback (history::CheckGlobalAtomicity).
+  bool atomicity_ok = true;
+  std::string atomicity_error;
   size_t history_ops = 0;
 
   double CommitsPerSecond() const {

@@ -140,6 +140,84 @@ TEST_F(CoordinatorTest, GtidsAreUniquePerCoordinator) {
   loop_.Run();
 }
 
+TEST_F(CoordinatorTest, CommitDecisionIsForceLoggedThenForgotten) {
+  Build(3);
+  GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{1})});
+  spec.steps.push_back({2, db::MakeAddKey(table_, 1, "v", int64_t{1})});
+  std::optional<GlobalTxnResult> result;
+  const TxnId gtid = mdbs_->Submit(
+      spec, [&](const GlobalTxnResult& r) { result = r; },
+      /*coordinator_site=*/0);
+  loop_.Run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->status.ok());
+
+  const CoordinatorLog& log = mdbs_->coordinator(0)->log();
+  EXPECT_TRUE(log.HasDecision(gtid));
+  EXPECT_TRUE(log.Forgotten(gtid));
+  EXPECT_TRUE(log.InFlightDecisions().empty());
+  ASSERT_EQ(log.size(), 2u);
+  // The decision record is force-written *before* any COMMIT leaves the
+  // site and names every participant owed a COMMIT; the forget record is a
+  // buffered append.
+  EXPECT_EQ(log.records()[0].kind, CoordRecordKind::kDecision);
+  EXPECT_TRUE(log.records()[0].forced);
+  EXPECT_EQ(log.records()[0].participants.size(), 2u);
+  EXPECT_EQ(log.records()[1].kind, CoordRecordKind::kForget);
+  EXPECT_FALSE(log.records()[1].forced);
+  EXPECT_EQ(log.forced_writes(), 1);
+}
+
+TEST_F(CoordinatorTest, AbortedTransactionIsNeverLogged) {
+  Build(2);
+  // Presumed abort: ROLLBACK decisions leave no trace in the coordinator
+  // log — absence *is* the abort record.
+  GlobalTxnSpec spec;
+  GlobalTxnSpec::Step guarded{1, db::MakeAddKey(table_, 777, "v",
+                                                int64_t{7})};
+  guarded.min_affected = 1;  // key 777 does not exist: forces a rollback
+  spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{1})});
+  spec.steps.push_back(guarded);
+  std::optional<GlobalTxnResult> result;
+  const TxnId gtid =
+      mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+  loop_.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_EQ(mdbs_->coordinator(0)->log().size(), 0u);
+  EXPECT_FALSE(mdbs_->coordinator(0)->log().HasDecision(gtid));
+}
+
+TEST_F(CoordinatorTest, RecoveryBumpsEpochSoGtidsNeverCollide) {
+  Build(2);
+  GlobalTxnSpec spec;
+  spec.steps.push_back({0, db::MakeSelectKey(table_, 1)});
+  const TxnId before = mdbs_->Submit(spec, nullptr, 0);
+  loop_.Run();
+
+  mdbs_->CrashSite(0);
+  loop_.Run();
+
+  const TxnId after = mdbs_->Submit(spec, nullptr, 0);
+  loop_.Run();
+  EXPECT_NE(before, after);
+  // Post-recovery ids live in a fresh epoch stripe, so even a coordinator
+  // that lost its volatile sequence counter cannot reuse an id.
+  EXPECT_GT(after.seq, before.seq);
+  const CoordinatorLog& log = mdbs_->coordinator(0)->log();
+  ASSERT_GE(log.size(), 1u);
+  bool saw_epoch = false;
+  for (const CoordLogRecord& r : log.records()) {
+    if (r.kind == CoordRecordKind::kEpoch) {
+      saw_epoch = true;
+      EXPECT_TRUE(r.forced);
+      EXPECT_GE(r.epoch, 1);
+    }
+  }
+  EXPECT_TRUE(saw_epoch);
+}
+
 TEST(Messages, ToStringCoversAllKinds) {
   const TxnId g = TxnId::MakeGlobal(1, 5);
   EXPECT_NE(MessageToString(Message{BeginMsg{g}}).find("BEGIN"),

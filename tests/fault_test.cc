@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/mdbs.h"
+#include "fault/fault_plan.h"
 #include "workload/driver.h"
 
 namespace hermes {
@@ -257,6 +258,158 @@ TEST(FaultWorkload, LossyDuplicatingNetworkStaysViewSerializable) {
   ASSERT_TRUE(result.history_checked);
   EXPECT_TRUE(result.commit_graph_acyclic);
   EXPECT_TRUE(result.replay_consistent) << result.replay_error;
+  EXPECT_NE(result.verdict, history::Verdict::kNotSerializable)
+      << result.verdict_detail;
+}
+
+// --- coordinator-site crashes ------------------------------------------------
+
+// The classic 2PC blocking window, made measurable: a participant prepared
+// when the coordinating site goes down can neither commit nor abort — it
+// keeps probing with INQUIRY — until the coordinator comes back and its
+// durable decision log resolves the transaction.
+TEST(CoordinatorCrashFault, PreparedParticipantBlocksUntilRecovery) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  config.agent.decision_inquiry_timeout = 50 * sim::kMillisecond;
+  core::Mdbs mdbs(config, &loop);
+  const db::TableId table = *mdbs.CreateTableEverywhere("t");
+  ASSERT_TRUE(
+      mdbs.LoadRow(1, table, 1, db::Row{{"v", db::Value(int64_t{0})}}).ok());
+  loop.set_max_events(10'000'000);
+
+  // Lose the COMMIT, then take the whole coordinating site down until an
+  // explicit RecoverSite.
+  mdbs.agent(1)->add_prepared_hook([&](const TxnId&, LtmTxnHandle) {
+    mdbs.network().SetLinkLoss(0, 1, 1.0);
+  });
+  loop.ScheduleAt(10 * sim::kMillisecond, [&]() {
+    mdbs.CrashSite(0, /*downtime=*/-1);
+    mdbs.network().ClearLinkLoss(0, 1);
+  });
+
+  core::GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table, 1, "v", int64_t{7}), {}});
+  const TxnId gtid = mdbs.Submit(spec, nullptr, /*coordinator_site=*/0);
+
+  loop.RunUntil(300 * sim::kMillisecond);
+  // Mid-window: prepared, undecided, probing.
+  EXPECT_FALSE(mdbs.agent(1)->log().HasCommit(gtid));
+  EXPECT_FALSE(mdbs.agent(1)->log().HasAbort(gtid));
+  const int64_t probes_mid = mdbs.metrics().inquiries_sent;
+  EXPECT_GE(probes_mid, 1);
+
+  loop.RunUntil(800 * sim::kMillisecond);
+  // Still blocked; the probe count keeps growing (capped backoff, not
+  // give-up).
+  EXPECT_FALSE(mdbs.agent(1)->log().HasCommit(gtid));
+  EXPECT_FALSE(mdbs.agent(1)->log().HasAbort(gtid));
+  EXPECT_GT(mdbs.metrics().inquiries_sent, probes_mid);
+
+  mdbs.RecoverSite(0);
+  loop.Run();
+  // The logged decision resolved the window: the participant committed.
+  EXPECT_TRUE(mdbs.agent(1)->log().HasComplete(gtid));
+  EXPECT_EQ(mdbs.metrics().coordinator_redelivered_decisions, 1);
+  const db::RowEntry* entry = mdbs.storage(1)->GetTable(table)->Get(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(std::get<int64_t>(*entry->row->Get("v")), 7);
+}
+
+TEST(CoordinatorCrashFault, CrashingADownSiteIsADeterministicNoOp) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  core::Mdbs mdbs(config, &loop);
+
+  mdbs.CrashSite(0, /*downtime=*/-1);
+  EXPECT_FALSE(mdbs.SiteUp(0));
+  EXPECT_EQ(mdbs.metrics().coordinator_crashes, 1);
+
+  // Crashing an already-down site does nothing — no double collective
+  // abort, no duplicate recovery schedule.
+  mdbs.CrashSite(0);
+  mdbs.CrashSite(0, 50 * sim::kMillisecond);
+  EXPECT_FALSE(mdbs.SiteUp(0));
+  EXPECT_EQ(mdbs.metrics().coordinator_crashes, 1);
+  loop.Run();
+  EXPECT_FALSE(mdbs.SiteUp(0));  // the duplicate's downtime never applied
+
+  mdbs.RecoverSite(0);
+  EXPECT_TRUE(mdbs.SiteUp(0));
+  mdbs.RecoverSite(0);  // recovering an up site is equally a no-op
+  EXPECT_TRUE(mdbs.SiteUp(0));
+
+  // A fresh crash after recovery counts again.
+  mdbs.CrashSite(0, 50 * sim::kMillisecond);
+  EXPECT_EQ(mdbs.metrics().coordinator_crashes, 2);
+  loop.Run();
+  EXPECT_TRUE(mdbs.SiteUp(0));
+}
+
+TEST(CoordinatorCrashFault, DuplicateInquiriesAreAnsweredIdempotently) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 1;
+  core::Mdbs mdbs(config, &loop);
+  loop.set_max_events(1'000'000);
+
+  // Two copies of the same inquiry about a transaction the coordinator
+  // never knew: each gets the same presumed-abort answer and the agent
+  // absorbs both without wedging.
+  const TxnId g = TxnId::MakeGlobal(0, 424242);
+  mdbs.network().Send(0, 0, core::Message{core::InquiryMsg{g}});
+  mdbs.network().Send(0, 0, core::Message{core::InquiryMsg{g}});
+  loop.Run();
+  EXPECT_EQ(mdbs.metrics().inquiries_answered_presumed_abort, 2);
+  EXPECT_FALSE(mdbs.agent(0)->log().HasCommit(g));
+}
+
+// Loss and crashes combined: a lossy network plus timed and
+// protocol-triggered site crashes from a declarative fault plan. Every
+// surviving history must still be atomic and view-serializable.
+TEST(FaultWorkload, LossPlusCrashesStaysAtomicAndSerializable) {
+  workload::WorkloadConfig config;
+  config.seed = 20260807;
+  config.num_sites = 3;
+  config.global_clients = 4;
+  config.target_global_txns = 120;
+  config.net_loss_prob = 0.05;
+  config.record_history = true;
+  config.drain_grace = 2 * sim::kSecond;
+  config.orphan_abort_timeout = 800 * sim::kMillisecond;
+
+  fault::FaultEvent crash1;
+  crash1.kind = fault::FaultKind::kCrashSite;
+  crash1.at = 30 * sim::kMillisecond;
+  crash1.site = 1;
+  crash1.duration = 400 * sim::kMillisecond;
+  fault::FaultEvent crash2;  // the lost-decision window, on purpose
+  crash2.kind = fault::FaultKind::kCrashSite;
+  crash2.trigger = fault::TriggerKind::kOnPrepared;
+  crash2.watch_site = 2;
+  crash2.nth = 3;
+  crash2.site = 2;
+  crash2.duration = 300 * sim::kMillisecond;
+  fault::FaultEvent burst;
+  burst.kind = fault::FaultKind::kLossBurst;
+  burst.at = 100 * sim::kMillisecond;
+  burst.site = 0;
+  burst.peer = 1;
+  burst.duration = 200 * sim::kMillisecond;
+  burst.loss_prob = 0.5;
+  config.fault_plan.events = {crash1, crash2, burst};
+
+  const workload::RunResult result = workload::Driver::Run(config);
+
+  EXPECT_EQ(result.metrics.global_committed + result.metrics.global_aborted,
+            120);
+  EXPECT_GT(result.metrics.global_committed, 0);
+  EXPECT_GE(result.metrics.coordinator_crashes, 2);
+  ASSERT_TRUE(result.history_checked);
+  EXPECT_TRUE(result.atomicity_ok) << result.atomicity_error;
+  EXPECT_TRUE(result.commit_graph_acyclic);
   EXPECT_NE(result.verdict, history::Verdict::kNotSerializable)
       << result.verdict_detail;
 }

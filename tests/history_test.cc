@@ -69,12 +69,21 @@ class HistoryBuilder {
     Append(op);
   }
 
-  void LocalAbort(const SubTxnId& subtxn, SiteId site) {
+  void LocalAbort(const SubTxnId& subtxn, SiteId site,
+                  bool unilateral = true) {
     Op op;
     op.kind = OpKind::kLocalAbort;
     op.subtxn = subtxn;
     op.site = site;
-    op.unilateral = true;
+    op.unilateral = unilateral;
+    Append(op);
+  }
+
+  void GlobalAbort(const TxnId& txn) {
+    Op op;
+    op.kind = OpKind::kGlobalAbort;
+    op.subtxn = SubTxnId{txn, 0};
+    op.site = 2;  // coordinating site
     Append(op);
   }
 
@@ -476,6 +485,100 @@ TEST(Replay, MultipleWritesBySameTxnUnwindTogether) {
   for (const Op& op : h.ops()) order.push_back(&op);
   const ReplayOutcome out = Replay(order);
   EXPECT_TRUE(out.final_versions.at(X).initial());
+}
+
+// --- global atomicity oracle -------------------------------------------------
+
+TEST(GlobalAtomicity, CleanCommitAndCleanAbortPass) {
+  HistoryBuilder h;
+  const auto X = h.Item(HistoryBuilder::kA, 0);
+  const auto Y = h.Item(HistoryBuilder::kB, 1);
+
+  const SubTxnId t1 = Sub(1);
+  h.Write(t1, X);
+  h.Write(t1, Y);
+  h.Prepare(t1, HistoryBuilder::kA);
+  h.Prepare(t1, HistoryBuilder::kB);
+  h.GlobalCommit(t1.txn);
+  h.LocalCommit(t1, HistoryBuilder::kA);
+  h.LocalCommit(t1, HistoryBuilder::kB);
+
+  const SubTxnId t2 = Sub(2);
+  h.Write(t2, X);
+  h.GlobalAbort(t2.txn);
+  h.LocalAbort(t2, HistoryBuilder::kA, /*unilateral=*/false);
+
+  EXPECT_EQ(CheckGlobalAtomicity(h.ops()), "");
+}
+
+TEST(GlobalAtomicity, BothDecisionsRecordedIsAViolation) {
+  HistoryBuilder h;
+  const SubTxnId t1 = Sub(1);
+  h.Write(t1, h.Item(HistoryBuilder::kA, 0));
+  h.GlobalCommit(t1.txn);
+  h.GlobalAbort(t1.txn);
+  h.LocalCommit(t1, HistoryBuilder::kA);
+  EXPECT_NE(CheckGlobalAtomicity(h.ops()), "");
+}
+
+TEST(GlobalAtomicity, LocalCommitWithoutGlobalDecisionIsAViolation) {
+  HistoryBuilder h;
+  const SubTxnId t1 = Sub(1);
+  h.Write(t1, h.Item(HistoryBuilder::kA, 0));
+  h.Prepare(t1, HistoryBuilder::kA);
+  h.LocalCommit(t1, HistoryBuilder::kA);
+  EXPECT_NE(CheckGlobalAtomicity(h.ops()), "");
+}
+
+TEST(GlobalAtomicity, RollbackAfterCommitDecisionIsAViolation) {
+  // The split the coordinator decision log exists to prevent: C_k was
+  // recorded, one site committed, the other was told presumed abort.
+  HistoryBuilder h;
+  const SubTxnId t1 = Sub(1);
+  h.Write(t1, h.Item(HistoryBuilder::kA, 0));
+  h.Write(t1, h.Item(HistoryBuilder::kB, 1));
+  h.Prepare(t1, HistoryBuilder::kA);
+  h.Prepare(t1, HistoryBuilder::kB);
+  h.GlobalCommit(t1.txn);
+  h.LocalCommit(t1, HistoryBuilder::kA);
+  h.LocalAbort(t1, HistoryBuilder::kB, /*unilateral=*/false);
+  EXPECT_NE(CheckGlobalAtomicity(h.ops()), "");
+}
+
+TEST(GlobalAtomicity, UnilateralAbortAfterCommitIsNotAViolation) {
+  // A unilateral abort after C_k is the paper's resubmission case — a
+  // liveness obligation (the agent must re-run the subtransaction), not an
+  // atomicity violation. The resubmission then closes it with a commit.
+  HistoryBuilder h;
+  const SubTxnId t10 = Sub(1, 0), t11 = Sub(1, 1);
+  h.Write(t10, h.Item(HistoryBuilder::kA, 0));
+  h.Prepare(t10, HistoryBuilder::kA);
+  h.GlobalCommit(t10.txn);
+  h.LocalAbort(t10, HistoryBuilder::kA);  // unilateral
+  EXPECT_EQ(CheckGlobalAtomicity(h.ops()), "");
+
+  h.Write(t11, h.Item(HistoryBuilder::kA, 0));
+  h.LocalCommit(t11, HistoryBuilder::kA);
+  EXPECT_EQ(CheckGlobalAtomicity(h.ops()), "");
+}
+
+TEST(GlobalAtomicity, PendingSubtransactionsAreTolerated) {
+  // A run truncated mid-protocol (or mid-resubmission) leaves sites
+  // pending; that is a liveness question, not an atomicity one.
+  HistoryBuilder h;
+  const SubTxnId t1 = Sub(1);
+  h.Write(t1, h.Item(HistoryBuilder::kA, 0));
+  h.Prepare(t1, HistoryBuilder::kA);
+  h.GlobalCommit(t1.txn);
+  EXPECT_EQ(CheckGlobalAtomicity(h.ops()), "");
+}
+
+TEST(GlobalAtomicity, LocalTransactionsAreIgnored) {
+  HistoryBuilder h;
+  const SubTxnId l = Local(HistoryBuilder::kA, 1);
+  h.Write(l, h.Item(HistoryBuilder::kA, 0));
+  h.LocalCommit(l, HistoryBuilder::kA);
+  EXPECT_EQ(CheckGlobalAtomicity(h.ops()), "");
 }
 
 }  // namespace

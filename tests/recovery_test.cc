@@ -61,6 +61,8 @@ TEST_F(RecoveryTest, CrashOfPreparedSiteRecoversAndCommits) {
   // before the coordinator's COMMIT arrives. Recovery must rebuild the
   // in-doubt subtransaction from the Agent log, resubmit it, learn the
   // decision (via the in-flight COMMIT and the inquiry), and commit.
+  // The transaction is coordinated from site 1 so the crash hits a pure
+  // participant (coordinator crashes are covered separately below).
   bool crashed = false;
   mdbs_->agent(0)->set_prepared_hook([&](const TxnId&, LtmTxnHandle) {
     if (crashed) return;
@@ -72,7 +74,8 @@ TEST_F(RecoveryTest, CrashOfPreparedSiteRecoversAndCommits) {
   spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{-10})});
   spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{10})});
   std::optional<GlobalTxnResult> result;
-  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; },
+                /*coordinator_site=*/1);
   loop_.Run();
 
   ASSERT_TRUE(result.has_value());
@@ -170,7 +173,8 @@ TEST_F(RecoveryTest, RepeatedCrashesStillConverge) {
   spec.steps.push_back({0, db::MakeAddKey(table_, 1, "v", int64_t{1})});
   spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{1})});
   std::optional<GlobalTxnResult> result;
-  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; });
+  mdbs_->Submit(spec, [&](const GlobalTxnResult& r) { result = r; },
+                /*coordinator_site=*/1);
   loop_.Run();
 
   ASSERT_TRUE(result.has_value());
@@ -230,6 +234,145 @@ TEST_F(RecoveryTest, WorkloadSurvivesMidRunCrash) {
   EXPECT_EQ(total, 0);
   EXPECT_TRUE(mdbs_->agent(1)->log().InDoubt().empty());
   ExpectSerializable();
+}
+
+// --- coordinator crash recovery ----------------------------------------------
+
+// The tentpole scenario: the coordinator force-writes the COMMIT decision,
+// every COMMIT message is lost, and the coordinating site crashes. On
+// recovery the durable decision log re-drives delivery and every prepared
+// participant ends in COMMIT. This test fails if the decision force-write
+// is removed (see SkippingDecisionLogSplitsTheTransaction for the
+// demonstration of what goes wrong without it).
+TEST_F(RecoveryTest, CoordinatorCrashAfterLoggedDecisionRedrivesCommit) {
+  Build(3);
+  // Once both participants are prepared, the coordinator's outbound links
+  // start losing everything: the votes still arrive, the decision is
+  // logged, but no COMMIT ever leaves the site.
+  int prepared = 0;
+  auto on_prepared = [&](const TxnId&, LtmTxnHandle) {
+    if (++prepared == 2) {
+      mdbs_->network().SetLinkLoss(0, 1, 1.0);
+      mdbs_->network().SetLinkLoss(0, 2, 1.0);
+    }
+  };
+  mdbs_->agent(1)->add_prepared_hook(on_prepared);
+  mdbs_->agent(2)->add_prepared_hook(on_prepared);
+
+  GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{-10})});
+  spec.steps.push_back({2, db::MakeAddKey(table_, 1, "v", int64_t{10})});
+  std::optional<GlobalTxnResult> result;
+  const TxnId gtid = mdbs_->Submit(
+      spec, [&](const GlobalTxnResult& r) { result = r; },
+      /*coordinator_site=*/0);
+
+  // Crash the coordinating site after the decision was logged but while
+  // the COMMITs are still undeliverable; heal the links so recovery can
+  // talk again.
+  loop_.ScheduleAfter(10 * sim::kMillisecond, [&]() {
+    mdbs_->CrashSite(0, /*downtime=*/600 * sim::kMillisecond);
+    mdbs_->network().ClearLinkLoss(0, 1);
+    mdbs_->network().ClearLinkLoss(0, 2);
+  });
+  loop_.Run();
+
+  // The client saw the outage...
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->status.ok());
+  // ...but the decided transaction still committed everywhere.
+  EXPECT_EQ(Val(1, 1), -10);
+  EXPECT_EQ(Val(2, 1), 10);
+  EXPECT_TRUE(mdbs_->agent(1)->log().HasComplete(gtid));
+  EXPECT_TRUE(mdbs_->agent(2)->log().HasComplete(gtid));
+  EXPECT_EQ(mdbs_->metrics().coordinator_crashes, 1);
+  EXPECT_EQ(mdbs_->metrics().coordinator_redelivered_decisions, 1);
+  // The participants probed while blocked, and the re-driven transaction
+  // was fully acknowledged and forgotten.
+  EXPECT_GE(mdbs_->metrics().inquiries_sent, 1);
+  EXPECT_TRUE(mdbs_->coordinator(0)->log().Forgotten(gtid));
+  EXPECT_TRUE(mdbs_->coordinator(0)->log().InFlightDecisions().empty());
+  EXPECT_EQ(history::CheckGlobalAtomicity(mdbs_->recorder().ops()), "");
+  ExpectSerializable();
+}
+
+// Ablation of the force-write: with the decision log disabled the same
+// crash splits the decided transaction — the coordinator recovers with no
+// memory of the COMMIT, answers the participants' inquiries with presumed
+// abort, and the atomicity oracle flags the history.
+TEST_F(RecoveryTest, SkippingDecisionLogSplitsTheTransaction) {
+  Build(3);
+  mdbs_->coordinator(0)->set_skip_decision_log_for_test(true);
+  int prepared = 0;
+  auto on_prepared = [&](const TxnId&, LtmTxnHandle) {
+    if (++prepared == 2) {
+      mdbs_->network().SetLinkLoss(0, 1, 1.0);
+      mdbs_->network().SetLinkLoss(0, 2, 1.0);
+    }
+  };
+  mdbs_->agent(1)->add_prepared_hook(on_prepared);
+  mdbs_->agent(2)->add_prepared_hook(on_prepared);
+
+  GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{-10})});
+  spec.steps.push_back({2, db::MakeAddKey(table_, 1, "v", int64_t{10})});
+  std::optional<GlobalTxnResult> result;
+  const TxnId gtid = mdbs_->Submit(
+      spec, [&](const GlobalTxnResult& r) { result = r; },
+      /*coordinator_site=*/0);
+  loop_.ScheduleAfter(10 * sim::kMillisecond, [&]() {
+    mdbs_->CrashSite(0, /*downtime=*/600 * sim::kMillisecond);
+    mdbs_->network().ClearLinkLoss(0, 1);
+    mdbs_->network().ClearLinkLoss(0, 2);
+  });
+  loop_.Run();
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->status.ok());
+  // The COMMIT decision was recorded in the history, but recovery knew
+  // nothing: the participants were told presumed abort and rolled back.
+  EXPECT_EQ(Val(1, 1), 0);
+  EXPECT_EQ(Val(2, 1), 0);
+  EXPECT_TRUE(mdbs_->agent(1)->log().HasAbort(gtid));
+  EXPECT_TRUE(mdbs_->agent(2)->log().HasAbort(gtid));
+  EXPECT_EQ(mdbs_->metrics().coordinator_redelivered_decisions, 0);
+  EXPECT_GE(mdbs_->metrics().inquiries_answered_presumed_abort, 1);
+  // Exactly the violation the force-write exists to prevent.
+  EXPECT_NE(history::CheckGlobalAtomicity(mdbs_->recorder().ops()), "");
+}
+
+// A coordinator that crashes before reaching a decision presumes abort on
+// recovery: prepared participants learn ROLLBACK through the inquiry path.
+TEST_F(RecoveryTest, UndecidedTransactionIsPresumedAbortAfterCrash) {
+  Build(2);
+  // Crash the coordinating site the moment the participant votes: the
+  // vote is still in flight, so no decision was ever reached (or logged).
+  bool crashed = false;
+  mdbs_->agent(1)->add_prepared_hook([&](const TxnId&, LtmTxnHandle) {
+    if (crashed) return;
+    crashed = true;
+    mdbs_->CrashSite(0, /*downtime=*/600 * sim::kMillisecond);
+  });
+
+  GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table_, 1, "v", int64_t{5})});
+  std::optional<GlobalTxnResult> result;
+  const TxnId gtid = mdbs_->Submit(
+      spec, [&](const GlobalTxnResult& r) { result = r; },
+      /*coordinator_site=*/0);
+  loop_.Run();
+
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(crashed);
+  EXPECT_FALSE(result->status.ok());
+  // The participant probed (several times — the coordinator was down for
+  // most of the window), got presumed abort, and rolled back.
+  EXPECT_EQ(Val(1, 1), 0);
+  EXPECT_TRUE(mdbs_->agent(1)->log().HasAbort(gtid));
+  EXPECT_GE(mdbs_->metrics().inquiries_sent, 2);
+  EXPECT_GE(mdbs_->metrics().inquiries_answered_presumed_abort, 1);
+  EXPECT_EQ(mdbs_->metrics().coordinator_redelivered_decisions, 0);
+  EXPECT_EQ(history::CheckGlobalAtomicity(mdbs_->recorder().ops()), "");
 }
 
 }  // namespace

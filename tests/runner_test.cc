@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "runner/aggregate.h"
 #include "runner/runner.h"
 #include "trace/trace.h"
@@ -119,6 +120,47 @@ TEST(Runner, ParallelMatchesSerialByteForByte) {
       EXPECT_FALSE((*parallel)[i].trace_jsonl.empty());
     }
   }
+}
+
+TEST(Runner, ChaosRunsMatchSerialByteForByte) {
+  // Fault-plan runs — crashes, recoveries, inquiries and all — must be as
+  // deterministic as fault-free ones: identical fingerprints (including
+  // the full trace) serially and on 2 workers.
+  std::vector<RunSpec> specs;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    RunSpec spec;
+    spec.cell = "chaos";
+    spec.capture_trace = true;
+    spec.config.seed = 3000 + seed;
+    spec.config.num_sites = 3;
+    spec.config.rows_per_table = 32;
+    spec.config.global_clients = 4;
+    spec.config.target_global_txns = 20;
+    spec.config.net_loss_prob = 0.02;
+    spec.config.drain_grace = 1 * sim::kSecond;
+    spec.config.orphan_abort_timeout = 800 * sim::kMillisecond;
+    fault::ChaosOptions opts;
+    opts.num_sites = 3;
+    opts.horizon = 500 * sim::kMillisecond;
+    spec.config.fault_plan = fault::GenerateChaosPlan(seed, opts);
+    specs.push_back(std::move(spec));
+  }
+  Result<std::vector<RunOutput>> serial = runner::RunAll(specs, {.workers = 1});
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  Result<std::vector<RunOutput>> parallel =
+      runner::RunAll(specs, {.workers = 2});
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(parallel->size(), serial->size());
+  bool any_crash = false;
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ(runner::Fingerprint((*parallel)[i]),
+              runner::Fingerprint((*serial)[i]))
+        << "chaos run " << i << " diverged";
+    EXPECT_TRUE((*serial)[i].result.atomicity_ok)
+        << (*serial)[i].result.atomicity_error;
+    if ((*serial)[i].result.metrics.coordinator_crashes > 0) any_crash = true;
+  }
+  EXPECT_TRUE(any_crash) << "no chaos plan actually crashed a site";
 }
 
 TEST(Runner, CapturedTraceRoundTripsThroughParser) {

@@ -74,6 +74,10 @@ int RunChaosSweep(const SweepArgs& args) {
                                    10 * static_cast<uint64_t>(p) +
                                    static_cast<uint64_t>(s);
         specs.push_back(ChaosSpec(seed, plan_seed, crashes, txns));
+        // Trace the first plan variant of every (intensity, seed) point:
+        // enough coverage for per-cell phase/blocking stats and the merged
+        // time series without holding all few-hundred traces in memory.
+        specs.back().capture_trace = p == 0;
         if (base_config.empty()) base_config = specs.back().config.ToString();
       }
     }
@@ -90,12 +94,13 @@ int RunChaosSweep(const SweepArgs& args) {
   runner::Aggregator agg;
   for (size_t i = 0; i < specs.size(); ++i) {
     agg.AddRun(specs[i].cell, specs[i].config.seed, (*outputs)[i].result);
+    AddPhaseStats(agg.Cell(specs[i].cell), (*outputs)[i].trace_jsonl);
   }
 
   TablePrinter table({"crashes/plan", "committed", "aborted", "crash abrt",
                       "site crashes", "redelivered", "inquiries",
-                      "presumed abrt", "resub", "tput/s", "p95 ms",
-                      "history"});
+                      "presumed abrt", "resub", "dec us", "blk win",
+                      "blk max ms", "tput/s", "p95 ms", "history"});
   bool all_ok = true;
   for (size_t c = 0; c < agg.cells().size(); ++c) {
     const runner::CellAggregate& cell = agg.cells()[c];
@@ -122,6 +127,9 @@ int RunChaosSweep(const SweepArgs& args) {
                  static_cast<int64_t>(cell.Sum("inquiries")),
                  static_cast<int64_t>(cell.Sum("inquiries_presumed_abort")),
                  static_cast<int64_t>(cell.Sum("resubmissions")),
+                 cell.Mean("phase_decision_us"),
+                 static_cast<int64_t>(cell.Sum("blocked_windows")),
+                 cell.Mean("blocked_max_us") / 1000.0,
                  cell.Mean("tput"), cell.latency.PercentileMs(95),
                  ok ? "ATOMIC+VSR" : "VIOLATED");
   }
@@ -155,6 +163,16 @@ int RunChaosSweep(const SweepArgs& args) {
     }
   }
   all_ok = all_ok && deterministic;
+
+  if (!args.trace_out.empty() && !det.empty()) {
+    // Export the highest-intensity traced run for tmstat / Perfetto.
+    const size_t last = det.size() - 1;
+    if (!WriteTraceArtifacts(args.trace_out, (*det_serial)[last].trace_jsonl,
+                             (*det_serial)[last].result)) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   args.trace_out.c_str());
+    }
+  }
 
   const int rc =
       FinishSweep("E15_chaos", base_config, 7000, args.workers, table, agg);

@@ -37,6 +37,9 @@ int RunFailureSweep(const SweepArgs& args) {
       spec.config.target_global_txns = txns;
       spec.config.p_prepared_abort = p;
       spec.config.alive_check_interval = 10 * sim::kMillisecond;
+      // Every run is traced: the cells carry critical-path phase stats
+      // and the merged virtual-time series.
+      spec.capture_trace = true;
       if (base_config.empty()) base_config = spec.config.ToString();
       specs.push_back(std::move(spec));
     }
@@ -53,11 +56,13 @@ int RunFailureSweep(const SweepArgs& args) {
   runner::Aggregator agg;
   for (size_t i = 0; i < specs.size(); ++i) {
     agg.AddRun(specs[i].cell, specs[i].config.seed, (*outputs)[i].result);
+    AddPhaseStats(agg.Cell(specs[i].cell), (*outputs)[i].trace_jsonl);
   }
 
   TablePrinter table({"p_fail", "committed", "aborted", "resub",
                       "refuse ivl", "refuse ext", "refuse dead",
-                      "commit retries", "tput/s", "p50 ms", "p95 ms",
+                      "commit retries", "dml us", "prep us", "cert us",
+                      "dec us", "tput/s", "p50 ms", "p95 ms",
                       "p99 ms", "history"});
   bool all_ok = true;
   for (size_t c = 0; c < agg.cells().size(); ++c) {
@@ -77,9 +82,22 @@ int RunFailureSweep(const SweepArgs& args) {
                  static_cast<int64_t>(cell.Sum("refuse_extension")),
                  static_cast<int64_t>(cell.Sum("refuse_dead")),
                  static_cast<int64_t>(cell.Sum("commit_cert_retries")),
+                 cell.Mean("phase_dml_us"), cell.Mean("phase_prepare_us"),
+                 cell.Mean("phase_certify_us"),
+                 cell.Mean("phase_decision_us"),
                  cell.Mean("tput"), cell.latency.PercentileMs(50),
                  cell.latency.PercentileMs(95),
                  cell.latency.PercentileMs(99), ok ? "VSR" : "VIOLATED");
+  }
+
+  if (!args.trace_out.empty()) {
+    // Export the most failure-heavy run (last grid point) for tmstat.
+    const size_t last = specs.size() - 1;
+    if (!WriteTraceArtifacts(args.trace_out, (*outputs)[last].trace_jsonl,
+                             (*outputs)[last].result)) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   args.trace_out.c_str());
+    }
   }
 
   const int rc =

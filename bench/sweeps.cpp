@@ -5,6 +5,9 @@
 #include <cstring>
 
 #include "runner/runner.h"
+#include "trace/critical_path.h"
+#include "trace/span.h"
+#include "trace/trace.h"
 
 namespace hermes::bench {
 
@@ -18,14 +21,56 @@ SweepArgs ParseSweepArgs(int argc, char** argv) {
       args.workers = std::atoi(a + 10);
     } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
       args.workers = std::atoi(a + 2);
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      args.trace_out = a + 12;
     } else {
       std::fprintf(stderr,
-                   "unknown argument: %s\nusage: %s [--quick] [--workers=N]\n",
+                   "unknown argument: %s\nusage: %s [--quick] [--workers=N]"
+                   " [--trace-out=PATH]\n",
                    a, argv[0]);
       std::exit(2);
     }
   }
   return args;
+}
+
+void AddPhaseStats(runner::CellAggregate& cell,
+                   const std::string& trace_jsonl) {
+  if (trace_jsonl.empty()) return;
+  const trace::LenientParse parsed = trace::ParseJsonlLenient(trace_jsonl);
+  if (parsed.events.empty()) return;
+  const trace::SpanForest forest = trace::BuildSpanForest(parsed.events);
+  const trace::CriticalPathReport cp = trace::AnalyzeCriticalPath(forest);
+  if (cp.committed_txns > 0) {
+    const double n = static_cast<double>(cp.committed_txns);
+    const trace::PhaseBreakdown& t = cp.committed_total;
+    cell.Add("phase_dml_us", static_cast<double>(t.dml) / n);
+    cell.Add("phase_prepare_us", static_cast<double>(t.prepare) / n);
+    cell.Add("phase_certify_us", static_cast<double>(t.certify) / n);
+    cell.Add("phase_decision_us", static_cast<double>(t.decision) / n);
+    cell.Add("phase_blocked_us", static_cast<double>(t.blocked) / n);
+    cell.Add("phase_retx_us", static_cast<double>(t.retx_wait) / n);
+    cell.Add("phase_other_us", static_cast<double>(t.other) / n);
+  }
+  cell.Add("blocked_windows", static_cast<double>(cp.blocking.windows));
+  cell.Add("blocked_mean_us", static_cast<double>(cp.blocking.MeanUs()));
+  cell.Add("blocked_max_us", static_cast<double>(cp.blocking.max_us));
+}
+
+bool WriteTraceArtifacts(const std::string& path,
+                         const std::string& trace_jsonl,
+                         const workload::RunResult& result) {
+  const auto write = [](const std::string& p, const std::string& text) {
+    std::FILE* f = std::fopen(p.c_str(), "w");
+    if (f == nullptr) return false;
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    return std::fclose(f) == 0 && written == text.size();
+  };
+  if (!write(path, trace_jsonl)) return false;
+  const std::string prom_path = StrCat(path, ".prom");
+  if (!write(prom_path, result.PrometheusText())) return false;
+  std::printf("trace: %s\nmetrics: %s\n", path.c_str(), prom_path.c_str());
+  return true;
 }
 
 std::string Fixed2(double v) {

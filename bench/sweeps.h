@@ -24,11 +24,30 @@ struct SweepArgs {
   int workers = 1;
   // Reduced grid (fewer seeds / shorter runs) for CI smoke jobs.
   bool quick = false;
+  // When non-empty, sweeps that capture traces write one representative
+  // run's trace JSONL here (plus a Prometheus metrics dump at
+  // `<trace_out>.prom`), ready for `tmstat <trace_out>`.
+  std::string trace_out;
 };
 
-// Parses `--workers=N` (or `-jN`) and `--quick`; an unknown argument
-// prints a usage message and terminates the process with exit code 2.
+// Parses `--workers=N` (or `-jN`), `--quick` and `--trace-out=PATH`; an
+// unknown argument prints a usage message and terminates the process with
+// exit code 2.
 SweepArgs ParseSweepArgs(int argc, char** argv);
+
+// Folds one traced run into the cell's critical-path phase stats
+// (`phase_*_us`: mean virtual µs per committed transaction) and prepared
+// blocking-window stats (`blocked_windows` / `blocked_mean_us` /
+// `blocked_max_us`). No-op on an empty or unparseable trace. Stat names
+// are documented in docs/FORMATS.md.
+void AddPhaseStats(runner::CellAggregate& cell,
+                   const std::string& trace_jsonl);
+
+// Writes `trace_jsonl` to `path` and the run's Prometheus metrics text to
+// `<path>.prom`; prints the paths. Returns false on I/O failure.
+bool WriteTraceArtifacts(const std::string& path,
+                         const std::string& trace_jsonl,
+                         const workload::RunResult& result);
 
 // `v` with two decimals, matching the table cell formatting.
 std::string Fixed2(double v);

@@ -15,7 +15,7 @@ CgmMdbs::CgmMdbs(const CgmConfig& config, sim::EventLoop* loop)
   scheduler_config.lock_timeout = config_.global_lock_timeout;
   scheduler_ = std::make_unique<CgmScheduler>(
       scheduler_endpoint_, stub_endpoint_, scheduler_config, loop_,
-      &mdbs_->network(), &mdbs_->metrics(), config_.mdbs.tracer);
+      &mdbs_->network(), &mdbs_->scheduler_metrics(), config_.mdbs.tracer);
   mdbs_->network().RegisterEndpoint(
       scheduler_endpoint_,
       [this](const net::Envelope& env) { scheduler_->Handle(env); });

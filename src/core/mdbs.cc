@@ -33,10 +33,11 @@ struct Mdbs::LocalRun : std::enable_shared_from_this<Mdbs::LocalRun> {
     ltm::Ltm* ltm = mdbs->ltm(spec.site);
     if (next >= spec.commands.size()) {
       const Status status = ltm->Commit(handle);
+      core::Metrics& m = mdbs->site_metrics_[static_cast<size_t>(spec.site)];
       if (status.ok()) {
-        ++mdbs->metrics_.local_committed;
+        ++m.local_committed;
       } else {
-        ++mdbs->metrics_.local_aborted;
+        ++m.local_aborted;
       }
       Finish(status);
       return;
@@ -52,7 +53,10 @@ struct Mdbs::LocalRun : std::enable_shared_from_this<Mdbs::LocalRun> {
                      if (ltm->IsActive(self->handle)) {
                        ltm->Abort(self->handle);
                      }
-                     ++self->mdbs->metrics_.local_aborted;
+                     ++self->mdbs
+                           ->site_metrics_[static_cast<size_t>(
+                               self->spec.site)]
+                           .local_aborted;
                      self->Finish(status);
                      return;
                    }
@@ -86,6 +90,8 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
   network_ = std::make_unique<net::Network>(config_.network, loop_,
                                             config_.tracer);
   next_local_seq_.resize(static_cast<size_t>(config_.num_sites), 0);
+  // Sized before any site takes a pointer into it; never resized again.
+  site_metrics_.resize(static_cast<size_t>(config_.num_sites));
 
   for (SiteId s = 0; s < config_.num_sites; ++s) {
     auto site = std::make_unique<Site>();
@@ -108,13 +114,14 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
 
     AgentConfig agent_config = config_.agent;
     agent_config.site = s;
+    Metrics* metrics = &site_metrics_[static_cast<size_t>(s)];
     site->agent = std::make_unique<TwoPCAgent>(agent_config, loop_,
                                                network_.get(),
-                                               site->ltm.get(), &metrics_,
+                                               site->ltm.get(), metrics,
                                                config_.tracer);
     site->coordinator = std::make_unique<Coordinator>(
         s, loop_, network_.get(), site->clock.get(), recorder_.get(),
-        &metrics_, config_.tracer, config_.coordinator_retry);
+        metrics, config_.tracer, config_.coordinator_retry);
     sites_.push_back(std::move(site));
   }
   for (SiteId s = 0; s < config_.num_sites; ++s) {
@@ -125,6 +132,12 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
 }
 
 Mdbs::~Mdbs() = default;
+
+Metrics Mdbs::metrics() const {
+  Metrics total = scheduler_metrics_;
+  for (const Metrics& m : site_metrics_) total.Merge(m);
+  return total;
+}
 
 void Mdbs::RouteMessage(SiteId site, const net::Envelope& env) {
   const auto* msg = std::any_cast<Message>(&env.payload);
@@ -172,8 +185,9 @@ TxnId Mdbs::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb,
   if (!sites_[coordinator_site]->up) {
     // The coordinating site is down: the client notices the outage
     // immediately — the transaction never starts.
-    ++metrics_.global_aborted;
-    ++metrics_.global_aborted_crash;
+    Metrics& m = site_metrics_[static_cast<size_t>(coordinator_site)];
+    ++m.global_aborted;
+    ++m.global_aborted_crash;
     if (cb) {
       loop_->ScheduleAfter(0, [cb = std::move(cb)]() {
         GlobalTxnResult r;
@@ -190,7 +204,7 @@ TxnId Mdbs::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb,
 TxnId Mdbs::SubmitLocal(LocalTxnSpec spec, LocalTxnCallback cb) {
   assert(spec.site >= 0 && spec.site < config_.num_sites);
   if (!sites_[spec.site]->up) {
-    ++metrics_.local_aborted;
+    ++site_metrics_[static_cast<size_t>(spec.site)].local_aborted;
     if (cb) {
       loop_->ScheduleAfter(0, [cb = std::move(cb)]() {
         cb(LocalTxnResult{TxnId{}, Status::Unavailable("site is down"), {}});

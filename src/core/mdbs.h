@@ -100,7 +100,17 @@ class Mdbs {
   sim::SiteClock* clock(SiteId site) { return sites_[site]->clock.get(); }
   net::Network& network() { return *network_; }
   history::Recorder& recorder() { return *recorder_; }
-  Metrics& metrics() { return metrics_; }
+
+  // Whole-system metrics: the per-site snapshots plus the scheduler extras
+  // merged into one. Counters are integral, so the merged totals equal what
+  // a single shared object would have accumulated.
+  Metrics metrics() const;
+  // Per-site breakdown, indexed by site id: each site's agent, coordinator
+  // and local-transaction counters land in its own slot.
+  const std::vector<Metrics>& site_metrics() const { return site_metrics_; }
+  // Mutable slot for counters with no owning site (the CGM baseline's
+  // centralized scheduler); included in the metrics() merge.
+  Metrics& scheduler_metrics() { return scheduler_metrics_; }
 
   // Simulates a crash of one site — BOTH co-located roles fail: the
   // coordinator loses every in-flight global transaction (only its decision
@@ -152,7 +162,10 @@ class Mdbs {
   sim::EventLoop* loop_;
   std::unique_ptr<history::Recorder> recorder_;
   std::unique_ptr<net::Network> network_;
-  Metrics metrics_;
+  // Sized once in the constructor, before the sites take pointers into it;
+  // never resized afterwards.
+  std::vector<Metrics> site_metrics_;
+  Metrics scheduler_metrics_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<int64_t> next_local_seq_;
 };

@@ -4,6 +4,106 @@
 
 namespace hermes::core {
 
+void Metrics::Merge(const Metrics& o) {
+  global_committed += o.global_committed;
+  global_aborted += o.global_aborted;
+  global_aborted_cert += o.global_aborted_cert;
+  global_aborted_dml += o.global_aborted_dml;
+  global_aborted_timeout += o.global_aborted_timeout;
+  retransmits += o.retransmits;
+  dup_msgs_absorbed += o.dup_msgs_absorbed;
+  coordinator_crashes += o.coordinator_crashes;
+  coordinator_redelivered_decisions += o.coordinator_redelivered_decisions;
+  global_aborted_crash += o.global_aborted_crash;
+  inquiries_sent += o.inquiries_sent;
+  inquiries_answered_presumed_abort += o.inquiries_answered_presumed_abort;
+  prepares_received += o.prepares_received;
+  refuse_extension += o.refuse_extension;
+  refuse_interval += o.refuse_interval;
+  refuse_dead += o.refuse_dead;
+  commit_cert_retries += o.commit_cert_retries;
+  alive_checks += o.alive_checks;
+  resubmissions += o.resubmissions;
+  resubmission_failures += o.resubmission_failures;
+  local_committed += o.local_committed;
+  local_aborted += o.local_aborted;
+  latency_samples += o.latency_samples;
+  latency_total += o.latency_total;
+  if (o.latency_max > latency_max) latency_max = o.latency_max;
+  latency_hist.Merge(o.latency_hist);
+  cgm_graph_rejections += o.cgm_graph_rejections;
+  cgm_lock_timeouts += o.cgm_lock_timeouts;
+}
+
+std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
+  return {
+      {"global_committed", global_committed},
+      {"global_aborted", global_aborted},
+      {"global_aborted_cert", global_aborted_cert},
+      {"global_aborted_dml", global_aborted_dml},
+      {"global_aborted_timeout", global_aborted_timeout},
+      {"retransmits", retransmits},
+      {"dup_msgs_absorbed", dup_msgs_absorbed},
+      {"coordinator_crashes", coordinator_crashes},
+      {"coordinator_redelivered_decisions",
+       coordinator_redelivered_decisions},
+      {"global_aborted_crash", global_aborted_crash},
+      {"inquiries_sent", inquiries_sent},
+      {"inquiries_answered_presumed_abort",
+       inquiries_answered_presumed_abort},
+      {"prepares_received", prepares_received},
+      {"refuse_extension", refuse_extension},
+      {"refuse_interval", refuse_interval},
+      {"refuse_dead", refuse_dead},
+      {"commit_cert_retries", commit_cert_retries},
+      {"alive_checks", alive_checks},
+      {"resubmissions", resubmissions},
+      {"resubmission_failures", resubmission_failures},
+      {"local_committed", local_committed},
+      {"local_aborted", local_aborted},
+      {"latency_samples", latency_samples},
+      {"latency_total_us", latency_total},
+      {"latency_max_us", latency_max},
+      {"cgm_graph_rejections", cgm_graph_rejections},
+      {"cgm_lock_timeouts", cgm_lock_timeouts},
+  };
+}
+
+std::string MetricsPrometheusText(const Metrics& total,
+                                  const std::vector<Metrics>& per_site) {
+  std::string out;
+  std::vector<std::vector<std::pair<const char*, int64_t>>> site_entries;
+  site_entries.reserve(per_site.size());
+  for (const Metrics& m : per_site) site_entries.push_back(m.CounterEntries());
+
+  const auto entries = total.CounterEntries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    StrAppend(out, "# TYPE hermes_", entries[i].first, " counter\n");
+    StrAppend(out, "hermes_", entries[i].first, " ", entries[i].second, "\n");
+    for (size_t s = 0; s < site_entries.size(); ++s) {
+      StrAppend(out, "hermes_", entries[i].first, "{site=\"", s, "\"} ",
+                site_entries[s][i].second, "\n");
+    }
+  }
+
+  // Commit latency as a cumulative Prometheus histogram (bucket upper
+  // bounds are this histogram's power-of-two boundaries, in microseconds).
+  StrAppend(out, "# TYPE hermes_latency_us histogram\n");
+  int64_t cumulative = 0;
+  for (int i = 0; i < trace::Histogram::kBuckets; ++i) {
+    cumulative += total.latency_hist.bucket(i);
+    if (total.latency_hist.bucket(i) == 0) continue;  // keep the dump short
+    const int64_t le = i == 0 ? 0 : (int64_t{1} << i);
+    StrAppend(out, "hermes_latency_us_bucket{le=\"", le, "\"} ", cumulative,
+              "\n");
+  }
+  StrAppend(out, "hermes_latency_us_bucket{le=\"+Inf\"} ",
+            total.latency_hist.count(), "\n");
+  StrAppend(out, "hermes_latency_us_sum ", total.latency_total, "\n");
+  StrAppend(out, "hermes_latency_us_count ", total.latency_samples, "\n");
+  return out;
+}
+
 std::string Metrics::ToString() const {
   std::string out;
   StrAppend(out, "global: committed=", global_committed,

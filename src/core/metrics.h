@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/event_loop.h"
 #include "trace/histogram.h"
@@ -69,8 +71,26 @@ struct Metrics {
                      static_cast<double>(latency_samples) / 1000.0;
   }
 
+  // Folds `o` into this: counters and latency sums add, latency_max maxes,
+  // histograms merge. Commutative and associative, so per-site snapshots
+  // merge into exactly the totals a single shared object would have held.
+  void Merge(const Metrics& o);
+
+  // All scalar counters as (name, value) pairs in a fixed declaration
+  // order. One list feeds the Prometheus export, the run fingerprints and
+  // the per-site breakdown, so the three can never disagree on naming.
+  std::vector<std::pair<const char*, int64_t>> CounterEntries() const;
+
   std::string ToString() const;
 };
+
+// Prometheus text exposition of a run's metrics: every counter as
+// `hermes_<name>`, the same counter per site as `hermes_<name>{site="s"}`
+// (sites in ascending id order), and the commit latency histogram as a
+// cumulative `hermes_latency_us` histogram with _sum and _count. Output is
+// deterministic; `per_site` may be empty.
+std::string MetricsPrometheusText(const Metrics& total,
+                                  const std::vector<Metrics>& per_site);
 
 }  // namespace hermes::core
 

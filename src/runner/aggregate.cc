@@ -83,6 +83,7 @@ void CellAggregate::AddRun(uint64_t seed, const workload::RunResult& r) {
        r.verdict == history::Verdict::kNotSerializable);
   Add("violations", violated ? 1.0 : 0.0);
   latency.Merge(m.latency_hist);
+  series.Merge(r.series);
 }
 
 const Stat* CellAggregate::FindStat(const std::string& name) const {
@@ -173,7 +174,22 @@ void AppendCell(std::string& out, const CellAggregate& cell) {
     first = false;
     StrAppend(out, "[", b, ", ", h.bucket(b), "]");
   }
-  out += "]}\n    }";
+  out += "]}";
+  // Optional key: only traced cells carry a series, and old artifacts
+  // without one still parse (and re-encode byte-identically).
+  if (!cell.series.empty()) {
+    StrAppend(out, ",\n      \"series\": {\"window_us\": ",
+              cell.series.window_us, ", \"windows\": [");
+    for (size_t w = 0; w < cell.series.windows.size(); ++w) {
+      const trace::TimeSeries::Window& win = cell.series.windows[w];
+      if (w > 0) out += ", ";
+      StrAppend(out, "[", win.begun, ", ", win.committed, ", ", win.aborted,
+                ", ", win.refusals, ", ", win.resubmissions, ", ",
+                win.max_in_flight, ", ", win.max_prepared, "]");
+    }
+    out += "]}";
+  }
+  out += "\n    }";
 }
 
 }  // namespace
@@ -334,6 +350,38 @@ class ArtifactParser {
     if (!Expect(',') || !Key("latency_us")) return Error();
     Status s = ParseLatency(cell);
     if (!s.ok()) return s;
+    if (TryExpect(',')) {  // optional trailing series
+      if (!Key("series")) return Error();
+      s = ParseSeries(cell);
+      if (!s.ok()) return s;
+    }
+    if (!Expect('}')) return Error();
+    return Status::Ok();
+  }
+
+  Status ParseSeries(CellAggregate& cell) {
+    if (!Expect('{') || !Key("window_us") ||
+        !Int64(cell.series.window_us) || !Expect(',') || !Key("windows") ||
+        !Expect('[')) {
+      return Error();
+    }
+    if (cell.series.window_us <= 0) return Fail("bad series window_us");
+    while (true) {
+      trace::TimeSeries::Window w;
+      if (!Expect('[') || !Int64(w.begun) || !Expect(',') ||
+          !Int64(w.committed) || !Expect(',') || !Int64(w.aborted) ||
+          !Expect(',') || !Int64(w.refusals) || !Expect(',') ||
+          !Int64(w.resubmissions) || !Expect(',') ||
+          !Int64(w.max_in_flight) || !Expect(',') ||
+          !Int64(w.max_prepared) || !Expect(']')) {
+        return Error();
+      }
+      cell.series.windows.push_back(w);
+      if (TryExpect(']')) break;
+      if (!Expect(',')) return Error();
+    }
+    // The encoder omits empty series entirely, so one window is the
+    // grammar's minimum — and the empty-vs-absent ambiguity never arises.
     if (!Expect('}')) return Error();
     return Status::Ok();
   }

@@ -46,6 +46,10 @@ struct CellAggregate {
   std::vector<uint64_t> seeds;  // in aggregation order
   // Merged latency buckets of every run in the cell (microseconds).
   trace::Histogram latency;
+  // Virtual-time metrics series merged across the cell's traced runs
+  // (counters sum, gauges max per window — order-independent). Empty when
+  // no run in the cell carried a series.
+  trace::TimeSeries series;
   // Named statistics in first-insertion order (deterministic export).
   std::vector<std::pair<std::string, Stat>> stats;
 

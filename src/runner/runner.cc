@@ -120,6 +120,14 @@ std::string Fingerprint(const RunOutput& out) {
             " order_invariant=", r.order_invariant_ok ? 1 : 0,
             " atomicity=", r.atomicity_ok ? 1 : 0,
             " ops=", r.history_ops, "\n");
+  for (size_t s = 0; s < r.site_metrics.size(); ++s) {
+    StrAppend(fp, "site", s, ":");
+    for (const auto& [name, value] : r.site_metrics[s].CounterEntries()) {
+      if (value != 0) StrAppend(fp, " ", name, "=", value);
+    }
+    fp += '\n';
+  }
+  if (!r.series.empty()) StrAppend(fp, r.series.ToString());
   StrAppend(fp, "trace:\n", out.trace_jsonl);
   return fp;
 }

@@ -57,9 +57,12 @@ int64_t Histogram::Percentile(double p) const {
     if (in_bucket == 0) continue;
     cumulative += in_bucket;
     if (cumulative < rank) continue;
-    // Interpolate linearly inside bucket i: [lower, upper).
+    // Interpolate linearly inside bucket i: [lower, upper). The last
+    // bucket is unbounded above, so its effective upper edge is the
+    // largest value actually observed.
     const int64_t lower = i == 0 ? 0 : int64_t{1} << (i - 1);
-    const int64_t upper = i == 0 ? 1 : int64_t{1} << i;
+    int64_t upper = i == 0 ? 1 : int64_t{1} << i;
+    if (i == kBuckets - 1) upper = std::max(upper, max_);
     const int64_t into = rank - (cumulative - in_bucket);  // 1..in_bucket
     const double fraction =
         static_cast<double>(into) / static_cast<double>(in_bucket);

@@ -1,0 +1,29 @@
+// Chrome/Perfetto trace-event JSON export of a span forest.
+//
+// Emits the legacy trace-event format (https://ui.perfetto.dev loads it
+// directly): one track per site (pid 0, tid = site id), every span as a
+// complete "X" event with virtual-time ts/dur in microseconds, and site
+// crashes / recoveries / fault-plan firings as instant "i" events on the
+// affected site's track. Output is deterministic: fixed field order,
+// metadata rows sorted by site, spans in forest (trace) order, instants in
+// event order — same seed, same bytes.
+
+#ifndef HERMES_TRACE_PERFETTO_H_
+#define HERMES_TRACE_PERFETTO_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/span.h"
+
+namespace hermes::trace {
+
+// `events` supplies the instant markers (crash / recover / fault); pass
+// the same stream the forest was built from. Spans still open at trace
+// end are drawn to forest.trace_end and tagged "unclosed" in their args.
+std::string ExportPerfetto(const SpanForest& forest,
+                           const std::vector<Event>& events);
+
+}  // namespace hermes::trace
+
+#endif  // HERMES_TRACE_PERFETTO_H_

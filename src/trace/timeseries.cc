@@ -1,0 +1,122 @@
+#include "trace/timeseries.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/str.h"
+
+namespace hermes::trace {
+
+void TimeSeries::Merge(const TimeSeries& other) {
+  if (windows.empty()) window_us = other.window_us;
+  if (other.windows.size() > windows.size()) {
+    windows.resize(other.windows.size());
+  }
+  for (size_t i = 0; i < other.windows.size(); ++i) {
+    Window& w = windows[i];
+    const Window& o = other.windows[i];
+    w.begun += o.begun;
+    w.committed += o.committed;
+    w.aborted += o.aborted;
+    w.refusals += o.refusals;
+    w.resubmissions += o.resubmissions;
+    w.max_in_flight = std::max(w.max_in_flight, o.max_in_flight);
+    w.max_prepared = std::max(w.max_prepared, o.max_prepared);
+  }
+}
+
+std::string TimeSeries::ToString() const {
+  std::string out = StrCat("series window_us=", window_us, " windows=",
+                           windows.size(), "\n");
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const Window& w = windows[i];
+    StrAppend(out, "w", i, " begun=", w.begun, " committed=", w.committed,
+              " aborted=", w.aborted, " refusals=", w.refusals, " resub=",
+              w.resubmissions, " max_in_flight=", w.max_in_flight,
+              " max_prepared=", w.max_prepared, "\n");
+  }
+  return out;
+}
+
+TimeSeries BuildTimeSeries(const std::vector<Event>& events,
+                           sim::Duration window_us) {
+  TimeSeries ts;
+  if (window_us <= 0) window_us = TimeSeries::kDefaultWindow;
+  ts.window_us = window_us;
+
+  int64_t in_flight = 0;
+  std::set<TxnId> begun;  // guards double counting on duplicate events
+  std::set<std::pair<TxnId, SiteId>> prepared;
+
+  auto window_at = [&](sim::Time at) -> TimeSeries::Window& {
+    const size_t idx =
+        at <= 0 ? 0 : static_cast<size_t>(at / window_us);
+    if (idx >= ts.windows.size()) {
+      // New windows inherit the current levels as their starting peaks: a
+      // transaction in flight across a quiet window still loads it.
+      TimeSeries::Window carry;
+      carry.max_in_flight = in_flight;
+      carry.max_prepared = static_cast<int64_t>(prepared.size());
+      ts.windows.resize(idx + 1, carry);
+    }
+    return ts.windows[idx];
+  };
+  auto gauges = [&](TimeSeries::Window& w) {
+    w.max_in_flight = std::max(w.max_in_flight, in_flight);
+    w.max_prepared =
+        std::max(w.max_prepared, static_cast<int64_t>(prepared.size()));
+  };
+
+  for (const Event& e : events) {
+    if (!e.txn.valid() || !e.txn.global() || e.at < 0) continue;
+    switch (e.kind) {
+      case EventKind::kTxnBegin: {
+        if (!begun.insert(e.txn).second) break;
+        TimeSeries::Window& w = window_at(e.at);
+        ++w.begun;
+        ++in_flight;
+        gauges(w);
+        break;
+      }
+      case EventKind::kTxnEnd: {
+        if (begun.erase(e.txn) == 0) break;
+        TimeSeries::Window& w = window_at(e.at);
+        if (e.ok) {
+          ++w.committed;
+        } else {
+          ++w.aborted;
+        }
+        --in_flight;
+        gauges(w);
+        break;
+      }
+      case EventKind::kCertReady: {
+        TimeSeries::Window& w = window_at(e.at);
+        prepared.insert({e.txn, e.site});
+        gauges(w);
+        break;
+      }
+      case EventKind::kLocalCommit:
+      case EventKind::kLocalAbort: {
+        TimeSeries::Window& w = window_at(e.at);
+        prepared.erase({e.txn, e.site});
+        gauges(w);
+        break;
+      }
+      case EventKind::kCertRefuse: {
+        ++window_at(e.at).refusals;
+        break;
+      }
+      case EventKind::kResubmitStart: {
+        ++window_at(e.at).resubmissions;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return ts;
+}
+
+}  // namespace hermes::trace

@@ -506,4 +506,29 @@ Result<std::vector<Event>> ParseJsonl(const std::string& text) {
   return events;
 }
 
+LenientParse ParseJsonlLenient(const std::string& text) {
+  LenientParse out;
+  size_t start = 0;
+  size_t line_no = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    ++line_no;
+    start = end + 1;
+    if (line.empty()) continue;
+    Event e;
+    const Status s = LineParser(line).Parse(e);
+    if (!s.ok()) {
+      ++out.skipped_lines;
+      if (out.warnings.size() < LenientParse::kMaxWarnings) {
+        out.warnings.push_back(StrCat("line ", line_no, ": ", s.message()));
+      }
+      continue;
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
 }  // namespace hermes::trace

@@ -169,6 +169,20 @@ class Tracer {
 // rejected; blank lines are skipped.
 Result<std::vector<Event>> ParseJsonl(const std::string& text);
 
+// Lenient variant for analysis tools reading traces of unknown provenance
+// (newer writers, truncated files): lines that fail the strict parser —
+// unknown event kinds, unknown keys, a trailing line cut mid-object — are
+// skipped and counted instead of failing the whole parse. The first few
+// skip reasons are kept for diagnostics.
+struct LenientParse {
+  static constexpr size_t kMaxWarnings = 10;
+
+  std::vector<Event> events;
+  int64_t skipped_lines = 0;
+  std::vector<std::string> warnings;  // at most kMaxWarnings entries
+};
+LenientParse ParseJsonlLenient(const std::string& text);
+
 // Appends `s` as a double-quoted JSON string, escaping control characters.
 // Shared by the trace exporter and the benchmark artifact writers.
 void AppendJsonString(std::string& out, std::string_view s);

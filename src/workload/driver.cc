@@ -208,6 +208,10 @@ RunResult Driver::Run(const WorkloadConfig& config) {
 
   RunResult result;
   result.metrics = mdbs->metrics();
+  result.site_metrics = mdbs->site_metrics();
+  if (config.tracer != nullptr) {
+    result.series = trace::BuildTimeSeries(config.tracer->events());
+  }
   result.messages = mdbs->network().messages_sent();
   result.msgs_dropped = mdbs->network().messages_dropped();
   result.msgs_duplicated = mdbs->network().messages_duplicated();

@@ -8,16 +8,24 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/metrics.h"
 #include "history/view_checker.h"
 #include "ltm/ltm.h"
+#include "trace/timeseries.h"
 #include "workload/config.h"
 
 namespace hermes::workload {
 
 struct RunResult {
   core::Metrics metrics;
+  // Per-site metrics snapshots, indexed by site id (ascending, hence
+  // deterministic); metrics above is their merge (plus scheduler extras).
+  std::vector<core::Metrics> site_metrics;
+  // Virtual-time metrics series bucketed from the trace; empty when the
+  // run had no tracer attached.
+  trace::TimeSeries series;
   // LTM stats aggregated over all sites.
   ltm::LtmStats ltm;
   int64_t messages = 0;
@@ -57,6 +65,10 @@ struct RunResult {
   }
 
   std::string Summary() const;
+  // Prometheus text exposition of the run's metrics (totals + per-site).
+  std::string PrometheusText() const {
+    return core::MetricsPrometheusText(metrics, site_metrics);
+  }
 };
 
 class Driver {

@@ -109,6 +109,72 @@ TEST(HistogramTest, MergeMatchesCombinedAdds) {
   }
 }
 
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  for (int64_t v : {3, 70, 9000}) a.Add(v);
+  const Histogram empty;
+
+  Histogram ae = a;
+  ae.Merge(empty);
+  Histogram ea = empty;
+  ea.Merge(a);
+  for (const Histogram& h : {ae, ea}) {
+    EXPECT_EQ(h.count(), a.count());
+    EXPECT_EQ(h.min(), a.min());
+    EXPECT_EQ(h.max(), a.max());
+    EXPECT_EQ(h.ToString(), a.ToString());
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      EXPECT_EQ(h.bucket(i), a.bucket(i)) << "bucket " << i;
+    }
+  }
+  // Empty + empty stays empty (and min() stays 0, not a sentinel).
+  Histogram ee;
+  ee.Merge(empty);
+  EXPECT_EQ(ee.count(), 0);
+  EXPECT_EQ(ee.min(), 0);
+  EXPECT_EQ(ee.max(), 0);
+}
+
+TEST(HistogramTest, HugeValuesLandInOverflowBucket) {
+  // Values at and beyond 2^47 us all collapse into the last bucket;
+  // percentiles must stay clamped to the observed range, not the bucket's
+  // nominal bounds.
+  Histogram h;
+  const int64_t huge = int64_t{1} << 47;
+  h.Add(huge);
+  h.Add(huge * 2);
+  h.Add(huge * 100);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 3);
+  EXPECT_EQ(h.min(), huge);
+  EXPECT_EQ(h.max(), huge * 100);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(h.Percentile(p), huge) << "p" << p;
+    EXPECT_LE(h.Percentile(p), huge * 100) << "p" << p;
+  }
+  EXPECT_EQ(h.Percentile(100), huge * 100);
+}
+
+TEST(HistogramTest, MergeIsCommutative) {
+  Histogram a, b;
+  for (int64_t v : {int64_t{1}, int64_t{64}, int64_t{65}, int64_t{4096},
+                    int64_t{1} << 47}) {
+    a.Add(v);
+  }
+  for (int64_t v : {-2, 0, 100, 100000}) b.Add(v);
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+  EXPECT_EQ(ab.ToString(), ba.ToString());
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(ab.bucket(i), ba.bucket(i)) << "bucket " << i;
+  }
+}
+
 // --- tracer ------------------------------------------------------------------
 
 TEST(TracerTest, AssignsSequentialSeqAndVirtualTime) {

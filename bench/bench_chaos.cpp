@@ -5,6 +5,5 @@
 #include "bench/sweeps.h"
 
 int main(int argc, char** argv) {
-  return hermes::bench::RunChaosSweep(
-      hermes::bench::ParseSweepArgs(argc, argv));
+  return hermes::bench::SweepMain(hermes::bench::RunChaosSweep, argc, argv);
 }

@@ -4,6 +4,5 @@
 #include "bench/sweeps.h"
 
 int main(int argc, char** argv) {
-  return hermes::bench::RunClockDriftSweep(
-      hermes::bench::ParseSweepArgs(argc, argv));
+  return hermes::bench::SweepMain(hermes::bench::RunClockDriftSweep, argc, argv);
 }

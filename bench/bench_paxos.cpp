@@ -1,0 +1,9 @@
+// E16 — non-blocking commit: 2PC vs Paxos Commit under coordinator-crash
+// chaos plans. The implementation lives in bench/sweep_paxos.cpp and is
+// shared with bench_suite.
+
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  return hermes::bench::SweepMain(hermes::bench::RunPaxosSweep, argc, argv);
+}

@@ -5,6 +5,5 @@
 #include "bench/sweeps.h"
 
 int main(int argc, char** argv) {
-  return hermes::bench::RunScalingSweep(
-      hermes::bench::ParseSweepArgs(argc, argv));
+  return hermes::bench::SweepMain(hermes::bench::RunScalingSweep, argc, argv);
 }

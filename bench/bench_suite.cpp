@@ -1,4 +1,4 @@
-// Runs every sweep experiment (E5, E6, E7, E9, E13, E15) through the parallel
+// Runs every sweep experiment (E5, E6, E7, E9, E13, E15, E16) through the parallel
 // runner in a single process — the one-command regeneration path for the
 // EXPERIMENTS.md sweep tables and their BENCH_<name>.json artifacts.
 //
@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
       {"E9 correctness_sweep", RunCorrectnessSweep},
       {"E13 network_faults", RunNetworkFaultsSweep},
       {"E15 chaos", RunChaosSweep},
+      {"E16 paxos", RunPaxosSweep},
   };
   int rc = 0;
   for (const Entry& e : sweeps) {

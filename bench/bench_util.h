@@ -6,6 +6,8 @@
 #define HERMES_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,50 @@
 #include "workload/driver.h"
 
 namespace hermes::bench {
+
+// Command-line options shared by every experiment binary.
+struct SweepArgs {
+  // Worker threads for the run fan-out; <= 0 means hardware concurrency.
+  int workers = 1;
+  // Reduced grid (fewer seeds / shorter runs) for CI smoke jobs.
+  bool quick = false;
+  // When non-empty, sweeps that capture traces write one representative
+  // run's trace JSONL here (plus a Prometheus metrics dump at
+  // `<trace_out>.prom`), ready for `tmstat <trace_out>`.
+  std::string trace_out;
+};
+
+// Parses `--workers=N` (or `-jN`), `--quick` and `--trace-out=PATH`; an
+// unknown argument prints a usage message and terminates the process with
+// exit code 2.
+inline SweepArgs ParseSweepArgs(int argc, char** argv) {
+  SweepArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      args.workers = std::atoi(a + 10);
+    } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+      args.workers = std::atoi(a + 2);
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      args.trace_out = a + 12;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--quick] [--workers=N]"
+                   " [--trace-out=PATH]\n",
+                   a, argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// The entire main() of a single-sweep binary: parse the shared flags, run
+// the sweep, return its exit code.
+inline int SweepMain(int (*run)(const SweepArgs&), int argc, char** argv) {
+  return run(ParseSweepArgs(argc, argv));
+}
 
 // Fixed-width text table.
 class TablePrinter {

@@ -1,8 +1,6 @@
 #include "bench/sweeps.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "runner/runner.h"
 #include "trace/critical_path.h"
@@ -10,29 +8,6 @@
 #include "trace/trace.h"
 
 namespace hermes::bench {
-
-SweepArgs ParseSweepArgs(int argc, char** argv) {
-  SweepArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strcmp(a, "--quick") == 0) {
-      args.quick = true;
-    } else if (std::strncmp(a, "--workers=", 10) == 0) {
-      args.workers = std::atoi(a + 10);
-    } else if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
-      args.workers = std::atoi(a + 2);
-    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
-      args.trace_out = a + 12;
-    } else {
-      std::fprintf(stderr,
-                   "unknown argument: %s\nusage: %s [--quick] [--workers=N]"
-                   " [--trace-out=PATH]\n",
-                   a, argv[0]);
-      std::exit(2);
-    }
-  }
-  return args;
-}
 
 void AddPhaseStats(runner::CellAggregate& cell,
                    const std::string& trace_jsonl) {
@@ -47,6 +22,7 @@ void AddPhaseStats(runner::CellAggregate& cell,
     cell.Add("phase_dml_us", static_cast<double>(t.dml) / n);
     cell.Add("phase_prepare_us", static_cast<double>(t.prepare) / n);
     cell.Add("phase_certify_us", static_cast<double>(t.certify) / n);
+    cell.Add("phase_consensus_us", static_cast<double>(t.consensus) / n);
     cell.Add("phase_decision_us", static_cast<double>(t.decision) / n);
     cell.Add("phase_blocked_us", static_cast<double>(t.blocked) / n);
     cell.Add("phase_retx_us", static_cast<double>(t.retx_wait) / n);
@@ -54,6 +30,8 @@ void AddPhaseStats(runner::CellAggregate& cell,
   }
   cell.Add("blocked_windows", static_cast<double>(cp.blocking.windows));
   cell.Add("blocked_mean_us", static_cast<double>(cp.blocking.MeanUs()));
+  cell.Add("blocked_p95_us",
+           static_cast<double>(cp.blocking.hist.Percentile(95)));
   cell.Add("blocked_max_us", static_cast<double>(cp.blocking.max_us));
 }
 

@@ -18,28 +18,15 @@
 
 namespace hermes::bench {
 
-// Command-line options shared by every sweep binary.
-struct SweepArgs {
-  // Worker threads for the run fan-out; <= 0 means hardware concurrency.
-  int workers = 1;
-  // Reduced grid (fewer seeds / shorter runs) for CI smoke jobs.
-  bool quick = false;
-  // When non-empty, sweeps that capture traces write one representative
-  // run's trace JSONL here (plus a Prometheus metrics dump at
-  // `<trace_out>.prom`), ready for `tmstat <trace_out>`.
-  std::string trace_out;
-};
-
-// Parses `--workers=N` (or `-jN`), `--quick` and `--trace-out=PATH`; an
-// unknown argument prints a usage message and terminates the process with
-// exit code 2.
-SweepArgs ParseSweepArgs(int argc, char** argv);
+// SweepArgs / ParseSweepArgs / SweepMain live in bench/bench_util.h
+// (included above) so non-sweep binaries share the same flag handling.
 
 // Folds one traced run into the cell's critical-path phase stats
-// (`phase_*_us`: mean virtual µs per committed transaction) and prepared
+// (`phase_*_us`: mean virtual µs per committed transaction, including
+// `phase_consensus_us` for Paxos Commit acceptor rounds) and prepared
 // blocking-window stats (`blocked_windows` / `blocked_mean_us` /
-// `blocked_max_us`). No-op on an empty or unparseable trace. Stat names
-// are documented in docs/FORMATS.md.
+// `blocked_p95_us` / `blocked_max_us`). No-op on an empty or unparseable
+// trace. Stat names are documented in docs/FORMATS.md.
 void AddPhaseStats(runner::CellAggregate& cell,
                    const std::string& trace_jsonl);
 
@@ -68,6 +55,7 @@ int RunClockDriftSweep(const SweepArgs& args);     // E7
 int RunCorrectnessSweep(const SweepArgs& args);    // E9
 int RunNetworkFaultsSweep(const SweepArgs& args);  // E13
 int RunChaosSweep(const SweepArgs& args);          // E15
+int RunPaxosSweep(const SweepArgs& args);          // E16
 
 }  // namespace hermes::bench
 

@@ -1,0 +1,15 @@
+#include "consensus/acceptor_log.h"
+
+#include <utility>
+
+namespace hermes::consensus {
+
+int64_t AcceptorLog::ForceAppend(AcceptorLogRecord record) {
+  record.lsn = static_cast<int64_t>(records_.size());
+  record.forced = true;
+  ++forced_writes_;
+  records_.push_back(std::move(record));
+  return records_.back().lsn;
+}
+
+}  // namespace hermes::consensus

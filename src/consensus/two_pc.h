@@ -1,0 +1,50 @@
+// 2PC presumed-abort decision protocol: the paper's original decide-and-log
+// path, factored out of core::Coordinator behind DecisionProtocol.
+//
+// Commit decisions force-write a kDecision record to the coordinator's own
+// log before `done` fires; aborts are never logged (presumed abort), so an
+// inquiry about an unknown transaction is answered "rollback". The log
+// object stays owned by the Coordinator — this class only encodes the
+// discipline, which keeps epoch bumping and the existing log-centric tests
+// untouched.
+
+#ifndef HERMES_CONSENSUS_TWO_PC_H_
+#define HERMES_CONSENSUS_TWO_PC_H_
+
+#include <optional>
+#include <vector>
+
+#include "consensus/decision.h"
+#include "core/coordinator_log.h"
+
+namespace hermes::consensus {
+
+class TwoPCDecision : public DecisionProtocol {
+ public:
+  // `log` is the coordinator's stable log; not owned, must outlive this.
+  explicit TwoPCDecision(core::CoordinatorLog* log) : log_(log) {}
+
+  // Test hook mirroring Coordinator::set_skip_decision_log_for_test: when
+  // set, commit decisions skip the force-write (demonstrating the lost-
+  // decision anomaly the log discipline prevents).
+  void set_skip_decision_log(bool skip) { skip_decision_log_ = skip; }
+
+  void BeginDecision(const TxnId& gtid,
+                     const std::vector<SiteId>& participants) override;
+  void Decide(const TxnId& gtid, DecideMode mode,
+              const std::vector<SiteId>& participants, DecidedFn done) override;
+  std::optional<bool> AnswerInquiry(const TxnId& gtid,
+                                    SiteId requester) override;
+  void Forget(const TxnId& gtid) override;
+  void Crash() override;
+  std::vector<InFlight> RecoverInFlight() override;
+  bool PresumesAbortOnCrash() const override { return true; }
+
+ private:
+  core::CoordinatorLog* log_;
+  bool skip_decision_log_ = false;
+};
+
+}  // namespace hermes::consensus
+
+#endif  // HERMES_CONSENSUS_TWO_PC_H_

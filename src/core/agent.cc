@@ -175,12 +175,21 @@ void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
 
 // --- prepare certification (Appendix B) -------------------------------------
 
+// Every vote travels to the coordinator and — under Paxos Commit — is also
+// handed to the vote hook, which broadcasts it to the acceptors as the
+// participant's ballot-0 proposal for its own Paxos instance.
+void TwoPCAgent::SendVote(const TxnId& gtid, SiteId coordinator, bool ready,
+                          Status status) {
+  network_->Send(config_.site, coordinator,
+                 Message{VoteMsg{gtid, ready, std::move(status)}});
+  if (vote_hook_) vote_hook_(gtid, ready, coordinator);
+}
+
 void TwoPCAgent::Refuse(AgentTxn& txn, const Status& reason) {
   if (ltm_->IsActive(txn.ltm_handle)) ltm_->Abort(txn.ltm_handle);
   alive_table_.Remove(txn.gtid);
   txn.phase = Phase::kAborted;
-  network_->Send(config_.site, txn.coordinator,
-                 Message{VoteMsg{txn.gtid, /*ready=*/false, reason}});
+  SendVote(txn.gtid, txn.coordinator, /*ready=*/false, reason);
 }
 
 void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
@@ -197,9 +206,8 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
       e.ok = false;
       tracer_->Record(std::move(e));
     }
-    network_->Send(config_.site, from,
-                   Message{VoteMsg{msg.gtid, /*ready=*/false,
-                                   Status::NotFound("unknown transaction")}});
+    SendVote(msg.gtid, from, /*ready=*/false,
+             Status::NotFound("unknown transaction"));
     return;
   }
   if (txn->phase == Phase::kPrepared || txn->phase == Phase::kCommitted) {
@@ -207,16 +215,14 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     // re-running certification — the prepare record is already forced and
     // the alive interval already registered.
     ++metrics_->dup_msgs_absorbed;
-    network_->Send(config_.site, from,
-                   Message{VoteMsg{msg.gtid, /*ready=*/true, Status::Ok()}});
+    SendVote(msg.gtid, from, /*ready=*/true, Status::Ok());
     return;
   }
   if (txn->phase == Phase::kAborted) {
     // Retransmitted PREPARE after a refusal (the REFUSE vote was lost).
     ++metrics_->dup_msgs_absorbed;
-    network_->Send(config_.site, from,
-                   Message{VoteMsg{msg.gtid, /*ready=*/false,
-                                   Status::Aborted("previously refused")}});
+    SendVote(msg.gtid, from, /*ready=*/false,
+             Status::Aborted("previously refused"));
     return;
   }
   txn->coordinator = from;
@@ -334,11 +340,8 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     }
     alive_table_.Remove(txn->gtid);
     txn->phase = Phase::kAborted;
-    network_->Send(config_.site, from,
-                   Message{VoteMsg{txn->gtid, /*ready=*/false,
-                                   Status::Aborted(
-                                       "unilaterally aborted before "
-                                       "prepare")}});
+    SendVote(txn->gtid, from, /*ready=*/false,
+             Status::Aborted("unilaterally aborted before prepare"));
     return;
   }
 
@@ -359,8 +362,7 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   ltm_->recorder()->RecordPrepare(SubTxnId{txn->gtid, txn->resubmission},
                                   config_.site);
   if (config_.bind_bound_data) BindAccessedItems(*txn);
-  network_->Send(config_.site, txn->coordinator,
-                 Message{VoteMsg{txn->gtid, /*ready=*/true, Status::Ok()}});
+  SendVote(txn->gtid, txn->coordinator, /*ready=*/true, Status::Ok());
   ScheduleAliveCheck(*txn);
   // Arm the decision wait: if no COMMIT/ROLLBACK arrives in time the agent
   // starts probing the coordinator — the 2PC blocking window made visible.
@@ -716,6 +718,14 @@ void TwoPCAgent::SendInquiry(const TxnId& gtid) {
     tracer_->Record(std::move(e));
   }
   network_->Send(config_.site, txn->coordinator, Message{InquiryMsg{gtid}});
+  // Paxos Commit: enough unanswered inquiries and the agent presumes the
+  // coordinator dead, escalating to the consensus module's resolution round
+  // (leader election) instead of probing a corpse forever.
+  if (config_.inquiry_escalate_after > 0 && escalate_hook_ &&
+      txn->inquiry_attempts >= config_.inquiry_escalate_after) {
+    escalate_hook_(gtid, txn->coordinator,
+                   txn->inquiry_attempts - config_.inquiry_escalate_after);
+  }
   // Retry with capped exponential backoff until a decision arrives: the
   // coordinator stays silent while still collecting votes, the inquiry or
   // its reply may be lost, or the coordinator may itself be down — the

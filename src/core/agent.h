@@ -83,6 +83,11 @@ struct AgentConfig {
   // vote; the chaos sweeps enable it so a crashed coordinator does not
   // leave orphaned lock holders behind for the rest of the run.
   sim::Duration orphan_abort_timeout = 0;
+  // Paxos Commit: after this many unanswered inquiries the agent presumes
+  // the coordinator dead and escalates to leader election (the consensus
+  // module's resolution round). 0 disables; Mdbs defaults it to 2 when the
+  // Paxos Commit protocol is selected.
+  int inquiry_escalate_after = 0;
 };
 
 class TwoPCAgent {
@@ -91,6 +96,14 @@ class TwoPCAgent {
   // state: (gtid, current LTM handle). Failure injectors use it to abort
   // prepared subtransactions.
   using PreparedHook = std::function<void(const TxnId&, LtmTxnHandle)>;
+  // Paxos Commit hooks, installed by Mdbs: every READY/REFUSE vote the
+  // agent sends to its coordinator is also handed here (for the ballot-0
+  // broadcast to the acceptors), and an exhausted inquiry backoff escalates
+  // to leader election.
+  using VoteHook = std::function<void(const TxnId&, bool ready,
+                                      SiteId coordinator)>;
+  using EscalateHook = std::function<void(const TxnId&, SiteId coordinator,
+                                          int attempt)>;
 
   // `tracer` may be null (tracing disabled).
   TwoPCAgent(const AgentConfig& config, sim::EventLoop* loop,
@@ -113,6 +126,10 @@ class TwoPCAgent {
   }
   void add_prepared_hook(PreparedHook hook) {
     if (hook) prepared_hooks_.push_back(std::move(hook));
+  }
+  void set_vote_hook(VoteHook hook) { vote_hook_ = std::move(hook); }
+  void set_escalate_hook(EscalateHook hook) {
+    escalate_hook_ = std::move(hook);
   }
 
   const AgentLog& log() const { return log_; }
@@ -181,6 +198,8 @@ class TwoPCAgent {
   void OnPrepare(SiteId from, const PrepareMsg& msg);
   void OnDecision(SiteId from, const DecisionMsg& msg);
 
+  void SendVote(const TxnId& gtid, SiteId coordinator, bool ready,
+                Status status);
   void Refuse(AgentTxn& txn, const Status& reason);
   void TryCommit(AgentTxn& txn);
   void CompleteCommit(AgentTxn& txn);
@@ -220,6 +239,8 @@ class TwoPCAgent {
   // only happens in Crash/Recover paths where order is immaterial.
   std::unordered_map<TxnId, AgentTxn> txns_;
   std::vector<PreparedHook> prepared_hooks_;
+  VoteHook vote_hook_;
+  EscalateHook escalate_hook_;
 };
 
 }  // namespace hermes::core

@@ -19,7 +19,9 @@ Coordinator::Coordinator(SiteId site, sim::EventLoop* loop,
       metrics_(metrics),
       tracer_(tracer),
       sn_generator_(site, clock),
-      retry_(retry) {}
+      retry_(retry),
+      own_protocol_(std::make_unique<consensus::TwoPCDecision>(&log_)),
+      protocol_(own_protocol_.get()) {}
 
 Coordinator::~Coordinator() {
   for (auto& [gtid, txn] : txns_) CancelRetryTimer(txn);
@@ -171,6 +173,8 @@ void Coordinator::SendPrepares(CoordTxn& txn) {
   // kept instead.
   if (!sn_at_submit_) txn.sn = sn_generator_.Next();
   txn.votes_pending = txn.begun;
+  protocol_->BeginDecision(
+      txn.gtid, std::vector<SiteId>(txn.begun.begin(), txn.begun.end()));
   for (SiteId s : txn.begun) {
     if (tracer_ != nullptr) {
       trace::Event e;
@@ -209,22 +213,43 @@ void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
     return;
   }
   if (txn->votes_pending.empty()) {
-    // All READY: record the global commit decision C_k and force-write the
-    // decision record *before* the first COMMIT message leaves the site —
-    // without it a crash here would lose the decision while participants
-    // may already be committing, the classic lost-decision atomicity
-    // violation.
-    recorder_->RecordGlobalCommit(txn->gtid, site_);
-    if (!skip_decision_log_) {
-      log_.ForceAppend(CoordLogRecord{
-          .kind = CoordRecordKind::kDecision,
-          .gtid = txn->gtid,
-          .participants = std::vector<SiteId>(txn->begun.begin(),
-                                              txn->begun.end())});
-    }
+    // All READY: hand the commit intent to the decision protocol. 2PC
+    // force-writes the decision record and answers synchronously *before*
+    // the first COMMIT message leaves the site — without that a crash here
+    // would lose the decision while participants may already be
+    // committing, the classic lost-decision atomicity violation. Paxos
+    // Commit instead waits for the acceptor round (fast path: one message
+    // delay) and answers from OnDecided.
+    txn->phase = Phase::kDeciding;
+    CancelRetryTimer(*txn);
+    txn->retry_attempt = 0;
+    protocol_->Decide(
+        txn->gtid, consensus::DecideMode::kCommit,
+        std::vector<SiteId>(txn->begun.begin(), txn->begun.end()),
+        [this](const TxnId& gtid, bool commit) { OnDecided(gtid, commit); });
+  }
+}
+
+void Coordinator::OnDecided(const TxnId& gtid, bool commit) {
+  CoordTxn* txn = FindTxn(gtid);
+  if (txn == nullptr || txn->phase != Phase::kDeciding) return;
+  if (commit) {
+    recorder_->RecordGlobalCommit(gtid, site_);
     txn->phase = Phase::kCommitting;
     SendDecisions(*txn, /*commit=*/true);
+    return;
   }
+  recorder_->RecordGlobalAbort(gtid, site_);
+  txn->phase = Phase::kRollingBack;
+  if (txn->failure.ok()) {
+    txn->failure = Status::Aborted("decision protocol aborted");
+  }
+  if (txn->begun.empty()) {
+    CancelRetryTimer(*txn);
+    FinishTxn(*txn, /*committed=*/false);
+    return;
+  }
+  SendDecisions(*txn, /*commit=*/false);
 }
 
 void Coordinator::SendDecisions(CoordTxn& txn, bool commit) {
@@ -266,12 +291,19 @@ void Coordinator::OnInquiry(SiteId from, const InquiryMsg& msg) {
   // are covered by the agent's capped-backoff inquiry retry timer.
   CoordTxn* txn = FindTxn(msg.gtid);
   if (txn == nullptr) {
-    // Fully finished and forgotten, or never existed: a finished
-    // transaction was acked by every participant, so an in-doubt inquirer
-    // can only concern an aborted one — presumed abort.
-    ++metrics_->inquiries_answered_presumed_abort;
-    TraceInquiryReply(msg.gtid, from, /*commit=*/false, "presumed-abort");
-    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, false}});
+    // Unknown here: ask the decision protocol. 2PC answers presumed abort
+    // (a finished transaction was acked by every participant, so an
+    // in-doubt inquirer can only concern an aborted one); Paxos Commit
+    // answers from its decided cache or starts a resolution round and
+    // stays silent — the requester gets its DecisionMsg when the round
+    // completes.
+    const std::optional<bool> outcome =
+        protocol_->AnswerInquiry(msg.gtid, from);
+    if (!outcome.has_value()) return;
+    if (!*outcome) ++metrics_->inquiries_answered_presumed_abort;
+    TraceInquiryReply(msg.gtid, from, /*commit=*/*outcome,
+                      *outcome ? nullptr : "presumed-abort");
+    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, *outcome}});
     return;
   }
   if (txn->phase == Phase::kCommitting) {
@@ -281,7 +313,8 @@ void Coordinator::OnInquiry(SiteId from, const InquiryMsg& msg) {
     TraceInquiryReply(msg.gtid, from, /*commit=*/false, nullptr);
     network_->Send(site_, from, Message{DecisionMsg{msg.gtid, false}});
   }
-  // Still preparing/executing: stay silent, the agent retries.
+  // Still executing/preparing/deciding: stay silent, the agent retries
+  // (while deciding, the protocol is already resolving the outcome).
 }
 
 void Coordinator::TraceInquiryReply(const TxnId& gtid, SiteId peer,
@@ -297,16 +330,19 @@ void Coordinator::TraceInquiryReply(const TxnId& gtid, SiteId peer,
   tracer_->Record(std::move(e));
 }
 
-void Coordinator::StartRollback(CoordTxn& txn, const Status& reason) {
+void Coordinator::StartRollback(CoordTxn& txn, const Status& reason,
+                                consensus::DecideMode mode) {
   txn.failure = reason;
-  txn.phase = Phase::kRollingBack;
-  recorder_->RecordGlobalAbort(txn.gtid, site_);
-  if (txn.begun.empty()) {
-    CancelRetryTimer(txn);
-    FinishTxn(txn, /*committed=*/false);
-    return;
-  }
-  SendDecisions(txn, /*commit=*/false);
+  txn.phase = Phase::kDeciding;
+  CancelRetryTimer(txn);
+  // kAbortFinal (a definite refusal or DML failure) resolves synchronously
+  // under every protocol; kAbortTimeout (votes missing, outcome open) may
+  // come back from Paxos Commit as a *commit* if the acceptors had already
+  // sealed one — OnDecided honors the protocol's verdict either way.
+  protocol_->Decide(
+      txn.gtid, mode,
+      std::vector<SiteId>(txn.begun.begin(), txn.begun.end()),
+      [this](const TxnId& gtid, bool commit) { OnDecided(gtid, commit); });
 }
 
 void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
@@ -338,20 +374,32 @@ void Coordinator::Crash() {
     CancelRetryTimer(txn);
     switch (txn.phase) {
       case Phase::kCommitting:
-        // The decision record is force-written: Recover() re-drives the
-        // COMMIT delivery. Only the client callback fails now — the
-        // pre-crash coordinator can no longer report the outcome.
+        // Under 2PC the decision record is force-written: Recover()
+        // re-drives the COMMIT delivery and FinishTxn counts the commit
+        // then. Only the client callback fails now — the pre-crash
+        // coordinator can no longer report the outcome. Paxos Commit has
+        // no redelivery pass (the acceptor quorum is the durable truth and
+        // participants pull from it), so the chosen commit is tallied
+        // here or it would never be counted.
+        if (!protocol_->PresumesAbortOnCrash()) ++metrics_->global_committed;
         break;
       case Phase::kRollingBack:
-        // The abort was already recorded by StartRollback; only the
-        // metrics counter (normally bumped in FinishTxn) is still owed.
+        // The abort was already recorded by OnDecided; only the metrics
+        // counter (normally bumped in FinishTxn) is still owed.
         ++metrics_->global_aborted;
         break;
       case Phase::kExecuting:
       case Phase::kPreparing:
-        // Undecided: presumed abort. Participants holding prepared
-        // subtransactions learn it through inquiries after recovery.
-        recorder_->RecordGlobalAbort(txn.gtid, site_);
+      case Phase::kDeciding:
+        // Undecided towards this client either way (the pre-crash
+        // coordinator can no longer report an outcome). Under 2PC the
+        // transaction is presumed aborted and recorded as such; under
+        // Paxos Commit the outcome may still be sealed COMMIT by the
+        // acceptors and delivered by a resolver, so nothing is recorded
+        // here — the resolver records whatever gets chosen.
+        if (protocol_->PresumesAbortOnCrash()) {
+          recorder_->RecordGlobalAbort(txn.gtid, site_);
+        }
         ++metrics_->global_aborted;
         ++metrics_->global_aborted_crash;
         break;
@@ -382,9 +430,13 @@ void Coordinator::Recover() {
       CoordLogRecord{.kind = CoordRecordKind::kEpoch, .epoch = epoch_});
   next_seq_ = 0;
   // Re-drive COMMIT delivery for every decided-but-not-forgotten
-  // transaction. Participants that already processed the decision absorb
-  // the duplicate and re-ack; the rest are unblocked.
-  for (const CoordLogRecord& rec : log_.InFlightDecisions()) {
+  // transaction the protocol can enumerate (2PC: decisions in the log;
+  // Paxos Commit: none — prepared participants pull the outcome from the
+  // acceptor quorum via inquiry escalation instead). Participants that
+  // already processed the decision absorb the duplicate and re-ack; the
+  // rest are unblocked.
+  for (const consensus::DecisionProtocol::InFlight& rec :
+       protocol_->RecoverInFlight()) {
     CoordTxn& txn = txns_[rec.gtid];
     txn.gtid = rec.gtid;
     txn.phase = Phase::kCommitting;
@@ -436,6 +488,10 @@ void Coordinator::OnRetryTimeout(const TxnId& gtid) {
   if (txn == nullptr) return;
   txn->retry_timer = sim::kInvalidEvent;
   switch (txn->phase) {
+    case Phase::kDeciding:
+      // The decision protocol owns this wait (Paxos Commit arms its own
+      // fast-path timeout and resolution retries); nothing to retransmit.
+      return;
     case Phase::kExecuting: {
       if (txn->next_step >= txn->spec.steps.size()) return;
       ++txn->retry_attempt;
@@ -470,7 +526,8 @@ void Coordinator::OnRetryTimeout(const TxnId& gtid) {
         StartRollback(*txn,
                       Status::Unavailable(StrCat(
                           txn->votes_pending.size(), " vote(s) missing "
-                          "after ", retry_.max_attempts, " attempts")));
+                          "after ", retry_.max_attempts, " attempts")),
+                      consensus::DecideMode::kAbortTimeout);
         return;
       }
       for (SiteId s : txn->votes_pending) {
@@ -505,13 +562,11 @@ void Coordinator::FinishTxn(CoordTxn& txn, bool committed) {
     // Recovered transactions span a crash: their start_time was rebuilt at
     // recovery and would poison the latency distribution.
     if (!txn.recovered) metrics_->AddLatency(loop_->Now() - txn.start_time);
-    if (log_.HasDecision(txn.gtid)) {
-      // Every participant acked the COMMIT: no inquiry can arrive that
-      // needs the decision, so forget it (buffered — losing the forget
-      // record only costs a harmless re-delivery after a crash).
-      log_.Append(CoordLogRecord{.kind = CoordRecordKind::kForget,
-                                 .gtid = txn.gtid});
-    }
+    // Every participant acked the COMMIT: no inquiry can arrive that needs
+    // the decision, so the protocol may garbage-collect it (2PC appends the
+    // buffered forget record — losing it only costs a harmless re-delivery
+    // after a crash).
+    protocol_->Forget(txn.gtid);
   } else {
     ++metrics_->global_aborted;
   }

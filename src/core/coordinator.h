@@ -16,6 +16,7 @@
 #define HERMES_CORE_COORDINATOR_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -23,6 +24,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "consensus/two_pc.h"
 #include "core/coordinator_log.h"
 #include "core/messages.h"
 #include "core/metrics.h"
@@ -119,7 +121,16 @@ class Coordinator {
   // Ablation for the lost-decision test: skip the decision force-write so a
   // crash between the commit decision and its delivery forgets the decision
   // (and the recovered coordinator wrongly presumes abort).
-  void set_skip_decision_log_for_test(bool v) { skip_decision_log_ = v; }
+  void set_skip_decision_log_for_test(bool v) {
+    own_protocol_->set_skip_decision_log(v);
+  }
+
+  // Installs an alternative commit-decision protocol (e.g. Paxos Commit).
+  // Unowned; must outlive this coordinator. By default the built-in 2PC
+  // presumed-abort protocol (decide-and-log against `log_`) is used.
+  void set_decision_protocol(consensus::DecisionProtocol* protocol) {
+    protocol_ = protocol;
+  }
 
   // --- site crash recovery ------------------------------------------------
   // Crash() discards all volatile state: every undecided transaction is
@@ -142,6 +153,10 @@ class Coordinator {
   enum class Phase : uint8_t {
     kExecuting,
     kPreparing,
+    // Waiting for the decision protocol's verdict (all votes are in, or an
+    // abort is being sealed). 2PC decides synchronously so this phase is
+    // unobservable there; Paxos Commit sits here for the acceptor round.
+    kDeciding,
     kCommitting,
     kRollingBack,
   };
@@ -177,7 +192,13 @@ class Coordinator {
   void SendPrepares(CoordTxn& txn);
   void OnVote(SiteId from, const VoteMsg& msg);
   void SendDecisions(CoordTxn& txn, bool commit);
-  void StartRollback(CoordTxn& txn, const Status& reason);
+  // The decision protocol's verdict arrived (synchronously for 2PC, after
+  // the acceptor round for Paxos Commit): record the outcome and fan it
+  // out. `commit` may override the requested intent.
+  void OnDecided(const TxnId& gtid, bool commit);
+  void StartRollback(CoordTxn& txn, const Status& reason,
+                     consensus::DecideMode mode =
+                         consensus::DecideMode::kAbortFinal);
   void OnAck(SiteId from, const AckMsg& msg);
   void OnInquiry(SiteId from, const InquiryMsg& msg);
   void TraceInquiryReply(const TxnId& gtid, SiteId peer, bool commit,
@@ -203,7 +224,6 @@ class Coordinator {
   CoordinatorRetryConfig retry_;
 
   bool sn_at_submit_ = false;
-  bool skip_decision_log_ = false;
   // Transaction ids are (epoch * stride + seq): next_seq_ is volatile and
   // resets on crash, but the epoch — recovered from the force-written epoch
   // records in the log — guarantees post-recovery ids never collide with
@@ -212,6 +232,11 @@ class Coordinator {
   int64_t epoch_ = 0;
   int64_t next_seq_ = 0;
   CoordinatorLog log_;
+  // The built-in 2PC decide-and-log protocol (always constructed: it owns
+  // the skip_decision_log test ablation) and the active protocol, which an
+  // Mdbs running Paxos Commit overrides via set_decision_protocol.
+  std::unique_ptr<consensus::TwoPCDecision> own_protocol_;
+  consensus::DecisionProtocol* protocol_;
   // Hashed: looked up once per protocol message. Iterated only to cancel
   // timers on teardown, where order is immaterial.
   std::unordered_map<TxnId, CoordTxn> txns_;

@@ -112,8 +112,13 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
                                            site->storage.get(),
                                            recorder_.get(), config_.tracer);
 
+    const bool paxos =
+        config_.protocol == consensus::ProtocolKind::kPaxosCommit;
     AgentConfig agent_config = config_.agent;
     agent_config.site = s;
+    if (paxos && agent_config.inquiry_escalate_after == 0) {
+      agent_config.inquiry_escalate_after = 2;
+    }
     Metrics* metrics = &site_metrics_[static_cast<size_t>(s)];
     site->agent = std::make_unique<TwoPCAgent>(agent_config, loop_,
                                                network_.get(),
@@ -122,6 +127,25 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
     site->coordinator = std::make_unique<Coordinator>(
         s, loop_, network_.get(), site->clock.get(), recorder_.get(),
         metrics, config_.tracer, config_.coordinator_retry);
+    if (paxos) {
+      consensus::PaxosConfig pc;
+      pc.site = s;
+      pc.num_sites = config_.num_sites;
+      pc.f = config_.paxos_f;
+      site->consensus = std::make_unique<consensus::PaxosCommit>(
+          pc, loop_, network_.get(), recorder_.get(), metrics,
+          config_.tracer);
+      site->coordinator->set_decision_protocol(site->consensus.get());
+      consensus::PaxosCommit* p = site->consensus.get();
+      site->agent->set_vote_hook(
+          [p](const TxnId& gtid, bool ready, SiteId coordinator) {
+            p->BroadcastVote(gtid, ready, coordinator);
+          });
+      site->agent->set_escalate_hook(
+          [p](const TxnId& gtid, SiteId coordinator, int attempt) {
+            p->Escalate(gtid, coordinator, attempt);
+          });
+    }
     sites_.push_back(std::move(site));
   }
   for (SiteId s = 0; s < config_.num_sites; ++s) {
@@ -142,6 +166,12 @@ Metrics Mdbs::metrics() const {
 void Mdbs::RouteMessage(SiteId site, const net::Envelope& env) {
   const auto* msg = std::any_cast<Message>(&env.payload);
   if (msg == nullptr) return;  // not a 2PC protocol message (CGM traffic)
+  if (IsPaxosMessage(*msg)) {
+    if (sites_[site]->consensus != nullptr) {
+      sites_[site]->consensus->Handle(env.from, *msg);
+    }
+    return;
+  }
   // Agent-bound message kinds go to the site's agent, the rest to the
   // site's coordinator.
   const bool to_agent = std::holds_alternative<BeginMsg>(*msg) ||
@@ -241,6 +271,9 @@ void Mdbs::CrashSite(SiteId site, sim::Duration downtime) {
   // Both co-located roles fail. The coordinator first: its undecided
   // transactions are presumed aborted, decided ones wait for recovery.
   s.coordinator->Crash();
+  // The consensus module loses its volatile leader/resolver/acceptor state;
+  // only the acceptor log — stable storage — survives.
+  if (s.consensus != nullptr) s.consensus->Crash();
   // Wipe agent volatile state before the collective abort so the UAN storm
   // from below hits an agent that no longer knows the transactions.
   s.agent->Crash();
@@ -268,6 +301,9 @@ void Mdbs::RecoverSiteNow(SiteId site) {
   network_->RegisterEndpoint(site, [this, site](const net::Envelope& env) {
     RouteMessage(site, env);
   });
+  // Acceptor state first: the agent's recovery inquiries may escalate into
+  // a resolution round that needs the replayed promises/votes.
+  if (s.consensus != nullptr) s.consensus->Recover();
   s.agent->Recover();
   s.coordinator->Recover();
   if (config_.tracer != nullptr) {

@@ -13,6 +13,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "consensus/paxos.h"
 #include "core/agent.h"
 #include "core/coordinator.h"
 #include "core/metrics.h"
@@ -32,6 +33,15 @@ struct MdbsConfig {
   AgentConfig agent;
   CoordinatorRetryConfig coordinator_retry;
   net::NetworkConfig network;
+  // Commit-decision protocol: classic 2PC presumed abort (the paper's
+  // machinery), or non-blocking Paxos Commit with 2*paxos_f+1 acceptor
+  // state machines on sites 0..2*paxos_f (tolerating paxos_f acceptor
+  // crashes; paxos_f = 0 degenerates to 2PC message flow with an external
+  // registrar). When Paxos Commit is selected, agents whose
+  // inquiry_escalate_after is 0 default to 2 so an unreachable coordinator
+  // triggers leader election instead of unbounded probing.
+  consensus::ProtocolKind protocol = consensus::ProtocolKind::k2PC;
+  int paxos_f = 1;
   // Optional per-site clock skew (section 5.2 experiments). Missing entries
   // default to zero.
   std::vector<sim::Duration> clock_offsets;
@@ -97,6 +107,10 @@ class Mdbs {
   Coordinator* coordinator(SiteId site) {
     return sites_[site]->coordinator.get();
   }
+  // Null unless the Paxos Commit protocol is selected.
+  consensus::PaxosCommit* paxos(SiteId site) {
+    return sites_[site]->consensus.get();
+  }
   sim::SiteClock* clock(SiteId site) { return sites_[site]->clock.get(); }
   net::Network& network() { return *network_; }
   history::Recorder& recorder() { return *recorder_; }
@@ -150,6 +164,9 @@ class Mdbs {
     std::unique_ptr<ltm::Ltm> ltm;
     std::unique_ptr<TwoPCAgent> agent;
     std::unique_ptr<Coordinator> coordinator;
+    // Paxos Commit module (leader + resolver + this site's acceptor state
+    // machine); null under plain 2PC.
+    std::unique_ptr<consensus::PaxosCommit> consensus;
     bool up = true;
   };
 

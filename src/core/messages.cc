@@ -29,8 +29,47 @@ std::string MessageToString(const Message& msg) {
     return StrCat(m->commit ? "COMMIT-ACK " : "ROLLBACK-ACK ",
                   m->gtid.ToString());
   }
-  const auto& q = std::get<InquiryMsg>(msg);
-  return StrCat("INQUIRY ", q.gtid.ToString());
+  if (const auto* m = std::get_if<InquiryMsg>(&msg)) {
+    return StrCat("INQUIRY ", m->gtid.ToString());
+  }
+  if (const auto* m = std::get_if<PaxosBeginMsg>(&msg)) {
+    return StrCat("PAXOS-BEGIN ", m->gtid.ToString(), " n=",
+                  m->participants.size());
+  }
+  if (const auto* m = std::get_if<PaxosBeginAckMsg>(&msg)) {
+    return StrCat("PAXOS-BEGIN-ACK ", m->gtid.ToString());
+  }
+  if (const auto* m = std::get_if<PaxosVoteMsg>(&msg)) {
+    return StrCat(m->ready ? "PAXOS-READY " : "PAXOS-REFUSE ",
+                  m->gtid.ToString(), " rm=", m->participant);
+  }
+  if (const auto* m = std::get_if<PaxosVotedMsg>(&msg)) {
+    return StrCat("PAXOS-VOTED ", m->gtid.ToString(), " rm=", m->participant,
+                  m->ready ? " ready" : " refuse");
+  }
+  if (const auto* m = std::get_if<PaxosPrepareMsg>(&msg)) {
+    return StrCat("PAXOS-PREPARE ", m->gtid.ToString(), " b=", m->ballot);
+  }
+  if (const auto* m = std::get_if<PaxosPromiseMsg>(&msg)) {
+    return StrCat("PAXOS-PROMISE ", m->gtid.ToString(), " b=", m->ballot);
+  }
+  if (const auto* m = std::get_if<PaxosProposeMsg>(&msg)) {
+    return StrCat("PAXOS-PROPOSE ", m->gtid.ToString(), " b=", m->ballot,
+                  m->membership.empty() ? " abort" : " commit?");
+  }
+  const auto& a = std::get<PaxosAcceptedMsg>(msg);
+  return StrCat("PAXOS-ACCEPTED ", a.gtid.ToString(), " b=", a.ballot);
+}
+
+bool IsPaxosMessage(const Message& msg) {
+  return std::holds_alternative<PaxosBeginMsg>(msg) ||
+         std::holds_alternative<PaxosBeginAckMsg>(msg) ||
+         std::holds_alternative<PaxosVoteMsg>(msg) ||
+         std::holds_alternative<PaxosVotedMsg>(msg) ||
+         std::holds_alternative<PaxosPrepareMsg>(msg) ||
+         std::holds_alternative<PaxosPromiseMsg>(msg) ||
+         std::holds_alternative<PaxosProposeMsg>(msg) ||
+         std::holds_alternative<PaxosAcceptedMsg>(msg);
 }
 
 }  // namespace hermes::core

@@ -5,8 +5,10 @@
 #ifndef HERMES_CORE_MESSAGES_H_
 #define HERMES_CORE_MESSAGES_H_
 
+#include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
@@ -68,9 +70,91 @@ struct InquiryMsg {
   TxnId gtid;
 };
 
+// --- Paxos Commit (consensus::PaxosCommit) -----------------------------------
+// Gray & Lamport: one Paxos instance per participant vote plus a membership
+// synod carrying the participant set; 2F+1 acceptors (sites 0..2F) make the
+// decision survive any F site crashes without blocking.
+
+// Leader -> acceptors: proposes the participant set at ballot 0 (the
+// membership synod's fast path).
+struct PaxosBeginMsg {
+  TxnId gtid;
+  SiteId leader = kInvalidSite;
+  std::vector<SiteId> participants;
+};
+
+// Acceptor -> leader: the ballot-0 membership value was accepted.
+struct PaxosBeginAckMsg {
+  TxnId gtid;
+};
+
+// Participant (RM) -> acceptors: its READY/REFUSE vote, proposed at
+// ballot 0 in that participant's own instance.
+struct PaxosVoteMsg {
+  TxnId gtid;
+  SiteId participant = kInvalidSite;
+  SiteId leader = kInvalidSite;
+  bool ready = false;
+};
+
+// Acceptor -> leader: 2b for a ballot-0 vote instance.
+struct PaxosVotedMsg {
+  TxnId gtid;
+  SiteId participant = kInvalidSite;
+  bool ready = false;
+};
+
+// Resolver -> acceptors: phase 1a for *all* of the transaction's instances
+// at once (Gray & Lamport's bundled prepare).
+struct PaxosPrepareMsg {
+  TxnId gtid;
+  int64_t ballot = 0;
+};
+
+// Acceptor -> resolver: phase 1b, reporting everything the acceptor has
+// accepted below the promised ballot.
+struct PaxosPromiseMsg {
+  TxnId gtid;
+  int64_t ballot = 0;
+  // Accepted membership value, if any (-1 = none accepted yet). An empty
+  // set at membership_ballot >= 0 is the abort marker.
+  int64_t membership_ballot = -1;
+  std::vector<SiteId> membership;
+  // Accepted vote instances: (participant, ballot, ready).
+  struct AcceptedVote {
+    SiteId participant = kInvalidSite;
+    int64_t ballot = 0;
+    bool ready = false;
+  };
+  std::vector<AcceptedVote> votes;
+};
+
+// Resolver -> acceptors: phase 2a with the values forced by the promise
+// quorum (free instances proposed as REFUSE, free membership as the empty
+// abort marker).
+struct PaxosProposeMsg {
+  TxnId gtid;
+  int64_t ballot = 0;
+  std::vector<SiteId> membership;
+  std::vector<SiteId> ready_participants;  // instances proposed READY
+};
+
+// Acceptor -> resolver: phase 2b for a bundled proposal.
+struct PaxosAcceptedMsg {
+  TxnId gtid;
+  int64_t ballot = 0;
+};
+
 using Message = std::variant<BeginMsg, DmlRequestMsg, DmlResponseMsg,
                              PrepareMsg, VoteMsg, DecisionMsg, AckMsg,
-                             InquiryMsg>;
+                             InquiryMsg, PaxosBeginMsg, PaxosBeginAckMsg,
+                             PaxosVoteMsg, PaxosVotedMsg, PaxosPrepareMsg,
+                             PaxosPromiseMsg, PaxosProposeMsg,
+                             PaxosAcceptedMsg>;
+
+// True for the Paxos Commit message kinds (routed to the site's consensus
+// module rather than to the agent or coordinator).
+bool IsPaxosMessage(const Message& msg);
 
 std::string MessageToString(const Message& msg);
 

@@ -33,6 +33,12 @@ void Metrics::Merge(const Metrics& o) {
   latency_hist.Merge(o.latency_hist);
   cgm_graph_rejections += o.cgm_graph_rejections;
   cgm_lock_timeouts += o.cgm_lock_timeouts;
+  paxos_forced_writes += o.paxos_forced_writes;
+  paxos_votes_accepted += o.paxos_votes_accepted;
+  paxos_resolutions += o.paxos_resolutions;
+  paxos_elections += o.paxos_elections;
+  paxos_decided_fast += o.paxos_decided_fast;
+  paxos_decided_resolved += o.paxos_decided_resolved;
 }
 
 std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
@@ -66,6 +72,12 @@ std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
       {"latency_max_us", latency_max},
       {"cgm_graph_rejections", cgm_graph_rejections},
       {"cgm_lock_timeouts", cgm_lock_timeouts},
+      {"paxos_forced_writes", paxos_forced_writes},
+      {"paxos_votes_accepted", paxos_votes_accepted},
+      {"paxos_resolutions", paxos_resolutions},
+      {"paxos_elections", paxos_elections},
+      {"paxos_decided_fast", paxos_decided_fast},
+      {"paxos_decided_resolved", paxos_decided_resolved},
   };
 }
 

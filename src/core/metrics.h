@@ -58,6 +58,14 @@ struct Metrics {
   int64_t cgm_graph_rejections = 0;   // commit-graph loop refusals
   int64_t cgm_lock_timeouts = 0;      // global lock waits that timed out
 
+  // Paxos Commit (consensus subsystem).
+  int64_t paxos_forced_writes = 0;     // acceptor-log force-writes
+  int64_t paxos_votes_accepted = 0;    // ballot-0 RM votes accepted
+  int64_t paxos_resolutions = 0;       // resolution rounds started
+  int64_t paxos_elections = 0;         // inquiry escalations (leader elect)
+  int64_t paxos_decided_fast = 0;      // ballot-0 fast-path decisions
+  int64_t paxos_decided_resolved = 0;  // decisions via a resolution round
+
   void AddLatency(sim::Duration d) {
     ++latency_samples;
     latency_total += d;

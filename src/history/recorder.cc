@@ -60,6 +60,7 @@ void Recorder::RecordLocalAbort(const SubTxnId& subtxn, SiteId site,
 }
 
 void Recorder::RecordGlobalCommit(const TxnId& txn, SiteId coordinator_site) {
+  if (!RecordGlobalDecision(txn, /*commit=*/true)) return;
   Op op;
   op.kind = OpKind::kGlobalCommit;
   op.subtxn = SubTxnId{txn, 0};
@@ -68,11 +69,22 @@ void Recorder::RecordGlobalCommit(const TxnId& txn, SiteId coordinator_site) {
 }
 
 void Recorder::RecordGlobalAbort(const TxnId& txn, SiteId coordinator_site) {
+  if (!RecordGlobalDecision(txn, /*commit=*/false)) return;
   Op op;
   op.kind = OpKind::kGlobalAbort;
   op.subtxn = SubTxnId{txn, 0};
   op.site = coordinator_site;
   Append(std::move(op));
+}
+
+bool Recorder::RecordGlobalDecision(const TxnId& txn, bool commit) {
+  // Under Paxos Commit the same chosen outcome may be learned — and
+  // reported — by the leader and by several independent resolvers. The
+  // repeats carry no information, so only the first record of a given
+  // outcome is kept. A *conflicting* outcome is still appended: that is a
+  // genuine atomicity violation and must stay visible to the oracles.
+  auto [it, inserted] = global_decisions_.emplace(txn, commit);
+  return inserted || it->second != commit;
 }
 
 std::string Recorder::ToString() const {

@@ -9,6 +9,7 @@
 #ifndef HERMES_HISTORY_RECORDER_H_
 #define HERMES_HISTORY_RECORDER_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "history/op.h"
@@ -38,16 +39,24 @@ class Recorder {
 
   const std::vector<Op>& ops() const { return ops_; }
   size_t size() const { return ops_.size(); }
-  void Clear() { ops_.clear(); }
+  void Clear() {
+    ops_.clear();
+    global_decisions_.clear();
+  }
 
   std::string ToString() const;
 
  private:
   void Append(Op op);
+  // Returns true if this (txn, outcome) should be appended: duplicate
+  // same-outcome global decisions (leader + resolvers under Paxos Commit)
+  // are dropped, conflicting ones kept for the atomicity oracle.
+  bool RecordGlobalDecision(const TxnId& txn, bool commit);
 
   const sim::EventLoop* loop_;
   bool enabled_ = true;
   std::vector<Op> ops_;
+  std::unordered_map<TxnId, bool> global_decisions_;
 };
 
 }  // namespace hermes::history

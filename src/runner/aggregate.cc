@@ -68,6 +68,13 @@ void CellAggregate::AddRun(uint64_t seed, const workload::RunResult& r) {
       static_cast<double>(m.inquiries_answered_presumed_abort));
   Add("local_committed", static_cast<double>(m.local_committed));
   Add("local_aborted", static_cast<double>(m.local_aborted));
+  Add("paxos_forced_writes", static_cast<double>(m.paxos_forced_writes));
+  Add("paxos_votes_accepted", static_cast<double>(m.paxos_votes_accepted));
+  Add("paxos_resolutions", static_cast<double>(m.paxos_resolutions));
+  Add("paxos_elections", static_cast<double>(m.paxos_elections));
+  Add("paxos_decided_fast", static_cast<double>(m.paxos_decided_fast));
+  Add("paxos_decided_resolved",
+      static_cast<double>(m.paxos_decided_resolved));
   Add("messages", static_cast<double>(r.messages));
   Add("dropped", static_cast<double>(r.msgs_dropped));
   Add("duplicated", static_cast<double>(r.msgs_duplicated));

@@ -14,7 +14,10 @@
 //          [--txn=G0.1] [--window-ms=N] [--perfetto=OUT.trace.json]
 //
 // Parsing is lenient: unknown event kinds and truncated trailing lines
-// are skipped with a counted warning instead of aborting the report.
+// are skipped with a counted warning instead of aborting the report —
+// but the exit code is then nonzero (1) and a per-line count summary is
+// printed, so pipelines cannot mistake a partially-read trace for a
+// complete one.
 
 #include <algorithm>
 #include <cstdio>
@@ -237,10 +240,32 @@ int main(int argc, char** argv) {
   }
   const trace::LenientParse parsed = trace::ParseJsonlLenient(text);
   if (parsed.skipped_lines > 0) {
-    std::fprintf(stderr, "tmstat: skipped %lld unparseable line(s)\n",
+    // Per-line accounting: every non-blank input line either became an
+    // event or was skipped; spell both counts out so the reports below
+    // are unmistakably partial.
+    int64_t total_lines = 0;
+    bool blank = true;
+    for (const char c : text) {
+      if (c == '\n') {
+        if (!blank) ++total_lines;
+        blank = true;
+      } else if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+      }
+    }
+    if (!blank) ++total_lines;
+    std::fprintf(stderr,
+                 "tmstat: %lld line(s) total: %lld parsed, %lld skipped — "
+                 "reports reflect partial data\n",
+                 static_cast<long long>(total_lines),
+                 static_cast<long long>(parsed.events.size()),
                  static_cast<long long>(parsed.skipped_lines));
     for (const std::string& w : parsed.warnings) {
       std::fprintf(stderr, "tmstat:   %s\n", w.c_str());
+    }
+    if (parsed.skipped_lines >
+        static_cast<int64_t>(parsed.warnings.size())) {
+      std::fprintf(stderr, "tmstat:   (further skip reasons suppressed)\n");
     }
   }
 
@@ -275,5 +300,8 @@ int main(int argc, char** argv) {
     }
     std::printf("perfetto trace written: %s\n", opt.perfetto_out.c_str());
   }
-  return 0;
+  // Partial input is a failure even though the reports were printed:
+  // callers scripting tmstat must not trust stats folded from a trace
+  // with unparseable lines.
+  return parsed.skipped_lines > 0 ? 1 : 0;
 }

@@ -48,6 +48,7 @@ TxnCriticalPath AnalyzeTxn(const SpanForest& forest, const Span& root) {
   sim::Time dml_end = -1;
   sim::Time prep_begin = -1, prep_end = -1;
   sim::Time dec_begin = -1;
+  sim::Time chosen = -1;  // earliest Paxos Commit outcome chosen
   sim::Duration cert_len = 0;
   sim::Time critical_vote = -1;
   for (int32_t id : root.children) {
@@ -72,6 +73,12 @@ TxnCriticalPath AnalyzeTxn(const SpanForest& forest, const Span& root) {
       case SpanKind::kDecision:
         if (dec_begin < 0 || c.begin < dec_begin) dec_begin = c.begin;
         break;
+      case SpanKind::kConsensus:
+        // Several deciding nodes may run rounds (leader + elected
+        // resolvers); the earliest chosen outcome is the one that ends
+        // the acceptor round on the critical path.
+        if (c.closed() && (chosen < 0 || c.end < chosen)) chosen = c.end;
+        break;
       default:
         break;
     }
@@ -88,7 +95,14 @@ TxnCriticalPath AnalyzeTxn(const SpanForest& forest, const Span& root) {
   cp.phases.dml = a1 - t0;
   cp.phases.other = a2 - a1;
   cp.phases.prepare = a3 - a2;
-  cp.phases.blocked = a4 - a3;
+  // Under Paxos Commit the window between the last vote and the decision
+  // fan-out splits at the instant the acceptor quorum chose the outcome:
+  // before it the transaction is doing consensus work, after it the
+  // coordinator is merely catching up (or crashed). 2PC has no consensus
+  // span, so the whole window stays `blocked`.
+  const sim::Time a3c = chosen >= 0 ? Clamp(chosen, a3, a4) : a3;
+  cp.phases.consensus = a3c - a3;
+  cp.phases.blocked = a4 - a3c;
   cp.phases.decision = tend - a4;
 
   // Certification runs inside the PREPARE round-trip; carve out the
@@ -116,6 +130,7 @@ void PhaseBreakdown::Add(const PhaseBreakdown& o) {
   dml += o.dml;
   prepare += o.prepare;
   certify += o.certify;
+  consensus += o.consensus;
   decision += o.decision;
   blocked += o.blocked;
   retx_wait += o.retx_wait;
@@ -128,7 +143,8 @@ std::string TxnCriticalPath::ToString() const {
                            committed ? "committed" : "aborted", " total=",
                            phases.total, "us: dml=", phases.dml,
                            " prepare=", phases.prepare, " certify=",
-                           phases.certify, " blocked=", phases.blocked,
+                           phases.certify, " consensus=", phases.consensus,
+                           " blocked=", phases.blocked,
                            " decision=", phases.decision, " retx_wait=",
                            phases.retx_wait, " other=", phases.other);
   if (critical_prepare_site != kInvalidSite) {
@@ -168,7 +184,9 @@ std::string CriticalPathReport::ToString() const {
   };
   const Row rows[] = {
       {"dml", committed_total.dml},         {"prepare", committed_total.prepare},
-      {"certify", committed_total.certify}, {"blocked", committed_total.blocked},
+      {"certify", committed_total.certify},
+      {"consensus", committed_total.consensus},
+      {"blocked", committed_total.blocked},
       {"decision", committed_total.decision},
       {"retx_wait", committed_total.retx_wait},
       {"other", committed_total.other},     {"total", committed_total.total},

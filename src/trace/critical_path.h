@@ -9,8 +9,11 @@
 //   dml       executing DML steps at the participants
 //   prepare   PREPARE -> vote round-trips (minus the certification work)
 //   certify   agent-side certification (longest participant verdict)
+//   consensus Paxos Commit acceptor round (votes in -> outcome chosen);
+//             always 0 under 2PC
 //   blocked   votes all in but no decision out yet (coordinator crash /
-//             decision-log force-write window)
+//             decision-log force-write window); under Paxos Commit the
+//             part of that window after the outcome was chosen
 //   decision  decision -> ACK round-trips
 //   retx_wait tail of a phase spent waiting for a retransmitted message
 //   other     submission bookkeeping and inter-phase gaps
@@ -38,6 +41,7 @@ struct PhaseBreakdown {
   int64_t dml = 0;
   int64_t prepare = 0;
   int64_t certify = 0;
+  int64_t consensus = 0;
   int64_t decision = 0;
   int64_t blocked = 0;
   int64_t retx_wait = 0;
@@ -45,7 +49,8 @@ struct PhaseBreakdown {
   int64_t total = 0;
 
   int64_t Sum() const {
-    return dml + prepare + certify + decision + blocked + retx_wait + other;
+    return dml + prepare + certify + consensus + decision + blocked +
+           retx_wait + other;
   }
   void Add(const PhaseBreakdown& o);
 

@@ -23,6 +23,8 @@ const char* SpanKindName(SpanKind kind) {
       return "decision";
     case SpanKind::kResubmission:
       return "resubmit";
+    case SpanKind::kConsensus:
+      return "consensus";
   }
   return "?";
 }
@@ -41,6 +43,7 @@ struct Builder {
   std::map<Key, int32_t> open_blocked;
   std::map<Key, int32_t> open_decision;
   std::map<Key, int32_t> open_resubmit;
+  std::map<Key, int32_t> open_consensus;
   std::map<Key, int32_t> last_resubmit;  // previous incarnation's span
 
   int32_t RootOf(const TxnId& txn, sim::Time at) {
@@ -282,6 +285,51 @@ SpanForest BuildSpanForest(const std::vector<Event>& events) {
         b.NoteInnermost(e.txn, e.site, e.at, "inject_failure");
         break;
       }
+      case EventKind::kPaxosBegin:
+      case EventKind::kPaxosElect: {
+        // One consensus span per deciding node (leader or elected
+        // resolver); a coordinator crash can leave the leader's span open
+        // while a resolver's span carries the outcome.
+        if (Span* c = b.Find(b.open_consensus, e.txn, e.site)) {
+          b.Note(c, e.at,
+                 e.kind == EventKind::kPaxosElect
+                     ? StrCat("paxos_elect#", e.value)
+                     : std::string("paxos_rebegin"));
+          break;
+        }
+        Span& c = b.forest.spans[static_cast<size_t>(
+            b.Open(b.open_consensus, SpanKind::kConsensus, e.txn, e.site,
+                   e.at))];
+        c.value = e.value;  // participants (begin) / election attempt
+        break;
+      }
+      case EventKind::kPaxosDecided: {
+        if (Span* c = b.Close(b.open_consensus, e.txn, e.site, e.at)) {
+          c->ok = e.ok;
+          break;
+        }
+        // Sealed without an acceptor round (definite local abort) or a
+        // learner catching up on an already-chosen outcome.
+        b.Note(&b.forest.spans[static_cast<size_t>(b.RootOf(e.txn, e.at))],
+               e.at, StrCat("paxos_decided(", e.ok ? "commit" : "abort", ")"));
+        break;
+      }
+      case EventKind::kPaxosVote:
+      case EventKind::kPaxosPromise:
+      case EventKind::kPaxosAccept:
+      case EventKind::kPaxosPrepare: {
+        const char* what = e.kind == EventKind::kPaxosVote      ? "paxos_vote"
+                           : e.kind == EventKind::kPaxosPromise ? "paxos_promise"
+                           : e.kind == EventKind::kPaxosAccept  ? "paxos_accept"
+                                                                : "paxos_prepare";
+        if (Span* c = b.Find(b.open_consensus, e.txn, e.site)) {
+          b.Note(c, e.at, StrCat(what, "(", e.value, ")"));
+          break;
+        }
+        b.Note(&b.forest.spans[static_cast<size_t>(b.RootOf(e.txn, e.at))],
+               e.at, StrCat(what, "(", e.value, ")@", e.site));
+        break;
+      }
       default:
         break;  // transport noise and non-txn events carry no span info
     }
@@ -324,6 +372,8 @@ void AppendSpanLine(std::string& out, const SpanForest& forest,
       StrAppend(out, s.ok ? " COMMIT" : " ROLLBACK");
     } else if (s.kind == SpanKind::kPrepare && s.end >= 0) {
       StrAppend(out, s.ok ? " READY" : " REFUSE");
+    } else if (s.kind == SpanKind::kConsensus && s.end >= 0) {
+      StrAppend(out, s.ok ? " CHOSE-COMMIT" : " CHOSE-ABORT");
     }
     if (s.resubmission >= 0) StrAppend(out, " j=", s.resubmission);
     if (s.kind == SpanKind::kResubmission && s.value >= 0) {

@@ -8,7 +8,9 @@
 // REFUSE verdict), the prepared blocking window (certification READY ->
 // local commit/rollback, the interval Gray & Lamport identify as 2PC's
 // blocking cost), the decision -> ACK round-trip, and every resubmitted
-// local incarnation T^s_kj linked to its predecessor. Instant happenings
+// local incarnation T^s_kj linked to its predecessor. Under Paxos Commit
+// an additional consensus span covers each deciding node's acceptor
+// round (begin or election -> outcome chosen). Instant happenings
 // inside a span (INQUIRY probes, retransmissions, unilateral aborts)
 // attach to it as notes.
 //
@@ -36,6 +38,7 @@ enum class SpanKind : uint8_t {
   kBlocked,        // prepared blocking window: READY .. local commit/abort
   kDecision,       // coordinator view: decision sent .. ACK received
   kResubmission,   // one resubmitted local incarnation T^s_kj
+  kConsensus,      // Paxos Commit round: begin/elect .. outcome chosen
 };
 
 const char* SpanKindName(SpanKind kind);

@@ -70,6 +70,20 @@ const char* EventKindName(EventKind kind) {
       return "cgm_lock";
     case EventKind::kCgmAdmission:
       return "cgm_admission";
+    case EventKind::kPaxosBegin:
+      return "paxos_begin";
+    case EventKind::kPaxosVote:
+      return "paxos_vote";
+    case EventKind::kPaxosAccept:
+      return "paxos_accept";
+    case EventKind::kPaxosDecided:
+      return "paxos_decided";
+    case EventKind::kPaxosPrepare:
+      return "paxos_prepare";
+    case EventKind::kPaxosPromise:
+      return "paxos_promise";
+    case EventKind::kPaxosElect:
+      return "paxos_elect";
   }
   return "?";
 }
@@ -109,7 +123,10 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kMsgDrop,        EventKind::kMsgDup,
     EventKind::kRetransmit,     EventKind::kInjectFailure,
     EventKind::kFaultEvent,     EventKind::kCgmLock,
-    EventKind::kCgmAdmission,
+    EventKind::kCgmAdmission,   EventKind::kPaxosBegin,
+    EventKind::kPaxosVote,      EventKind::kPaxosAccept,
+    EventKind::kPaxosDecided,   EventKind::kPaxosPrepare,
+    EventKind::kPaxosPromise,   EventKind::kPaxosElect,
 };
 
 constexpr RefuseKind kAllRefuseKinds[] = {

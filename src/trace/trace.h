@@ -94,6 +94,22 @@ enum class EventKind : uint8_t {
   // CGM baseline centralized scheduler.
   kCgmLock,       // global lock request decided; ok = granted
   kCgmAdmission,  // commit-graph admission decided; ok = admitted
+
+  // Paxos Commit (consensus subsystem).
+  kPaxosBegin,    // leader proposed the participant set; value = |set|
+  kPaxosVote,     // an acceptor accepted a ballot-0 RM vote;
+                  // peer = participant, ok = ready
+  kPaxosAccept,   // an acceptor accepted a resolver proposal;
+                  // value = ballot, ok = would-commit
+  kPaxosDecided,  // the outcome became chosen at this site;
+                  // ok = commit, value = deciding ballot
+  kPaxosPrepare,  // a resolver started phase 1 for all instances;
+                  // value = ballot
+  kPaxosPromise,  // an acceptor promised a resolver ballot; value = ballot,
+                  // peer = resolver
+  kPaxosElect,    // a prepared agent escalated its inquiry into leader
+                  // election; peer = suspected coordinator,
+                  // value = inquiry attempt number
 };
 
 // Why a certification refused a PREPARE.

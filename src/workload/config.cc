@@ -41,6 +41,8 @@ core::MdbsConfig WorkloadConfig::ToMdbsConfig() const {
   config.agent.inquiry_retry_initial = inquiry_retry_initial;
   config.agent.inquiry_retry_max = inquiry_retry_max;
   config.agent.orphan_abort_timeout = orphan_abort_timeout;
+  config.protocol = protocol;
+  config.paxos_f = paxos_f;
   if (clock_skew != 0) {
     config.clock_offsets.resize(static_cast<size_t>(num_sites));
     for (int s = 0; s < num_sites; ++s) {
@@ -69,6 +71,10 @@ std::string WorkloadConfig::ToString() const {
              " dup=", net_dup_prob, " reorder=", net_reorder_prob,
              " policy=", core::CertPolicyName(policy),
              " target=", target_global_txns, " seed=", seed);
+  if (protocol != consensus::ProtocolKind::k2PC) {
+    StrAppend(out, " protocol=", consensus::ProtocolKindName(protocol),
+              " F=", paxos_f);
+  }
   if (!fault_plan.empty()) {
     StrAppend(out, " faults=", fault_plan.events.size());
   }

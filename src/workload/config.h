@@ -66,6 +66,10 @@ struct WorkloadConfig {
   // --- system under test -----------------------------------------------------
   System system = System::k2CM;
   core::CertPolicy policy = core::CertPolicy::kFull;
+  // Commit-decision protocol (2CM only): classic blocking 2PC or
+  // non-blocking Paxos Commit with 2*paxos_f+1 acceptors (E16).
+  consensus::ProtocolKind protocol = consensus::ProtocolKind::k2PC;
+  int paxos_f = 1;
   cgm::Granularity cgm_granularity = cgm::Granularity::kSite;
   bool record_history = true;
   bool dlu_binding = true;

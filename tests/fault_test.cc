@@ -317,6 +317,121 @@ TEST(CoordinatorCrashFault, PreparedParticipantBlocksUntilRecovery) {
   EXPECT_EQ(std::get<int64_t>(*entry->row->Get("v")), 7);
 }
 
+// The inquiry retransmission backoff must stop doubling at
+// inquiry_retry_max: once capped, the probe rate towards a dead coordinator
+// is constant, not vanishing.
+TEST(CoordinatorCrashFault, InquiryBackoffCapsAtConfiguredMax) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  config.agent.decision_inquiry_timeout = 20 * sim::kMillisecond;
+  config.agent.inquiry_retry_initial = 10 * sim::kMillisecond;
+  config.agent.inquiry_retry_max = 40 * sim::kMillisecond;
+  core::Mdbs mdbs(config, &loop);
+  const db::TableId table = *mdbs.CreateTableEverywhere("t");
+  ASSERT_TRUE(
+      mdbs.LoadRow(1, table, 1, db::Row{{"v", db::Value(int64_t{0})}}).ok());
+  loop.set_max_events(10'000'000);
+
+  // Lose the COMMIT, then take the coordinating site down for good: the
+  // prepared participant is left probing forever.
+  mdbs.agent(1)->add_prepared_hook([&](const TxnId&, LtmTxnHandle) {
+    mdbs.network().SetLinkLoss(0, 1, 1.0);
+  });
+  loop.ScheduleAt(10 * sim::kMillisecond, [&]() {
+    mdbs.CrashSite(0, /*downtime=*/-1);
+    mdbs.network().ClearLinkLoss(0, 1);
+  });
+
+  core::GlobalTxnSpec spec;
+  spec.steps.push_back({1, db::MakeAddKey(table, 1, "v", int64_t{7}), {}});
+  mdbs.Submit(spec, nullptr, /*coordinator_site=*/0);
+
+  loop.RunUntil(200 * sim::kMillisecond);
+  const int64_t before = mdbs.metrics().inquiries_sent;
+  EXPECT_GE(before, 4);  // the 10/20/40 ramp is already over
+  loop.RunUntil(1200 * sim::kMillisecond);
+  const int64_t probes = mdbs.metrics().inquiries_sent - before;
+  // A fully capped backoff sends one probe per 40ms: ~25 in the 1000ms
+  // window. Uncapped doubling would collapse to a handful; faster-than-cap
+  // probing would blow far past it.
+  EXPECT_GE(probes, 20);
+  EXPECT_LE(probes, 27);
+}
+
+// orphan_abort_timeout interaction with the coordinator-crash machinery: an
+// *active* subtransaction abandoned by its coordinator is unilaterally
+// aborted (its locks released), while a *prepared* one must keep blocking
+// and probing — the orphan timer is disarmed at the vote.
+TEST(CoordinatorCrashFault, OrphanTimeoutAbandonsActiveButNeverPreparedTxns) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  config.agent.orphan_abort_timeout = 50 * sim::kMillisecond;
+  config.agent.decision_inquiry_timeout = 30 * sim::kMillisecond;
+  core::Mdbs mdbs(config, &loop);
+  const db::TableId table = *mdbs.CreateTableEverywhere("t");
+  for (int64_t k = 1; k <= 2; ++k) {
+    ASSERT_TRUE(
+        mdbs.LoadRow(1, table, k, db::Row{{"v", db::Value(int64_t{0})}})
+            .ok());
+  }
+  loop.set_max_events(10'000'000);
+
+  // Transaction A: the coordinator dies *before* PREPARE fan-out (hooked in
+  // before_prepare), leaving an active subtransaction holding locks at
+  // site 1.
+  core::CoordinatorHooks hooks;
+  hooks.before_prepare = [&](const TxnId&, const std::vector<SiteId>&,
+                             std::function<void(const Status&)>) {
+    loop.ScheduleAfter(0, [&]() { mdbs.CrashSite(0, /*downtime=*/-1); });
+    // `done` is never called: the crash wipes the transaction.
+  };
+  mdbs.coordinator(0)->set_hooks(hooks);
+
+  core::GlobalTxnSpec spec_a;
+  spec_a.steps.push_back({1, db::MakeAddKey(table, 1, "v", int64_t{1}), {}});
+  const TxnId a = mdbs.Submit(spec_a, nullptr, /*coordinator_site=*/0);
+
+  loop.RunUntil(30 * sim::kMillisecond);
+  // Still active and holding its lock: the orphan timeout has not expired.
+  EXPECT_TRUE(mdbs.ltm(1)->IsActive(mdbs.agent(1)->HandleOf(a)));
+
+  loop.RunUntil(200 * sim::kMillisecond);
+  // Orphan timer fired: the subtransaction was unilaterally aborted and its
+  // lock is free again — a local transaction on the same row succeeds.
+  EXPECT_FALSE(mdbs.ltm(1)->IsActive(mdbs.agent(1)->HandleOf(a)));
+  Status local = Status::Internal("callback never ran");
+  mdbs.SubmitLocal(
+      core::LocalTxnSpec{1, {db::MakeAddKey(table, 1, "v", int64_t{5})}},
+      [&](const core::LocalTxnResult& r) { local = r.status; });
+  loop.RunUntil(300 * sim::kMillisecond);
+  EXPECT_TRUE(local.ok()) << local.ToString();
+
+  // Transaction B (fresh coordinator at site 1, participant semantics via
+  // its own site): prepared, then its coordinator's COMMIT is lost and the
+  // coordinator site taken down. Despite orphan_abort_timeout being set,
+  // the prepared subtransaction is never abandoned — it keeps probing.
+  mdbs.RecoverSite(0);
+  mdbs.coordinator(0)->set_hooks({});  // this time PREPARE goes out
+  mdbs.agent(1)->add_prepared_hook([&](const TxnId&, LtmTxnHandle) {
+    mdbs.network().SetLinkLoss(0, 1, 1.0);
+  });
+  loop.ScheduleAfter(10 * sim::kMillisecond, [&]() {
+    mdbs.CrashSite(0, /*downtime=*/-1);
+    mdbs.network().ClearLinkLoss(0, 1);
+  });
+  core::GlobalTxnSpec spec_b;
+  spec_b.steps.push_back({1, db::MakeAddKey(table, 2, "v", int64_t{1}), {}});
+  const TxnId b = mdbs.Submit(spec_b, nullptr, /*coordinator_site=*/0);
+
+  const int64_t probes_before = mdbs.metrics().inquiries_sent;
+  loop.RunUntil(loop.Now() + 500 * sim::kMillisecond);
+  EXPECT_FALSE(mdbs.agent(1)->log().HasCommit(b));
+  EXPECT_FALSE(mdbs.agent(1)->log().HasAbort(b));
+  EXPECT_GT(mdbs.metrics().inquiries_sent, probes_before);
+}
+
 TEST(CoordinatorCrashFault, CrashingADownSiteIsADeterministicNoOp) {
   sim::EventLoop loop;
   core::MdbsConfig config;

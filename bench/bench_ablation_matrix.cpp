@@ -1,0 +1,10 @@
+// E18 — certification ablation matrix: {SN, CSN} x {2PC, short-commit} x
+// {certification on, off}. The implementation lives in
+// bench/sweep_ablation_matrix.cpp and is shared with bench_suite.
+
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  return hermes::bench::SweepMain(hermes::bench::RunAblationMatrixSweep,
+                                  argc, argv);
+}

@@ -1,4 +1,4 @@
-// Runs every sweep experiment (E5, E6, E7, E9, E13, E15, E16) through the parallel
+// Runs every sweep experiment (E5, E6, E7, E9, E13, E15, E16, E18) through the parallel
 // runner in a single process — the one-command regeneration path for the
 // EXPERIMENTS.md sweep tables and their BENCH_<name>.json artifacts.
 //
@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       {"E13 network_faults", RunNetworkFaultsSweep},
       {"E15 chaos", RunChaosSweep},
       {"E16 paxos", RunPaxosSweep},
+      {"E18 ablation_matrix", RunAblationMatrixSweep},
   };
   int rc = 0;
   for (const Entry& e : sweeps) {

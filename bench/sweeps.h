@@ -56,6 +56,7 @@ int RunCorrectnessSweep(const SweepArgs& args);    // E9
 int RunNetworkFaultsSweep(const SweepArgs& args);  // E13
 int RunChaosSweep(const SweepArgs& args);          // E15
 int RunPaxosSweep(const SweepArgs& args);          // E16
+int RunAblationMatrixSweep(const SweepArgs& args);  // E18
 
 }  // namespace hermes::bench
 

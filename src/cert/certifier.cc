@@ -1,0 +1,29 @@
+#include "cert/certifier.h"
+
+#include "cert/csn_certifier.h"
+#include "cert/sn_certifier.h"
+
+namespace hermes::cert {
+
+const char* CertifierKindName(CertifierKind kind) {
+  switch (kind) {
+    case CertifierKind::kSn:
+      return "sn";
+    case CertifierKind::kCsn:
+      return "csn";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Certifier> MakeCertifier(CertifierKind kind,
+                                         core::CertPolicy policy) {
+  switch (kind) {
+    case CertifierKind::kSn:
+      return std::make_unique<SnCertifier>(policy);
+    case CertifierKind::kCsn:
+      return std::make_unique<CsnCertifier>(policy);
+  }
+  return std::make_unique<SnCertifier>(policy);
+}
+
+}  // namespace hermes::cert

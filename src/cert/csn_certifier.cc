@@ -1,0 +1,152 @@
+#include "cert/csn_certifier.h"
+
+#include "common/str.h"
+
+namespace hermes::cert {
+
+PrepareOutcome CsnCertifier::CertifyPrepare(
+    const TxnId& /*gtid*/, const core::SerialNumber& /*sn*/,
+    const core::AliveInterval& candidate, int resubmission,
+    bool want_detail) {
+  PrepareOutcome out;
+  const bool snapshot = policy_ == core::CertPolicy::kPrepareExtended ||
+                        policy_ == core::CertPolicy::kFull;
+  // Snapshot visibility: a *resubmitted* candidate must have been provably
+  // concurrent with every recent commit that landed inside its current
+  // lifetime. A commit whose recorded interval never overlapped the
+  // candidate's, performed at or after the candidate's interval began,
+  // may be straddled by the candidate's incarnations (reads of the first
+  // incarnation predate it, the resubmitted ones follow it) — refuse.
+  // First incarnations cannot straddle anything, so in a failure-free run
+  // this check never fires (no resubmission without a unilateral abort).
+  if (snapshot && resubmission > 0) {
+    for (const RecentCommit& rc : recent_commits_) {
+      if (!rc.interval.Intersects(candidate) &&
+          rc.committed_at >= candidate.begin) {
+        out.admit = false;
+        out.refuse = trace::RefuseKind::kSnapshot;
+        out.reason = Status::Rejected(
+            "csn snapshot certification: a commit inside the candidate's "
+            "lifetime was never concurrently alive with it");
+        if (want_detail) {
+          out.detail = StrCat("csn snapshot: commit csn=", rc.csn, " at ",
+                              rc.committed_at, " vs candidate [",
+                              candidate.begin, ",", candidate.end,
+                              "] (recorded interval [", rc.interval.begin,
+                              ",", rc.interval.end, "])");
+          out.related.push_back(rc.gtid);
+        }
+        return out;
+      }
+    }
+  }
+
+  // Basic prepare certification, shared with the SN scheme.
+  if (policy_ != core::CertPolicy::kNone &&
+      !table_.CertifiableAgainstAll(candidate)) {
+    out.admit = false;
+    out.refuse = trace::RefuseKind::kInterval;
+    out.reason = Status::Rejected(
+        "basic prepare certification: alive intervals do not intersect");
+    if (want_detail) {
+      out.detail = StrCat("candidate alive interval [", candidate.begin, ",",
+                          candidate.end, "] disjoint from prepared peer(s)");
+      out.related = table_.NonIntersecting(candidate);
+    }
+    return out;
+  }
+  return out;
+}
+
+void CsnCertifier::OnPrepared(const TxnId& gtid,
+                              const core::AliveInterval& interval,
+                              const core::SerialNumber& /*sn*/) {
+  // Undecided: park with an invalid serial number, which sorts below every
+  // valid one — decided peers cannot pass SmallestSerialNumber past it.
+  table_.Insert(gtid, interval, core::SerialNumber{});
+}
+
+void CsnCertifier::OnCommitDecision(const TxnId& gtid, int64_t csn) {
+  if (csn < 0) return;  // decision redelivery without a CSN (never expected)
+  decided_csn_[gtid] = csn;
+  if (table_.Contains(gtid)) {
+    table_.SetSerialNumber(gtid, core::SerialNumber{csn, 0, 0});
+  }
+}
+
+bool CsnCertifier::CertifyCommit(const TxnId& gtid,
+                                 std::vector<TxnId>* waiting_on) {
+  if (policy_ != core::CertPolicy::kFull) return true;
+  // CSN-order commit certification: every co-prepared peer must either be
+  // decided with a larger CSN or not constrain us — an undecided peer
+  // (invalid SN) blocks, because its CSN, once assigned, may be smaller.
+  if (table_.SmallestSerialNumber(gtid)) return true;
+  if (waiting_on != nullptr) *waiting_on = table_.SmallerSerialNumbers(gtid);
+  return false;
+}
+
+void CsnCertifier::OnCommitted(const TxnId& gtid,
+                               const core::SerialNumber& /*sn*/,
+                               sim::Time now) {
+  auto it = decided_csn_.find(gtid);
+  const int64_t csn = it == decided_csn_.end() ? -1 : it->second;
+  // Durability first: the XID → CSN record is forced before the commit is
+  // acknowledged anywhere (the agent's commit record, also carrying the
+  // CSN, was already forced before the local commit itself).
+  log_.ForceAppend(gtid, csn);
+  csn_of_[gtid] = csn;
+  if (csn > max_committed_csn_) {
+    max_committed_csn_ = csn;
+    max_committed_gtid_ = gtid;
+  }
+  if (const core::AliveIntervalTable::Entry* entry = table_.Find(gtid)) {
+    RecentCommit rc;
+    rc.gtid = gtid;
+    rc.csn = csn;
+    rc.interval = entry->interval;
+    rc.committed_at = now;
+    recent_commits_.push_back(rc);
+    if (recent_commits_.size() > kRecentCommitWindow) {
+      recent_commits_.pop_front();
+    }
+  }
+  table_.Remove(gtid);
+  decided_csn_.erase(gtid);
+}
+
+void CsnCertifier::OnRemoved(const TxnId& gtid) {
+  table_.Remove(gtid);
+  decided_csn_.erase(gtid);
+}
+
+void CsnCertifier::Crash() {
+  Certifier::Crash();
+  decided_csn_.clear();
+  recent_commits_.clear();
+  csn_of_.clear();
+  max_committed_csn_ = 0;
+  max_committed_gtid_ = TxnId{};
+  // log_ is stable storage and survives.
+}
+
+void CsnCertifier::Recover() {
+  // Replay the durable XID → CSN log: rebuilds the committed high-water
+  // mark and the lookup index. The recent-commit window stays empty —
+  // post-crash candidates see no recent commits, which can only *admit*
+  // more (the snapshot check is a conservative guard, and everything
+  // actually in doubt is re-entered through the prepared-set machinery).
+  for (const CsnLogRecord& rec : log_.records()) {
+    csn_of_[rec.gtid] = rec.csn;
+    if (rec.csn > max_committed_csn_) {
+      max_committed_csn_ = rec.csn;
+      max_committed_gtid_ = rec.gtid;
+    }
+  }
+}
+
+int64_t CsnCertifier::CsnOf(const TxnId& gtid) const {
+  auto it = csn_of_.find(gtid);
+  return it == csn_of_.end() ? -1 : it->second;
+}
+
+}  // namespace hermes::cert

@@ -1,0 +1,95 @@
+#include "cert/sn_certifier.h"
+
+#include "common/str.h"
+
+namespace hermes::cert {
+
+PrepareOutcome SnCertifier::CertifyPrepare(const TxnId& /*gtid*/,
+                                           const core::SerialNumber& sn,
+                                           const core::AliveInterval& candidate,
+                                           int /*resubmission*/,
+                                           bool want_detail) {
+  PrepareOutcome out;
+  const bool extension = policy_ == core::CertPolicy::kPrepareExtended ||
+                         policy_ == core::CertPolicy::kFull;
+  if (extension && sn < max_committed_sn_) {
+    // Certification extension failed: a subtransaction with a bigger serial
+    // number is already committed here — this PREPARE arrived out of order
+    // and committing it later could close a cycle in CG(H).
+    out.admit = false;
+    out.refuse = trace::RefuseKind::kExtension;
+    // The REFUSE reason is a static message: SN details are only rendered
+    // (ToString/StrCat) into the trace event, so certification never builds
+    // strings when tracing is disabled.
+    out.reason = Status::Rejected(
+        "prepare certification extension: SN below committed high-water "
+        "mark");
+    if (want_detail) {
+      out.detail = StrCat("prepare certification extension: ", sn.ToString(),
+                          " < committed ", max_committed_sn_.ToString());
+      if (max_committed_gtid_.valid()) {
+        out.related.push_back(max_committed_gtid_);
+      }
+    }
+    return out;
+  }
+
+  // Basic prepare certification: the candidate's alive interval must
+  // intersect the alive interval of every subtransaction currently in the
+  // prepared state at this site.
+  if (policy_ != core::CertPolicy::kNone &&
+      !table_.CertifiableAgainstAll(candidate)) {
+    out.admit = false;
+    out.refuse = trace::RefuseKind::kInterval;
+    out.reason = Status::Rejected(
+        "basic prepare certification: alive intervals do not intersect");
+    if (want_detail) {
+      out.detail = StrCat("candidate alive interval [", candidate.begin, ",",
+                          candidate.end, "] disjoint from prepared peer(s)");
+      out.related = table_.NonIntersecting(candidate);
+    }
+    return out;
+  }
+  return out;
+}
+
+void SnCertifier::OnPrepared(const TxnId& gtid,
+                             const core::AliveInterval& interval,
+                             const core::SerialNumber& sn) {
+  table_.Insert(gtid, interval, sn);
+}
+
+bool SnCertifier::CertifyCommit(const TxnId& gtid,
+                                std::vector<TxnId>* waiting_on) {
+  // Commit certification: all other prepared subtransactions at this agent
+  // must have a bigger serial number; otherwise retry later.
+  if (policy_ != core::CertPolicy::kFull) return true;
+  if (table_.SmallestSerialNumber(gtid)) return true;
+  if (waiting_on != nullptr) *waiting_on = table_.SmallerSerialNumbers(gtid);
+  return false;
+}
+
+void SnCertifier::OnCommitted(const TxnId& gtid, const core::SerialNumber& sn,
+                              sim::Time /*now*/) {
+  table_.Remove(gtid);
+  if (max_committed_sn_ < sn) {
+    max_committed_sn_ = sn;
+    max_committed_gtid_ = gtid;
+  }
+}
+
+void SnCertifier::Crash() {
+  Certifier::Crash();
+  max_committed_sn_ = core::SerialNumber{};
+  max_committed_gtid_ = TxnId{};
+}
+
+void SnCertifier::OnRecoveredCommitted(const TxnId& gtid,
+                                       const core::SerialNumber& sn) {
+  if (max_committed_sn_ < sn) {
+    max_committed_sn_ = sn;
+    max_committed_gtid_ = gtid;
+  }
+}
+
+}  // namespace hermes::cert

@@ -58,14 +58,18 @@ class DecisionProtocol {
   struct InFlight {
     TxnId gtid;
     std::vector<SiteId> participants;
+    int64_t csn = -1;  // decision-time CSN, when one was recorded
   };
 
   virtual ~DecisionProtocol() = default;
 
   virtual void BeginDecision(const TxnId& gtid,
                              const std::vector<SiteId>& participants) = 0;
+  // `csn` is the decision-time commit sequence number to make durable with
+  // the outcome (-1 under the SN scheme, where none exists). Protocols that
+  // do not persist per-decision metadata may ignore it.
   virtual void Decide(const TxnId& gtid, DecideMode mode,
-                      const std::vector<SiteId>& participants,
+                      const std::vector<SiteId>& participants, int64_t csn,
                       DecidedFn done) = 0;
   virtual std::optional<bool> AnswerInquiry(const TxnId& gtid,
                                             SiteId requester) = 0;

@@ -66,7 +66,9 @@ void PaxosCommit::BeginDecision(const TxnId& gtid,
 
 void PaxosCommit::Decide(const TxnId& gtid, DecideMode mode,
                          const std::vector<SiteId>& participants,
-                         DecidedFn done) {
+                         int64_t /*csn*/, DecidedFn done) {
+  // Paxos Commit does not persist per-decision metadata; CSN certification
+  // is 2PC-only (Mdbs downgrades the knob) so the csn is always -1 here.
   if (mode == DecideMode::kAbortFinal) {
     // A definite refusal: no READY value can ever be chosen for the
     // refusing instance (its RM only ever proposed REFUSE at ballot 0, and

@@ -22,13 +22,14 @@ void TwoPCDecision::BeginDecision(const TxnId& /*gtid*/,
 
 void TwoPCDecision::Decide(const TxnId& gtid, DecideMode mode,
                            const std::vector<SiteId>& participants,
-                           DecidedFn done) {
+                           int64_t csn, DecidedFn done) {
   if (mode == DecideMode::kCommit) {
     if (!skip_decision_log_) {
       core::CoordLogRecord rec;
       rec.kind = core::CoordRecordKind::kDecision;
       rec.gtid = gtid;
       rec.participants = participants;
+      rec.csn = csn;
       log_->ForceAppend(std::move(rec));
     }
     done(gtid, true);
@@ -63,7 +64,7 @@ void TwoPCDecision::Crash() {
 std::vector<DecisionProtocol::InFlight> TwoPCDecision::RecoverInFlight() {
   std::vector<InFlight> out;
   for (const core::CoordLogRecord& rec : log_->InFlightDecisions()) {
-    out.push_back(InFlight{rec.gtid, rec.participants});
+    out.push_back(InFlight{rec.gtid, rec.participants, rec.csn});
   }
   return out;
 }

@@ -32,7 +32,8 @@ class TwoPCDecision : public DecisionProtocol {
   void BeginDecision(const TxnId& gtid,
                      const std::vector<SiteId>& participants) override;
   void Decide(const TxnId& gtid, DecideMode mode,
-              const std::vector<SiteId>& participants, DecidedFn done) override;
+              const std::vector<SiteId>& participants, int64_t csn,
+              DecidedFn done) override;
   std::optional<bool> AnswerInquiry(const TxnId& gtid,
                                     SiteId requester) override;
   void Forget(const TxnId& gtid) override;

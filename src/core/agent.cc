@@ -29,7 +29,8 @@ TwoPCAgent::TwoPCAgent(const AgentConfig& config, sim::EventLoop* loop,
       network_(network),
       ltm_(ltm),
       metrics_(metrics),
-      tracer_(tracer) {
+      tracer_(tracer),
+      certifier_(cert::MakeCertifier(config.certifier, config.policy)) {
   ltm_->SetUanListener(
       [this](const SubTxnId& id, LtmTxnHandle handle) {
         OnUnilateralAbort(id, handle);
@@ -64,6 +65,8 @@ void TwoPCAgent::Handle(SiteId from, const Message& msg) {
     OnPrepare(from, *m);
   } else if (const auto* m = std::get_if<DecisionMsg>(&msg)) {
     OnDecision(from, *m);
+  } else if (const auto* m = std::get_if<OnePhaseCommitMsg>(&msg)) {
+    OnOnePhaseCommit(from, *m);
   }
 }
 
@@ -179,15 +182,15 @@ void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
 // handed to the vote hook, which broadcasts it to the acceptors as the
 // participant's ballot-0 proposal for its own Paxos instance.
 void TwoPCAgent::SendVote(const TxnId& gtid, SiteId coordinator, bool ready,
-                          Status status) {
+                          Status status, bool read_only) {
   network_->Send(config_.site, coordinator,
-                 Message{VoteMsg{gtid, ready, std::move(status)}});
+                 Message{VoteMsg{gtid, ready, std::move(status), read_only}});
   if (vote_hook_) vote_hook_(gtid, ready, coordinator);
 }
 
 void TwoPCAgent::Refuse(AgentTxn& txn, const Status& reason) {
   if (ltm_->IsActive(txn.ltm_handle)) ltm_->Abort(txn.ltm_handle);
-  alive_table_.Remove(txn.gtid);
+  certifier_->OnRemoved(txn.gtid);
   txn.phase = Phase::kAborted;
   SendVote(txn.gtid, txn.coordinator, /*ready=*/false, reason);
 }
@@ -213,9 +216,11 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   if (txn->phase == Phase::kPrepared || txn->phase == Phase::kCommitted) {
     // Retransmitted PREPARE (the READY vote was lost): re-vote without
     // re-running certification — the prepare record is already forced and
-    // the alive interval already registered.
+    // the alive interval already registered. A short-commit read-only
+    // participant re-votes with its flag so the coordinator keeps excluding
+    // it from the decision round.
     ++metrics_->dup_msgs_absorbed;
-    SendVote(msg.gtid, from, /*ready=*/true, Status::Ok());
+    SendVote(msg.gtid, from, /*ready=*/true, Status::Ok(), txn->read_only);
     return;
   }
   if (txn->phase == Phase::kAborted) {
@@ -244,40 +249,6 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     tracer_->Record(std::move(e));
   }
 
-  const bool extension = config_.policy == CertPolicy::kPrepareExtended ||
-                         config_.policy == CertPolicy::kFull;
-  if (extension && msg.sn < max_committed_sn_) {
-    // Certification extension failed: a subtransaction with a bigger serial
-    // number is already committed here — this PREPARE arrived out of order
-    // and committing it later could close a cycle in CG(H).
-    ++metrics_->refuse_extension;
-    // The REFUSE reason is a static message: SN details are only rendered
-    // (ToString/StrCat) into the trace event, so certification never builds
-    // strings when tracing is disabled.
-    const Status reason = Status::Rejected(
-        "prepare certification extension: SN below committed high-water "
-        "mark");
-    if (tracer_ != nullptr) {
-      trace::Event e;
-      e.kind = trace::EventKind::kCertRefuse;
-      e.txn = txn->gtid;
-      e.site = config_.site;
-      e.resubmission = txn->resubmission;
-      e.sn = msg.sn;
-      e.refuse = trace::RefuseKind::kExtension;
-      e.ok = false;
-      e.detail = StrCat("prepare certification extension: ",
-                        msg.sn.ToString(), " < committed ",
-                        max_committed_sn_.ToString());
-      if (max_committed_gtid_.valid()) {
-        e.related.push_back(max_committed_gtid_);
-      }
-      tracer_->Record(std::move(e));
-    }
-    Refuse(*txn, reason);
-    return;
-  }
-
   // Refresh the stored intervals first: for every prepared subtransaction
   // that is *currently* alive (known from UAN without touching the LDBS),
   // the interval end extends to now. This keeps the certification exact
@@ -287,21 +258,34 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   // (Allocation-free: ExtendEnd only mutates the entry's interval in place,
   // never the hash table itself, so iterating `entries()` directly is safe;
   // the refresh is order-independent.)
-  for (const auto& [entry_gtid, entry] : alive_table_.entries()) {
+  AliveIntervalTable& table = certifier_->table();
+  for (const auto& [entry_gtid, entry] : table.entries()) {
     AgentTxn* other = FindTxn(entry_gtid);
     if (other != nullptr && !other->resubmitting && other->alive &&
         ltm_->IsActive(other->ltm_handle)) {
-      alive_table_.ExtendEnd(entry_gtid, loop_->Now());
+      table.ExtendEnd(entry_gtid, loop_->Now());
     }
   }
 
-  // Basic prepare certification: the candidate's alive interval
-  // [last command completion, now] must intersect the alive interval of
-  // every subtransaction currently in the prepared state at this site.
+  // Prepare certification behind the certifier seam: the scheme's ordering
+  // admission check (SN extension / CSN snapshot) plus the basic alive-
+  // interval test, with trace detail strings built only when tracing.
   const AliveInterval candidate{txn->last_completion, loop_->Now()};
-  if (config_.policy != CertPolicy::kNone &&
-      !alive_table_.CertifiableAgainstAll(candidate)) {
-    ++metrics_->refuse_interval;
+  cert::PrepareOutcome verdict = certifier_->CertifyPrepare(
+      txn->gtid, msg.sn, candidate, txn->resubmission,
+      /*want_detail=*/tracer_ != nullptr);
+  if (!verdict.admit) {
+    switch (verdict.refuse) {
+      case trace::RefuseKind::kExtension:
+        ++metrics_->refuse_extension;
+        break;
+      case trace::RefuseKind::kSnapshot:
+        ++metrics_->refuse_snapshot;
+        break;
+      default:
+        ++metrics_->refuse_interval;
+        break;
+    }
     if (tracer_ != nullptr) {
       trace::Event e;
       e.kind = trace::EventKind::kCertRefuse;
@@ -309,21 +293,16 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
       e.site = config_.site;
       e.resubmission = txn->resubmission;
       e.sn = msg.sn;
-      e.refuse = trace::RefuseKind::kInterval;
+      e.refuse = verdict.refuse;
       e.ok = false;
-      e.detail = StrCat("candidate alive interval [", candidate.begin, ",",
-                        candidate.end, "] disjoint from prepared peer(s)");
-      e.related = alive_table_.NonIntersecting(candidate);
+      e.detail = std::move(verdict.detail);
+      e.related = std::move(verdict.related);
       tracer_->Record(std::move(e));
     }
-    Refuse(*txn,
-           Status::Rejected("basic prepare certification: alive intervals "
-                            "do not intersect"));
+    Refuse(*txn, verdict.reason);
     return;
   }
 
-  // Insert into the alive interval table, then the alive check.
-  alive_table_.Insert(txn->gtid, candidate, msg.sn);
   if (!txn->alive || !ltm_->IsActive(txn->ltm_handle)) {
     ++metrics_->refuse_dead;
     if (tracer_ != nullptr) {
@@ -338,17 +317,77 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
       e.detail = "unilaterally aborted before prepare";
       tracer_->Record(std::move(e));
     }
-    alive_table_.Remove(txn->gtid);
     txn->phase = Phase::kAborted;
     SendVote(txn->gtid, from, /*ready=*/false,
              Status::Aborted("unilaterally aborted before prepare"));
     return;
   }
 
+  // Short-commit read-only fast path: a write-free participant that passed
+  // certification can commit locally *now* — releasing its read locks —
+  // instead of holding them through the decision round. Safe because every
+  // read happened before the global lock point (the prepare round), so
+  // strict 2PL already fixed its serialization order; see
+  // docs/DESIGN-SPACE.md. The reader never enters the prepared set and the
+  // coordinator excludes it from the decision fan-out.
+  if (config_.short_commit) {
+    const ltm::LocalTxn* local = ltm_->Find(txn->ltm_handle);
+    if (local != nullptr && local->write_set.empty()) {
+      if (tracer_ != nullptr) {
+        trace::Event e;
+        e.kind = trace::EventKind::kCertReady;
+        e.txn = txn->gtid;
+        e.site = config_.site;
+        e.resubmission = txn->resubmission;
+        e.sn = msg.sn;
+        tracer_->Record(std::move(e));
+      }
+      ltm_->recorder()->RecordPrepare(SubTxnId{txn->gtid, txn->resubmission},
+                                      config_.site);
+      const Status commit_status = ltm_->Commit(txn->ltm_handle);
+      if (!commit_status.ok()) {
+        // Death discovered at the early commit: refuse like the dead branch
+        // (the reader holds no prepared state to resubmit for).
+        ++metrics_->refuse_dead;
+        txn->phase = Phase::kAborted;
+        SendVote(txn->gtid, from, /*ready=*/false,
+                 Status::Aborted("unilaterally aborted before prepare"));
+        return;
+      }
+      txn->phase = Phase::kCommitted;
+      txn->read_only = true;
+      ++metrics_->short_commits_readonly;
+      if (tracer_ != nullptr) {
+        trace::Event e;
+        e.kind = trace::EventKind::kShortCommit;
+        e.txn = txn->gtid;
+        e.site = config_.site;
+        e.resubmission = txn->resubmission;
+        e.detail = "readonly";
+        tracer_->Record(std::move(e));
+        trace::Event c;
+        c.kind = trace::EventKind::kLocalCommit;
+        c.txn = txn->gtid;
+        c.site = config_.site;
+        c.resubmission = txn->resubmission;
+        c.sn = msg.sn;
+        tracer_->Record(std::move(c));
+      }
+      // No forced prepare record: with no writes there is nothing to redo
+      // and nothing in doubt — one less force-write is part of the win.
+      log_.Append(
+          LogRecord{.kind = LogRecordKind::kComplete, .gtid = txn->gtid});
+      SendVote(txn->gtid, from, /*ready=*/true, Status::Ok(),
+               /*read_only=*/true);
+      return;
+    }
+  }
+
   // Certification passed: force-write the prepare record, move to prepared.
   log_.ForceAppend(LogRecord{.kind = LogRecordKind::kPrepare,
                              .gtid = txn->gtid,
                              .sn = msg.sn});
+  certifier_->OnPrepared(txn->gtid, candidate, msg.sn);
   txn->phase = Phase::kPrepared;
   if (tracer_ != nullptr) {
     trace::Event e;
@@ -399,7 +438,7 @@ void TwoPCAgent::OnAliveCheck(const TxnId& gtid) {
   }
   if (txn->alive && ltm_->IsActive(txn->ltm_handle)) {
     // No failure: extend the end of the alive time interval.
-    alive_table_.ExtendEnd(gtid, loop_->Now());
+    certifier_->table().ExtendEnd(gtid, loop_->Now());
   } else {
     // Unilaterally aborted: resubmit the commands from the Agent log.
     StartResubmission(*txn);
@@ -494,7 +533,7 @@ void TwoPCAgent::OnResubmissionComplete(AgentTxn& txn) {
   }
   // "A new interval is always initiated after the resubmission of all the
   // commands is complete."
-  alive_table_.Restart(txn.gtid, loop_->Now());
+  certifier_->table().Restart(txn.gtid, loop_->Now());
   // The resubmitted decomposition may touch different rows: extend the
   // bound-data set.
   if (config_.bind_bound_data) BindAccessedItems(txn);
@@ -523,6 +562,12 @@ void TwoPCAgent::OnDecision(SiteId from, const DecisionMsg& msg) {
     if (txn->phase != Phase::kPrepared) return;
     if (txn->commit_pending) ++metrics_->dup_msgs_absorbed;
     txn->commit_pending = true;
+    if (msg.csn >= 0) {
+      // Decision-time CSN: stamp the prepared entry so commit certification
+      // can order this subtransaction against co-prepared peers.
+      txn->csn = msg.csn;
+      certifier_->OnCommitDecision(txn->gtid, msg.csn);
+    }
     // The decision arrived: stop probing for it.
     if (txn->inquiry_timer != sim::kInvalidEvent) {
       loop_->Cancel(txn->inquiry_timer);
@@ -535,6 +580,13 @@ void TwoPCAgent::OnDecision(SiteId from, const DecisionMsg& msg) {
       network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
       return;
     }
+    if (txn->phase == Phase::kCommitted) {
+      // A short-commit read-only participant already committed locally and
+      // released its locks; with no writes there is nothing to undo and the
+      // global order is unaffected. Ack so the sender stops retransmitting.
+      network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
+      return;
+    }
     ProcessRollback(*txn);
   }
 }
@@ -543,10 +595,13 @@ void TwoPCAgent::TryCommit(AgentTxn& txn) {
   if (txn.phase != Phase::kPrepared || !txn.commit_pending) return;
   if (txn.resubmitting) return;  // OnResubmissionComplete re-enters
 
-  // Commit certification: all other prepared subtransactions at this agent
-  // must have a bigger serial number; otherwise retry later.
-  if (config_.policy == CertPolicy::kFull &&
-      !alive_table_.SmallestSerialNumber(txn.gtid)) {
+  // Commit certification: the scheme's ordering rule — SN: all other
+  // prepared subtransactions must have a bigger serial number; CSN: no
+  // co-prepared peer may hold a smaller (or still-undecided) CSN. Retry
+  // later otherwise.
+  std::vector<TxnId> waiting_on;
+  if (!certifier_->CertifyCommit(txn.gtid,
+                                 tracer_ != nullptr ? &waiting_on : nullptr)) {
     ++metrics_->commit_cert_retries;
     if (tracer_ != nullptr) {
       trace::Event e;
@@ -555,7 +610,7 @@ void TwoPCAgent::TryCommit(AgentTxn& txn) {
       e.site = config_.site;
       e.resubmission = txn.resubmission;
       e.sn = txn.sn;
-      e.related = alive_table_.SmallerSerialNumbers(txn.gtid);
+      e.related = std::move(waiting_on);
       tracer_->Record(std::move(e));
     }
     if (txn.commit_retry_timer == sim::kInvalidEvent) {
@@ -579,8 +634,9 @@ void TwoPCAgent::TryCommit(AgentTxn& txn) {
   }
 
   // Write the commit record to the Agent log, then commit locally.
-  log_.ForceAppend(
-      LogRecord{.kind = LogRecordKind::kCommit, .gtid = txn.gtid});
+  log_.ForceAppend(LogRecord{.kind = LogRecordKind::kCommit,
+                             .gtid = txn.gtid,
+                             .csn = txn.csn});
   const Status status = ltm_->Commit(txn.ltm_handle);
   if (!status.ok()) {
     // Death discovered at commit: treat like a failed alive check.
@@ -596,11 +652,7 @@ void TwoPCAgent::CompleteCommit(AgentTxn& txn) {
   txn.commit_pending = false;
   CancelTimers(txn);
   UnbindAll(txn);
-  alive_table_.Remove(txn.gtid);
-  if (max_committed_sn_ < txn.sn) {
-    max_committed_sn_ = txn.sn;
-    max_committed_gtid_ = txn.gtid;
-  }
+  certifier_->OnCommitted(txn.gtid, txn.sn, loop_->Now());
   if (tracer_ != nullptr) {
     trace::Event e;
     e.kind = trace::EventKind::kLocalCommit;
@@ -608,6 +660,7 @@ void TwoPCAgent::CompleteCommit(AgentTxn& txn) {
     e.site = config_.site;
     e.resubmission = txn.resubmission;
     e.sn = txn.sn;
+    if (txn.csn >= 0) e.value = txn.csn;
     tracer_->Record(std::move(e));
   }
   log_.Append(LogRecord{.kind = LogRecordKind::kComplete, .gtid = txn.gtid});
@@ -621,7 +674,7 @@ void TwoPCAgent::ProcessRollback(AgentTxn& txn) {
   txn.commit_pending = false;
   if (ltm_->IsActive(txn.ltm_handle)) ltm_->Abort(txn.ltm_handle);
   UnbindAll(txn);
-  alive_table_.Remove(txn.gtid);
+  certifier_->OnRemoved(txn.gtid);
   txn.phase = Phase::kAborted;
   if (tracer_ != nullptr) {
     trace::Event e;
@@ -635,6 +688,109 @@ void TwoPCAgent::ProcessRollback(AgentTxn& txn) {
   log_.Append(LogRecord{.kind = LogRecordKind::kAbort, .gtid = txn.gtid});
   network_->Send(config_.site, txn.coordinator,
                  Message{AckMsg{txn.gtid, /*commit=*/false}});
+}
+
+// --- short-commit 1PC (single-site fast path) --------------------------------
+
+void TwoPCAgent::OnOnePhaseCommit(SiteId from, const OnePhaseCommitMsg& msg) {
+  AgentTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr) {
+    // A crash wiped the volatile state. The log is the truth: a committed
+    // 1PC transaction left commit + completion records; anything else is
+    // presumed abort (an in-doubt 1PC cannot exist — the commit record is
+    // the decision).
+    const bool committed =
+        log_.HasCommit(msg.gtid) && log_.HasComplete(msg.gtid);
+    network_->Send(config_.site, from, Message{AckMsg{msg.gtid, committed}});
+    return;
+  }
+  if (txn->phase == Phase::kCommitted) {
+    ++metrics_->dup_msgs_absorbed;
+    network_->Send(config_.site, from, Message{AckMsg{msg.gtid, true}});
+    return;
+  }
+  if (txn->phase == Phase::kAborted) {
+    ++metrics_->dup_msgs_absorbed;
+    network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
+    return;
+  }
+  if (txn->phase == Phase::kPrepared) {
+    if (!txn->commit_pending) {
+      // Crash-recovered in-doubt 1PC: the prepare record proves the whole
+      // fused handler ran before the crash (handlers are atomic), so the
+      // global commit was already recorded — the retransmitted 1PC-COMMIT
+      // re-drives the local commit the crash interrupted.
+      if (txn->inquiry_timer != sim::kInvalidEvent) {
+        loop_->Cancel(txn->inquiry_timer);
+        txn->inquiry_timer = sim::kInvalidEvent;
+      }
+      txn->coordinator = from;
+      txn->commit_pending = true;
+      TryCommit(*txn);
+      return;
+    }
+    // Retransmission while the first 1PC-COMMIT is still in flight (e.g. a
+    // resubmission running): the in-flight machinery acks when done.
+    ++metrics_->dup_msgs_absorbed;
+    return;
+  }
+  txn->coordinator = from;
+  if (txn->orphan_timer != sim::kInvalidEvent) {
+    loop_->Cancel(txn->orphan_timer);
+    txn->orphan_timer = sim::kInvalidEvent;
+  }
+  if (!txn->alive || !ltm_->IsActive(txn->ltm_handle)) {
+    // Unilaterally aborted while still active: with no prepare record there
+    // is nothing to resubmit for — the agent is the commit point here and
+    // decides abort, like a refused vote plus an immediate rollback.
+    if (ltm_->IsActive(txn->ltm_handle)) ltm_->Abort(txn->ltm_handle);
+    UnbindAll(*txn);
+    txn->phase = Phase::kAborted;
+    ltm_->recorder()->RecordGlobalAbort(txn->gtid, config_.site);
+    if (tracer_ != nullptr) {
+      trace::Event e;
+      e.kind = trace::EventKind::kLocalAbort;
+      e.txn = txn->gtid;
+      e.site = config_.site;
+      e.resubmission = txn->resubmission;
+      e.ok = false;
+      tracer_->Record(std::move(e));
+    }
+    log_.Append(LogRecord{.kind = LogRecordKind::kAbort, .gtid = txn->gtid});
+    network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
+    return;
+  }
+  // Fuse prepare + commit: a momentary prepared state with the invalid
+  // serial number, which sorts below every real SN — commit certification
+  // passes immediately and the committed high-water mark stays untouched
+  // (a single-site transaction constrains no global order).
+  log_.ForceAppend(LogRecord{.kind = LogRecordKind::kPrepare,
+                             .gtid = txn->gtid,
+                             .sn = SerialNumber{}});
+  certifier_->OnPrepared(txn->gtid,
+                         AliveInterval{txn->last_completion, loop_->Now()},
+                         SerialNumber{});
+  txn->phase = Phase::kPrepared;
+  txn->sn = SerialNumber{};
+  ltm_->recorder()->RecordPrepare(SubTxnId{txn->gtid, txn->resubmission},
+                                  config_.site);
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kShortCommit;
+    e.txn = txn->gtid;
+    e.site = config_.site;
+    e.resubmission = txn->resubmission;
+    e.detail = "1pc";
+    tracer_->Record(std::move(e));
+  }
+  // The agent is the commit point: record the global decision *before* the
+  // local commit, preserving the C_k-before-local-commit order invariant.
+  ltm_->recorder()->RecordGlobalCommit(txn->gtid, config_.site);
+  ++metrics_->short_commits_1pc;
+  txn->commit_pending = true;
+  // TryCommit reuses the full 2PC tail: force-kCommit, local commit, the
+  // COMMIT-ACK, and resubmission if the LDBS kills the work mid-commit.
+  TryCommit(*txn);
 }
 
 // --- DLU bound data ----------------------------------------------------------
@@ -663,20 +819,20 @@ void TwoPCAgent::UnbindAll(AgentTxn& txn) {
 void TwoPCAgent::Crash() {
   for (auto& [gtid, txn] : txns_) CancelTimers(txn);
   txns_.clear();
-  alive_table_ = AliveIntervalTable();
-  max_committed_sn_ = SerialNumber{};
-  max_committed_gtid_ = TxnId{};
+  certifier_->Crash();
 }
 
 void TwoPCAgent::Recover() {
-  // Restore the extension high-water mark from completed transactions.
+  // Restore the scheme's committed ordering state from completed
+  // transactions in the agent log, then let the certifier replay its own
+  // durable state (the CSN log survives a crash like the agent log does).
   for (const LogRecord& record : log_.records()) {
     if (record.kind == LogRecordKind::kPrepare &&
-        log_.HasComplete(record.gtid) && max_committed_sn_ < record.sn) {
-      max_committed_sn_ = record.sn;
-      max_committed_gtid_ = record.gtid;
+        log_.HasComplete(record.gtid)) {
+      certifier_->OnRecoveredCommitted(record.gtid, record.sn);
     }
   }
+  certifier_->Recover();
   // Rebuild every in-doubt subtransaction: prepared, not alive, with its
   // logged serial number; resubmit, then finish via the logged decision or
   // a coordinator inquiry.
@@ -691,9 +847,15 @@ void TwoPCAgent::Recover() {
     assert(prepare.has_value());
     txn.sn = prepare->sn;
     txn.last_completion = loop_->Now();
-    alive_table_.Insert(gtid, AliveInterval{loop_->Now(), loop_->Now()},
-                        txn.sn);
+    certifier_->OnPrepared(gtid, AliveInterval{loop_->Now(), loop_->Now()},
+                           txn.sn);
     txn.commit_pending = log_.HasCommit(gtid);
+    if (txn.commit_pending) {
+      // The decision (and its CSN, if one traveled) is already durable in
+      // the commit record: re-stamp the prepared entry before resubmitting.
+      txn.csn = log_.CommitCsnOf(gtid);
+      certifier_->OnCommitDecision(gtid, txn.csn);
+    }
     StartResubmission(txn);
     ScheduleAliveCheck(txn);
     if (!txn.commit_pending) SendInquiry(gtid);

@@ -28,13 +28,16 @@
 #define HERMES_CORE_AGENT_H_
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "cert/certifier.h"
 #include "common/ids.h"
 #include "core/agent_log.h"
 #include "core/alive_intervals.h"
+#include "core/cert_policy.h"
 #include "core/messages.h"
 #include "core/metrics.h"
 #include "ltm/ltm.h"
@@ -44,18 +47,16 @@
 
 namespace hermes::core {
 
-enum class CertPolicy {
-  kNone,             // naive agent: resubmission but no certification
-  kPrepareOnly,      // basic prepare certification only
-  kPrepareExtended,  // basic + extension, no commit certification
-  kFull,             // the paper's complete 2CM certifier
-};
-
-const char* CertPolicyName(CertPolicy policy);
-
 struct AgentConfig {
   SiteId site = 0;
   CertPolicy policy = CertPolicy::kFull;
+  // Ordering scheme behind the cert::Certifier seam: the paper's
+  // submit-time serial numbers or the decision-time CSN log.
+  cert::CertifierKind certifier = cert::CertifierKind::kSn;
+  // Short-commit fast paths: accept OnePhaseCommitMsg (single-site 1PC)
+  // and commit write-free subtransactions at prepare time (read-only
+  // optimization). Mirrors the coordinator's short_commit knob.
+  bool short_commit = false;
   // Period of the alive check while in the prepared state (Appendix A).
   sim::Duration alive_check_interval = 25 * sim::kMillisecond;
   // Commit certification retry timeout (Appendix C).
@@ -133,8 +134,11 @@ class TwoPCAgent {
   }
 
   const AgentLog& log() const { return log_; }
-  const AliveIntervalTable& alive_table() const { return alive_table_; }
-  const SerialNumber& max_committed_sn() const { return max_committed_sn_; }
+  const AliveIntervalTable& alive_table() const { return certifier_->table(); }
+  SerialNumber max_committed_sn() const {
+    return certifier_->committed_high_water();
+  }
+  const cert::Certifier& certifier() const { return *certifier_; }
   SiteId site() const { return config_.site; }
 
   // Current LTM handle of a global transaction's subtransaction (tests).
@@ -183,6 +187,11 @@ class TwoPCAgent {
     Status dml_last_status;
     db::CmdResult dml_last_result;
     SerialNumber sn;
+    // Decision-time commit sequence number (CSN certifier; -1 under SN).
+    int64_t csn = -1;
+    // Short-commit read-only participant: committed locally at prepare
+    // time, excluded from the decision round.
+    bool read_only = false;
     bool commit_pending = false;  // COMMIT received but not yet performed
     int inquiry_attempts = 0;     // drives the capped inquiry backoff
     sim::EventId alive_timer = sim::kInvalidEvent;
@@ -197,9 +206,10 @@ class TwoPCAgent {
   void OnDmlRequest(SiteId from, const DmlRequestMsg& msg);
   void OnPrepare(SiteId from, const PrepareMsg& msg);
   void OnDecision(SiteId from, const DecisionMsg& msg);
+  void OnOnePhaseCommit(SiteId from, const OnePhaseCommitMsg& msg);
 
   void SendVote(const TxnId& gtid, SiteId coordinator, bool ready,
-                Status status);
+                Status status, bool read_only = false);
   void Refuse(AgentTxn& txn, const Status& reason);
   void TryCommit(AgentTxn& txn);
   void CompleteCommit(AgentTxn& txn);
@@ -228,12 +238,10 @@ class TwoPCAgent {
   trace::Tracer* tracer_;
 
   AgentLog log_;
-  AliveIntervalTable alive_table_;
-  // Largest serial number of any subtransaction committed at this agent —
-  // the state of the prepare certification extension — and the transaction
-  // that holds it (conflicting-transaction context for REFUSE traces).
-  SerialNumber max_committed_sn_;
-  TxnId max_committed_gtid_;
+  // The certification seam: prepared-set membership, prepare/commit
+  // certification and the scheme's ordering state (SN high-water mark or
+  // the CSN log) all live behind this interface.
+  std::unique_ptr<cert::Certifier> certifier_;
 
   // Hashed: FindTxn is on the hot path of every protocol message. Iteration
   // only happens in Crash/Recover paths where order is immaterial.

@@ -59,6 +59,17 @@ bool AgentLog::HasCommit(const TxnId& gtid) const {
   return HasKind(by_txn_, records_, gtid, LogRecordKind::kCommit);
 }
 
+int64_t AgentLog::CommitCsnOf(const TxnId& gtid) const {
+  auto it = by_txn_.find(gtid);
+  if (it == by_txn_.end()) return -1;
+  for (size_t pos : it->second) {
+    if (records_[pos].kind == LogRecordKind::kCommit) {
+      return records_[pos].csn;
+    }
+  }
+  return -1;
+}
+
 bool AgentLog::HasAbort(const TxnId& gtid) const {
   return HasKind(by_txn_, records_, gtid, LogRecordKind::kAbort);
 }

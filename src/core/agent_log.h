@@ -44,6 +44,9 @@ struct LogRecord {
   std::optional<db::Command> command;
   // kPrepare only.
   SerialNumber sn;
+  // kCommit only: the decision-time commit sequence number under the CSN
+  // certifier (-1 when none travels — the SN scheme and 1PC commits).
+  int64_t csn = -1;
 };
 
 class AgentLog {
@@ -62,6 +65,9 @@ class AgentLog {
 
   // True if a commit (abort) record exists for `gtid`.
   bool HasCommit(const TxnId& gtid) const;
+  // CSN carried by the commit record of `gtid`, -1 if absent — feeds the
+  // certifier's OnCommitDecision during in-doubt recovery.
+  int64_t CommitCsnOf(const TxnId& gtid) const;
   bool HasAbort(const TxnId& gtid) const;
   bool HasComplete(const TxnId& gtid) const;
 

@@ -71,6 +71,25 @@ void AliveIntervalTable::ExtendEnd(const TxnId& gtid, sim::Time end) {
   if (end > it->second.interval.end) it->second.interval.end = end;
 }
 
+void AliveIntervalTable::SetSerialNumber(const TxnId& gtid,
+                                         const SerialNumber& sn) {
+  auto it = entries_.find(gtid);
+  assert(it != entries_.end());
+  // Same min-cache discipline as Insert: rewriting the cached minimum's SN
+  // invalidates the cache; any other entry can only improve it in O(1).
+  if (!min_dirty_ && min_sn_gtid_.valid()) {
+    if (gtid == min_sn_gtid_) {
+      min_dirty_ = true;
+    } else {
+      auto min_it = entries_.find(min_sn_gtid_);
+      if (min_it == entries_.end() || sn < min_it->second.sn) {
+        min_sn_gtid_ = gtid;
+      }
+    }
+  }
+  it->second.sn = sn;
+}
+
 void AliveIntervalTable::Restart(const TxnId& gtid, sim::Time at) {
   auto it = entries_.find(gtid);
   assert(it != entries_.end());

@@ -72,6 +72,9 @@ class AliveIntervalTable {
 
   // Extends the stored interval's end (successful alive check).
   void ExtendEnd(const TxnId& gtid, sim::Time end);
+  // Overwrites the stored serial number (CSN certifier: a prepared entry
+  // parked with an invalid SN is stamped with its decision-time CSN).
+  void SetSerialNumber(const TxnId& gtid, const SerialNumber& sn);
   // Restarts the interval after a completed resubmission.
   void Restart(const TxnId& gtid, sim::Time at);
 

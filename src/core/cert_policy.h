@@ -1,0 +1,21 @@
+// Certification policy knob, shared by the agent and the cert::Certifier
+// implementations (factored out of agent.h so src/cert/ does not depend on
+// the agent it serves).
+
+#ifndef HERMES_CORE_CERT_POLICY_H_
+#define HERMES_CORE_CERT_POLICY_H_
+
+namespace hermes::core {
+
+enum class CertPolicy {
+  kNone,             // naive agent: resubmission but no certification
+  kPrepareOnly,      // basic prepare certification only
+  kPrepareExtended,  // basic + ordering admission check, no commit cert
+  kFull,             // the paper's complete 2CM certifier
+};
+
+const char* CertPolicyName(CertPolicy policy);
+
+}  // namespace hermes::core
+
+#endif  // HERMES_CORE_CERT_POLICY_H_

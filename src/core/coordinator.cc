@@ -147,6 +147,15 @@ void Coordinator::OnDmlResponse(const DmlResponseMsg& msg) {
 void Coordinator::StartCommit(const TxnId& gtid) {
   CoordTxn* txn = FindTxn(gtid);
   if (txn == nullptr) return;
+  txn->commit_start = loop_->Now();
+  // Short-commit 1PC: a single-site transaction needs no vote round — its
+  // lone participant is the commit point (committing it is indistinguishable
+  // from committing a purely local transaction there). Skipped when a
+  // before_prepare hook is installed: the CGM must still admit the commit.
+  if (short_commit_ && !hooks_.before_prepare && txn->begun.size() == 1) {
+    StartOnePhaseCommit(*txn);
+    return;
+  }
   txn->phase = Phase::kPreparing;
   if (hooks_.before_prepare) {
     std::vector<SiteId> sites(txn->begun.begin(), txn->begun.end());
@@ -164,6 +173,27 @@ void Coordinator::StartCommit(const TxnId& gtid) {
     return;
   }
   SendPrepares(*txn);
+}
+
+void Coordinator::StartOnePhaseCommit(CoordTxn& txn) {
+  const SiteId participant = *txn.begun.begin();
+  txn.one_phase = true;
+  txn.phase = Phase::kCommitting;
+  txn.acks_pending = txn.begun;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kShortCommit;
+    e.txn = txn.gtid;
+    e.site = site_;
+    e.peer = participant;
+    e.detail = "1pc";
+    tracer_->Record(std::move(e));
+  }
+  // No decision record: the agent force-writes the outcome into its own
+  // log, and the ACK carries it back. The 1PC-COMMIT is retransmitted
+  // unboundedly like a decision (the agent's handler is duplicate-safe).
+  network_->Send(site_, participant, Message{OnePhaseCommitMsg{txn.gtid}});
+  ArmRetryTimer(txn);
 }
 
 void Coordinator::SendPrepares(CoordTxn& txn) {
@@ -194,6 +224,7 @@ void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
   CoordTxn* txn = FindTxn(msg.gtid);
   if (txn == nullptr || txn->phase != Phase::kPreparing) return;
   txn->votes_pending.erase(from);
+  if (msg.ready && msg.read_only) txn->readonly_sites.insert(from);
   if (tracer_ != nullptr) {
     trace::Event e;
     e.kind = trace::EventKind::kVoteRecv;
@@ -223,9 +254,46 @@ void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
     txn->phase = Phase::kDeciding;
     CancelRetryTimer(*txn);
     txn->retry_attempt = 0;
+    if (txn->readonly_sites.size() == txn->begun.size()) {
+      // Every participant was read-only and already committed locally with
+      // its vote: there is no decision to take or deliver — the decision
+      // round disappears entirely.
+      recorder_->RecordGlobalCommit(txn->gtid, site_);
+      if (tracer_ != nullptr) {
+        trace::Event e;
+        e.kind = trace::EventKind::kShortCommit;
+        e.txn = txn->gtid;
+        e.site = site_;
+        e.detail = "readonly";
+        tracer_->Record(std::move(e));
+      }
+      FinishTxn(*txn, /*committed=*/true);
+      return;
+    }
+    if (csn_source_ != nullptr) {
+      // Decision-time CSN from the shared source, drawn *before* Decide so
+      // the number is durable inside the decision record and survives a
+      // coordinator crash together with the outcome.
+      txn->csn = csn_source_->Next();
+      ++metrics_->csn_assigned;
+      if (tracer_ != nullptr) {
+        trace::Event e;
+        e.kind = trace::EventKind::kCsnAssign;
+        e.txn = txn->gtid;
+        e.site = site_;
+        e.value = txn->csn;
+        tracer_->Record(std::move(e));
+      }
+    }
+    // Read-only participants are already committed and owed nothing: only
+    // the writers are recorded as owed a COMMIT (and re-driven after a
+    // coordinator crash).
+    std::vector<SiteId> writers;
+    for (SiteId s : txn->begun) {
+      if (txn->readonly_sites.count(s) == 0) writers.push_back(s);
+    }
     protocol_->Decide(
-        txn->gtid, consensus::DecideMode::kCommit,
-        std::vector<SiteId>(txn->begun.begin(), txn->begun.end()),
+        txn->gtid, consensus::DecideMode::kCommit, writers, txn->csn,
         [this](const TxnId& gtid, bool commit) { OnDecided(gtid, commit); });
   }
 }
@@ -255,8 +323,12 @@ void Coordinator::OnDecided(const TxnId& gtid, bool commit) {
 void Coordinator::SendDecisions(CoordTxn& txn, bool commit) {
   CancelRetryTimer(txn);
   txn.retry_attempt = 0;
-  txn.acks_pending = txn.begun;
+  txn.acks_pending.clear();
   for (SiteId s : txn.begun) {
+    // Short-commit read-only participants already committed at their vote:
+    // they are owed no decision and send no ack.
+    if (txn.readonly_sites.count(s) != 0) continue;
+    txn.acks_pending.insert(s);
     if (tracer_ != nullptr) {
       trace::Event e;
       e.kind = trace::EventKind::kDecisionSend;
@@ -267,7 +339,11 @@ void Coordinator::SendDecisions(CoordTxn& txn, bool commit) {
       if (!commit) e.detail = txn.failure.ToString();
       tracer_->Record(std::move(e));
     }
-    network_->Send(site_, s, Message{DecisionMsg{txn.gtid, commit}});
+    network_->Send(site_, s, Message{DecisionMsg{txn.gtid, commit, txn.csn}});
+  }
+  if (txn.acks_pending.empty()) {
+    FinishTxn(txn, commit);
+    return;
   }
   ArmRetryTimer(txn);
 }
@@ -303,12 +379,19 @@ void Coordinator::OnInquiry(SiteId from, const InquiryMsg& msg) {
     if (!*outcome) ++metrics_->inquiries_answered_presumed_abort;
     TraceInquiryReply(msg.gtid, from, /*commit=*/*outcome,
                       *outcome ? nullptr : "presumed-abort");
-    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, *outcome}});
+    network_->Send(site_, from,
+                   Message{DecisionMsg{msg.gtid, *outcome,
+                                       *outcome ? log_.DecisionCsnOf(msg.gtid)
+                                                : -1}});
     return;
   }
   if (txn->phase == Phase::kCommitting) {
+    // Short-commit 1PC: the outcome lives at the agent, not here — stay
+    // silent; the unbounded 1PC-COMMIT retransmission resolves the agent.
+    if (txn->one_phase) return;
     TraceInquiryReply(msg.gtid, from, /*commit=*/true, nullptr);
-    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, true}});
+    network_->Send(site_, from,
+                   Message{DecisionMsg{msg.gtid, true, txn->csn}});
   } else if (txn->phase == Phase::kRollingBack) {
     TraceInquiryReply(msg.gtid, from, /*commit=*/false, nullptr);
     network_->Send(site_, from, Message{DecisionMsg{msg.gtid, false}});
@@ -341,7 +424,7 @@ void Coordinator::StartRollback(CoordTxn& txn, const Status& reason,
   // sealed one — OnDecided honors the protocol's verdict either way.
   protocol_->Decide(
       txn.gtid, mode,
-      std::vector<SiteId>(txn.begun.begin(), txn.begun.end()),
+      std::vector<SiteId>(txn.begun.begin(), txn.begun.end()), /*csn=*/-1,
       [this](const TxnId& gtid, bool commit) { OnDecided(gtid, commit); });
 }
 
@@ -361,6 +444,12 @@ void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
     tracer_->Record(std::move(e));
   }
   txn->acks_pending.erase(from);
+  if (txn->one_phase && !msg.commit) {
+    // The agent — the 1PC commit point — durably chose abort and already
+    // recorded the global outcome; only the client report happens here.
+    txn->phase = Phase::kRollingBack;
+    txn->failure = Status::Aborted("participant unilaterally aborted");
+  }
   if (txn->acks_pending.empty()) {
     FinishTxn(*txn, /*committed=*/txn->phase == Phase::kCommitting);
   }
@@ -376,7 +465,10 @@ void Coordinator::Crash() {
       case Phase::kCommitting:
         // Under 2PC the decision record is force-written: Recover()
         // re-drives the COMMIT delivery and FinishTxn counts the commit
-        // then. Only the client callback fails now — the pre-crash
+        // then. (Exception: a short-commit 1PC has no decision record —
+        // the agent holds the durable outcome and needs no re-drive; its
+        // commit simply goes uncounted, like any undecided transaction.)
+        // Only the client callback fails now — the pre-crash
         // coordinator can no longer report the outcome. Paxos Commit has
         // no redelivery pass (the acceptor quorum is the durable truth and
         // participants pull from it), so the chosen commit is tallied
@@ -441,6 +533,7 @@ void Coordinator::Recover() {
     txn.gtid = rec.gtid;
     txn.phase = Phase::kCommitting;
     txn.recovered = true;
+    txn.csn = rec.csn;
     txn.begun.insert(rec.participants.begin(), rec.participants.end());
     txn.start_time = loop_->Now();
     ++metrics_->coordinator_redelivered_decisions;
@@ -544,10 +637,19 @@ void Coordinator::OnRetryTimeout(const TxnId& gtid) {
       // attempt bound, with the backoff capped at max_timeout. The agent
       // re-acks decisions for transactions in any state.
       ++txn->retry_attempt;
+      if (txn->one_phase) {
+        for (SiteId s : txn->acks_pending) {
+          TraceRetransmit(*txn, s, "1pc-commit");
+          network_->Send(site_, s, Message{OnePhaseCommitMsg{txn->gtid}});
+        }
+        ArmRetryTimer(*txn);
+        break;
+      }
       const bool commit = txn->phase == Phase::kCommitting;
       for (SiteId s : txn->acks_pending) {
         TraceRetransmit(*txn, s, "decision");
-        network_->Send(site_, s, Message{DecisionMsg{txn->gtid, commit}});
+        network_->Send(site_, s,
+                       Message{DecisionMsg{txn->gtid, commit, txn->csn}});
       }
       ArmRetryTimer(*txn);
       break;
@@ -561,7 +663,19 @@ void Coordinator::FinishTxn(CoordTxn& txn, bool committed) {
     ++metrics_->global_committed;
     // Recovered transactions span a crash: their start_time was rebuilt at
     // recovery and would poison the latency distribution.
-    if (!txn.recovered) metrics_->AddLatency(loop_->Now() - txn.start_time);
+    if (!txn.recovered) {
+      metrics_->AddLatency(loop_->Now() - txn.start_time);
+      // Single-site commits get their own latency tally: the short-commit
+      // ablation (E18) compares exactly this population across 1PC vs 2PC.
+      // Measured from StartCommit, not txn begin — the execution phase is
+      // identical in both arms, and its lock waits would drown the
+      // commit-path difference the ablation is after.
+      if (txn.begun.size() == 1) {
+        ++metrics_->single_site_committed;
+        metrics_->single_site_latency_total +=
+            loop_->Now() - txn.commit_start;
+      }
+    }
     // Every participant acked the COMMIT: no inquiry can arrive that needs
     // the decision, so the protocol may garbage-collect it (2PC appends the
     // buffered forget record — losing it only costs a harmless re-delivery

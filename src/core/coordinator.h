@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cert/certifier.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "consensus/two_pc.h"
@@ -132,6 +133,18 @@ class Coordinator {
     protocol_ = protocol;
   }
 
+  // Short-commit fast paths: 1PC for single-site transactions (the lone
+  // participant becomes the commit point) and no decision round for
+  // read-only participants. 2PC-only — Mdbs never enables this under
+  // Paxos Commit.
+  void set_short_commit(bool v) { short_commit_ = v; }
+
+  // CSN certification: the shared decision-time sequence source (owned by
+  // Mdbs). When set, every commit decision draws a CSN before Decide() so
+  // the number is durable inside the decision record and travels with the
+  // COMMIT messages. Null under the SN scheme.
+  void set_csn_source(cert::CsnSource* source) { csn_source_ = source; }
+
   // --- site crash recovery ------------------------------------------------
   // Crash() discards all volatile state: every undecided transaction is
   // failed towards its client (presumed abort — participants learn the
@@ -170,6 +183,14 @@ class Coordinator {
     std::set<SiteId> begun;
     std::vector<db::CmdResult> results;
     SerialNumber sn;
+    // Decision-time commit sequence number (CSN certifier); -1 under SN.
+    int64_t csn = -1;
+    // Short-commit 1PC: single participant, no prepare round; the outcome
+    // arrives in the participant's ACK instead of being decided here.
+    bool one_phase = false;
+    // Participants whose READY vote carried read_only: already committed
+    // locally, excluded from the decision fan-out and the ack wait.
+    std::set<SiteId> readonly_sites;
     std::set<SiteId> votes_pending;
     std::set<SiteId> acks_pending;
     Status failure;
@@ -178,6 +199,10 @@ class Coordinator {
     // so only re-drive delivery (and skip the latency sample).
     bool recovered = false;
     sim::Time start_time = 0;
+    // When Commit was submitted — the start of the commit protocol path
+    // (prepare/vote/decision rounds, or the 1PC round). The single-site
+    // latency metric is measured from here.
+    sim::Time commit_start = 0;
     // One retransmission timer per transaction, re-armed per phase: covers
     // the in-flight DML step while executing, outstanding votes while
     // preparing and outstanding acks while committing / rolling back.
@@ -189,6 +214,7 @@ class Coordinator {
   void SendStep(CoordTxn& txn);
   void OnDmlResponse(const DmlResponseMsg& msg);
   void StartCommit(const TxnId& gtid);
+  void StartOnePhaseCommit(CoordTxn& txn);
   void SendPrepares(CoordTxn& txn);
   void OnVote(SiteId from, const VoteMsg& msg);
   void SendDecisions(CoordTxn& txn, bool commit);
@@ -224,6 +250,8 @@ class Coordinator {
   CoordinatorRetryConfig retry_;
 
   bool sn_at_submit_ = false;
+  bool short_commit_ = false;
+  cert::CsnSource* csn_source_ = nullptr;
   // Transaction ids are (epoch * stride + seq): next_seq_ is volatile and
   // resets on crash, but the epoch — recovered from the force-written epoch
   // records in the log — guarantees post-recovery ids never collide with

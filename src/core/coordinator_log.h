@@ -37,6 +37,7 @@ struct CoordLogRecord {
   CoordRecordKind kind = CoordRecordKind::kDecision;
   TxnId gtid;                        // kDecision / kForget
   std::vector<SiteId> participants;  // kDecision: sites owed a COMMIT
+  int64_t csn = -1;                  // kDecision: decision-time CSN, if any
   int64_t epoch = 0;                 // kEpoch
   int64_t lsn = 0;
   bool forced = false;
@@ -56,6 +57,13 @@ class CoordinatorLog {
   // True if the transaction was fully acknowledged and forgotten.
   bool Forgotten(const TxnId& gtid) const {
     return forgotten_.count(gtid) != 0;
+  }
+
+  // CSN carried by the decision record of `gtid`, -1 if absent — lets
+  // inquiry replies for logged decisions travel with their CSN.
+  int64_t DecisionCsnOf(const TxnId& gtid) const {
+    auto it = decision_index_.find(gtid);
+    return it == decision_index_.end() ? -1 : records_[it->second].csn;
   }
 
   // Decisions without a forget record, in log order — the transactions a

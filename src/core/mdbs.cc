@@ -119,6 +119,15 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
     if (paxos && agent_config.inquiry_escalate_after == 0) {
       agent_config.inquiry_escalate_after = 2;
     }
+    // CSN certification and short commit hook into the 2PC decision
+    // machinery (decision-record metadata, 1PC commit point at the agent);
+    // under Paxos Commit both downgrade to the paper's defaults.
+    const bool csn =
+        !paxos && config_.certifier == cert::CertifierKind::kCsn;
+    const bool short_commit = !paxos && config_.short_commit;
+    agent_config.certifier =
+        csn ? cert::CertifierKind::kCsn : cert::CertifierKind::kSn;
+    agent_config.short_commit = short_commit;
     Metrics* metrics = &site_metrics_[static_cast<size_t>(s)];
     site->agent = std::make_unique<TwoPCAgent>(agent_config, loop_,
                                                network_.get(),
@@ -127,6 +136,8 @@ Mdbs::Mdbs(const MdbsConfig& config, sim::EventLoop* loop)
     site->coordinator = std::make_unique<Coordinator>(
         s, loop_, network_.get(), site->clock.get(), recorder_.get(),
         metrics, config_.tracer, config_.coordinator_retry);
+    if (csn) site->coordinator->set_csn_source(&csn_source_);
+    if (short_commit) site->coordinator->set_short_commit(true);
     if (paxos) {
       consensus::PaxosConfig pc;
       pc.site = s;
@@ -177,7 +188,8 @@ void Mdbs::RouteMessage(SiteId site, const net::Envelope& env) {
   const bool to_agent = std::holds_alternative<BeginMsg>(*msg) ||
                         std::holds_alternative<DmlRequestMsg>(*msg) ||
                         std::holds_alternative<PrepareMsg>(*msg) ||
-                        std::holds_alternative<DecisionMsg>(*msg);
+                        std::holds_alternative<DecisionMsg>(*msg) ||
+                        std::holds_alternative<OnePhaseCommitMsg>(*msg);
   if (to_agent) {
     sites_[site]->agent->Handle(env.from, *msg);
   } else {

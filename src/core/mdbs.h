@@ -42,6 +42,14 @@ struct MdbsConfig {
   // triggers leader election instead of unbounded probing.
   consensus::ProtocolKind protocol = consensus::ProtocolKind::k2PC;
   int paxos_f = 1;
+  // Certification scheme (see docs/DESIGN-SPACE.md): the paper's serial
+  // numbers, or decision-time commit sequence numbers from one shared
+  // CsnSource. Short-commit enables the 1PC single-site and read-only
+  // fast paths. Both are 2PC-only: under Paxos Commit they silently
+  // downgrade to kSn / off (the acceptor round replaces the decision
+  // machinery they hook into).
+  cert::CertifierKind certifier = cert::CertifierKind::kSn;
+  bool short_commit = false;
   // Optional per-site clock skew (section 5.2 experiments). Missing entries
   // default to zero.
   std::vector<sim::Duration> clock_offsets;
@@ -177,6 +185,9 @@ class Mdbs {
 
   MdbsConfig config_;
   sim::EventLoop* loop_;
+  // The federation-wide decision-time CSN authority (the GTM role); used
+  // only when config_.certifier == kCsn under 2PC.
+  cert::CsnSource csn_source_;
   std::unique_ptr<history::Recorder> recorder_;
   std::unique_ptr<net::Network> network_;
   // Sized once in the constructor, before the sites take pointers into it;

@@ -23,7 +23,13 @@ std::string MessageToString(const Message& msg) {
     return StrCat(m->ready ? "READY " : "REFUSE ", m->gtid.ToString());
   }
   if (const auto* m = std::get_if<DecisionMsg>(&msg)) {
-    return StrCat(m->commit ? "COMMIT " : "ROLLBACK ", m->gtid.ToString());
+    std::string out =
+        StrCat(m->commit ? "COMMIT " : "ROLLBACK ", m->gtid.ToString());
+    if (m->csn >= 0) StrAppend(out, " csn=", m->csn);
+    return out;
+  }
+  if (const auto* m = std::get_if<OnePhaseCommitMsg>(&msg)) {
+    return StrCat("1PC-COMMIT ", m->gtid.ToString());
   }
   if (const auto* m = std::get_if<AckMsg>(&msg)) {
     return StrCat(m->commit ? "COMMIT-ACK " : "ROLLBACK-ACK ",

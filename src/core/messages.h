@@ -44,17 +44,31 @@ struct PrepareMsg {
   SerialNumber sn;
 };
 
-// Agent -> Coordinator: READY or REFUSE.
+// Agent -> Coordinator: READY or REFUSE. `read_only` marks a short-commit
+// READY from a write-free participant that already committed locally and
+// needs no decision message.
 struct VoteMsg {
   TxnId gtid;
   bool ready = false;
   Status reason;  // populated for REFUSE
+  bool read_only = false;
 };
 
-// Coordinator -> Agent: COMMIT (commit=true) or ROLLBACK.
+// Coordinator -> Agent: COMMIT (commit=true) or ROLLBACK. `csn` is the
+// decision-time commit sequence number under the CSN certifier (-1 when
+// none travels: rollbacks and the SN scheme).
 struct DecisionMsg {
   TxnId gtid;
   bool commit = false;
+  int64_t csn = -1;
+};
+
+// Coordinator -> Agent: single-site short commit — the transaction ran
+// entirely at one site, so the prepare round is skipped and the agent
+// becomes the commit point (1PC). The agent replies with AckMsg carrying
+// the outcome it durably chose.
+struct OnePhaseCommitMsg {
+  TxnId gtid;
 };
 
 // Agent -> Coordinator: COMMIT-ACK / ROLLBACK-ACK.
@@ -146,7 +160,8 @@ struct PaxosAcceptedMsg {
 };
 
 using Message = std::variant<BeginMsg, DmlRequestMsg, DmlResponseMsg,
-                             PrepareMsg, VoteMsg, DecisionMsg, AckMsg,
+                             PrepareMsg, VoteMsg, DecisionMsg,
+                             OnePhaseCommitMsg, AckMsg,
                              InquiryMsg, PaxosBeginMsg, PaxosBeginAckMsg,
                              PaxosVoteMsg, PaxosVotedMsg, PaxosPrepareMsg,
                              PaxosPromiseMsg, PaxosProposeMsg,

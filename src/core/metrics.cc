@@ -20,11 +20,17 @@ void Metrics::Merge(const Metrics& o) {
   prepares_received += o.prepares_received;
   refuse_extension += o.refuse_extension;
   refuse_interval += o.refuse_interval;
+  refuse_snapshot += o.refuse_snapshot;
   refuse_dead += o.refuse_dead;
   commit_cert_retries += o.commit_cert_retries;
   alive_checks += o.alive_checks;
   resubmissions += o.resubmissions;
   resubmission_failures += o.resubmission_failures;
+  short_commits_1pc += o.short_commits_1pc;
+  short_commits_readonly += o.short_commits_readonly;
+  csn_assigned += o.csn_assigned;
+  single_site_committed += o.single_site_committed;
+  single_site_latency_total += o.single_site_latency_total;
   local_committed += o.local_committed;
   local_aborted += o.local_aborted;
   latency_samples += o.latency_samples;
@@ -60,11 +66,17 @@ std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
       {"prepares_received", prepares_received},
       {"refuse_extension", refuse_extension},
       {"refuse_interval", refuse_interval},
+      {"refuse_snapshot", refuse_snapshot},
       {"refuse_dead", refuse_dead},
       {"commit_cert_retries", commit_cert_retries},
       {"alive_checks", alive_checks},
       {"resubmissions", resubmissions},
       {"resubmission_failures", resubmission_failures},
+      {"short_commits_1pc", short_commits_1pc},
+      {"short_commits_readonly", short_commits_readonly},
+      {"csn_assigned", csn_assigned},
+      {"single_site_committed", single_site_committed},
+      {"single_site_latency_total_us", single_site_latency_total},
       {"local_committed", local_committed},
       {"local_aborted", local_aborted},
       {"latency_samples", latency_samples},
@@ -132,8 +144,15 @@ std::string Metrics::ToString() const {
             "\n");
   StrAppend(out, "certifier: prepares=", prepares_received,
             " refuse[ext=", refuse_extension, " interval=", refuse_interval,
-            " dead=", refuse_dead, "] commit_retries=", commit_cert_retries,
+            " snapshot=", refuse_snapshot, " dead=", refuse_dead,
+            "] commit_retries=", commit_cert_retries,
             " resubmissions=", resubmissions, "\n");
+  if (short_commits_1pc + short_commits_readonly + csn_assigned > 0) {
+    StrAppend(out, "short_commit: 1pc=", short_commits_1pc,
+              " readonly=", short_commits_readonly,
+              " csn_assigned=", csn_assigned,
+              " single_site_committed=", single_site_committed, "\n");
+  }
   StrAppend(out, "local: committed=", local_committed,
             " aborted=", local_aborted, "\n");
   StrAppend(out, "latency: mean_ms=", MeanLatencyMs(),

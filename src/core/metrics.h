@@ -37,11 +37,19 @@ struct Metrics {
   int64_t prepares_received = 0;
   int64_t refuse_extension = 0;   // extended prepare certification failures
   int64_t refuse_interval = 0;    // basic (alive-interval) failures
+  int64_t refuse_snapshot = 0;    // CSN snapshot check failures (resubmitted)
   int64_t refuse_dead = 0;        // transaction not alive at prepare
   int64_t commit_cert_retries = 0;
   int64_t alive_checks = 0;
   int64_t resubmissions = 0;
   int64_t resubmission_failures = 0;  // a resubmission attempt itself died
+
+  // Short-commit fast paths and the CSN certifier (ablation matrix).
+  int64_t short_commits_1pc = 0;       // single-site 1PC commits at the agent
+  int64_t short_commits_readonly = 0;  // write-free early commits at prepare
+  int64_t csn_assigned = 0;            // decision-time CSNs drawn
+  int64_t single_site_committed = 0;   // committed txns with one participant
+  sim::Duration single_site_latency_total = 0;  // their summed latency (us)
 
   // Local transactions driven through the workload.
   int64_t local_committed = 0;

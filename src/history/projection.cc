@@ -1,6 +1,7 @@
 #include "history/projection.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/str.h"
 
@@ -71,6 +72,7 @@ std::string CheckOrderInvariant(const std::vector<Op>& h) {
     int64_t last_prepare = -1;
     int64_t global_commit = -1;
     int64_t first_local_commit = -1;
+    std::set<SiteId> write_sites;
   };
   std::map<TxnId, Marks> marks;
   for (const Op& op : h) {
@@ -78,6 +80,10 @@ std::string CheckOrderInvariant(const std::vector<Op>& h) {
     Marks& m = marks[op.subtxn.txn];
     const int64_t at = static_cast<int64_t>(op.seq);
     switch (op.kind) {
+      case OpKind::kWrite:
+      case OpKind::kDelete:
+        m.write_sites.insert(op.site);
+        break;
       case OpKind::kPrepare:
         // Resubmission never re-prepares, so every P op of a committed
         // transaction must precede its C_k.
@@ -87,7 +93,15 @@ std::string CheckOrderInvariant(const std::vector<Op>& h) {
         m.global_commit = at;
         break;
       case OpKind::kLocalCommit:
-        if (m.first_local_commit < 0) m.first_local_commit = at;
+        // A short-commit read-only participant commits locally at its READY
+        // vote, before the coordinator's C_k: with no writes at that site
+        // the early commit installs nothing, so only local commits at
+        // *writing* sites are held to the after-C_k rule. (The site's
+        // writes, if any, always precede its local commit in H, so the
+        // write_sites set is complete by the time the commit is seen.)
+        if (m.first_local_commit < 0 && m.write_sites.count(op.site) != 0) {
+          m.first_local_commit = at;
+        }
         break;
       default:
         break;
@@ -126,15 +140,18 @@ std::string CheckGlobalAtomicity(const std::vector<Op>& h) {
     bool global_commit = false;
     bool global_abort = false;
     std::map<SiteId, SiteOutcome> sites;
+    std::set<SiteId> write_sites;
   };
   std::map<TxnId, TxnState> txns;
   for (const Op& op : h) {
     if (!op.subtxn.txn.global()) continue;
     TxnState& t = txns[op.subtxn.txn];
     switch (op.kind) {
-      case OpKind::kRead:
       case OpKind::kWrite:
       case OpKind::kDelete:
+        t.write_sites.insert(op.site);
+        [[fallthrough]];
+      case OpKind::kRead:
       case OpKind::kPrepare:
         t.sites[op.site] = SiteOutcome::kPending;
         break;
@@ -159,7 +176,12 @@ std::string CheckGlobalAtomicity(const std::vector<Op>& h) {
                     ": both C_k and A_k recorded");
     }
     for (const auto& [site, outcome] : t.sites) {
-      if (!t.global_commit && outcome == SiteOutcome::kCommitted) {
+      // A locally-committed *write-free* subtransaction without C_k is the
+      // short-commit read-only fast path, not an atomicity violation: its
+      // early commit installed nothing, so there is nothing a global abort
+      // would have to undo at that site.
+      if (!t.global_commit && outcome == SiteOutcome::kCommitted &&
+          t.write_sites.count(site) != 0) {
         return StrCat("atomicity violated for ", id.ToString(), ": site ",
                       site,
                       " committed locally without a global commit decision");

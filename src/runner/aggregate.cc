@@ -56,7 +56,16 @@ void CellAggregate::AddRun(uint64_t seed, const workload::RunResult& r) {
   Add("refuse_interval", static_cast<double>(m.refuse_interval));
   Add("refuse_extension", static_cast<double>(m.refuse_extension));
   Add("refuse_dead", static_cast<double>(m.refuse_dead));
+  Add("refuse_snapshot", static_cast<double>(m.refuse_snapshot));
   Add("commit_cert_retries", static_cast<double>(m.commit_cert_retries));
+  Add("short_commits_1pc", static_cast<double>(m.short_commits_1pc));
+  Add("short_commits_readonly",
+      static_cast<double>(m.short_commits_readonly));
+  Add("csn_assigned", static_cast<double>(m.csn_assigned));
+  Add("single_site_committed",
+      static_cast<double>(m.single_site_committed));
+  Add("single_site_lat_total_us",
+      static_cast<double>(m.single_site_latency_total));
   Add("retransmits", static_cast<double>(m.retransmits));
   Add("dup_absorbed", static_cast<double>(m.dup_msgs_absorbed));
   Add("aborted_crash", static_cast<double>(m.global_aborted_crash));

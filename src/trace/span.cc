@@ -274,6 +274,16 @@ SpanForest BuildSpanForest(const std::vector<Event>& events) {
         b.NoteInnermost(e.txn, e.site, e.at, "commit_retry");
         break;
       }
+      case EventKind::kShortCommit: {
+        b.NoteInnermost(e.txn, e.site, e.at,
+                        StrCat("short_commit(", e.detail, ")"));
+        break;
+      }
+      case EventKind::kCsnAssign: {
+        b.Note(&b.forest.spans[static_cast<size_t>(b.RootOf(e.txn, e.at))],
+               e.at, StrCat("csn_assign(", e.value, ")"));
+        break;
+      }
       case EventKind::kRetransmit: {
         b.Note(&b.forest.spans[static_cast<size_t>(b.RootOf(e.txn, e.at))],
                e.at,

@@ -84,6 +84,10 @@ const char* EventKindName(EventKind kind) {
       return "paxos_promise";
     case EventKind::kPaxosElect:
       return "paxos_elect";
+    case EventKind::kShortCommit:
+      return "short_commit";
+    case EventKind::kCsnAssign:
+      return "csn_assign";
   }
   return "?";
 }
@@ -100,6 +104,8 @@ const char* RefuseKindName(RefuseKind kind) {
       return "dead";
     case RefuseKind::kUnknownTxn:
       return "unknown_txn";
+    case RefuseKind::kSnapshot:
+      return "snapshot";
   }
   return "?";
 }
@@ -127,11 +133,12 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kPaxosVote,      EventKind::kPaxosAccept,
     EventKind::kPaxosDecided,   EventKind::kPaxosPrepare,
     EventKind::kPaxosPromise,   EventKind::kPaxosElect,
+    EventKind::kShortCommit,    EventKind::kCsnAssign,
 };
 
 constexpr RefuseKind kAllRefuseKinds[] = {
     RefuseKind::kNone, RefuseKind::kInterval, RefuseKind::kExtension,
-    RefuseKind::kDead, RefuseKind::kUnknownTxn,
+    RefuseKind::kDead, RefuseKind::kUnknownTxn, RefuseKind::kSnapshot,
 };
 
 }  // namespace

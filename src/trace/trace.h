@@ -110,6 +110,14 @@ enum class EventKind : uint8_t {
   kPaxosElect,    // a prepared agent escalated its inquiry into leader
                   // election; peer = suspected coordinator,
                   // value = inquiry attempt number
+
+  // Certifier ablation (cert::Certifier seam + short-commit fast paths).
+  kShortCommit,  // a short-commit fast path fired; detail = "1pc"
+                 // (single-site transaction, the agent is the commit
+                 // point) or "readonly" (write-free participant committed
+                 // at prepare time, skipping the decision round)
+  kCsnAssign,    // the coordinator drew the decision-time commit sequence
+                 // number from the global source; value = csn
 };
 
 // Why a certification refused a PREPARE.
@@ -119,6 +127,8 @@ enum class RefuseKind : uint8_t {
   kExtension,   // extension: SN below the committed high-water mark
   kDead,        // subtransaction not alive at prepare time
   kUnknownTxn,  // PREPARE for a transaction the agent does not know
+  kSnapshot,    // CSN snapshot check: a resubmitted candidate straddles a
+                // recent commit it was never concurrently alive with
 };
 
 const char* EventKindName(EventKind kind);

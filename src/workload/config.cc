@@ -43,6 +43,8 @@ core::MdbsConfig WorkloadConfig::ToMdbsConfig() const {
   config.agent.orphan_abort_timeout = orphan_abort_timeout;
   config.protocol = protocol;
   config.paxos_f = paxos_f;
+  config.certifier = certifier;
+  config.short_commit = short_commit;
   if (clock_skew != 0) {
     config.clock_offsets.resize(static_cast<size_t>(num_sites));
     for (int s = 0; s < num_sites; ++s) {
@@ -74,6 +76,14 @@ std::string WorkloadConfig::ToString() const {
   if (protocol != consensus::ProtocolKind::k2PC) {
     StrAppend(out, " protocol=", consensus::ProtocolKindName(protocol),
               " F=", paxos_f);
+  }
+  if (certifier != cert::CertifierKind::kSn || short_commit) {
+    StrAppend(out, " certifier=", cert::CertifierKindName(certifier),
+              " short_commit=", short_commit ? "on" : "off");
+  }
+  if (single_site_fraction > 0 || read_only_fraction > 0) {
+    StrAppend(out, " ss_frac=", single_site_fraction,
+              " ro_frac=", read_only_fraction);
   }
   if (!fault_plan.empty()) {
     StrAppend(out, " faults=", fault_plan.events.size());

@@ -36,6 +36,12 @@ struct WorkloadConfig {
   int cmds_per_local_txn = 2;
   double global_write_fraction = 0.5;
   double local_write_fraction = 0.5;
+  // E18 ablation shaping: fraction of global transactions confined to one
+  // site (short-commit 1PC candidates) and fraction that issue only reads
+  // (read-only fast-path candidates). Both draw extra randoms only when
+  // non-zero, so existing seeds replay byte-identically at the defaults.
+  double single_site_fraction = 0.0;
+  double read_only_fraction = 0.0;
   sim::Duration think_time = 0;
 
   // --- failures ---------------------------------------------------------------
@@ -70,6 +76,10 @@ struct WorkloadConfig {
   // non-blocking Paxos Commit with 2*paxos_f+1 acceptors (E16).
   consensus::ProtocolKind protocol = consensus::ProtocolKind::k2PC;
   int paxos_f = 1;
+  // Certification scheme and short-commit fast paths (E18; 2CM + 2PC only,
+  // silently downgraded otherwise — see core::MdbsConfig).
+  cert::CertifierKind certifier = cert::CertifierKind::kSn;
+  bool short_commit = false;
   cgm::Granularity cgm_granularity = cgm::Granularity::kSite;
   bool record_history = true;
   bool dlu_binding = true;

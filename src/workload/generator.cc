@@ -26,8 +26,15 @@ db::Command Generator::MakeCommand(Rng& rng, db::TableId table,
 
 core::GlobalTxnSpec Generator::NextGlobal(Rng& rng) const {
   core::GlobalTxnSpec spec;
+  // E18 shaping: the `> 0` guards keep the RNG stream byte-identical to
+  // older configs when the fractions are left at zero.
+  const bool single_site = config_.single_site_fraction > 0 &&
+                           rng.NextBool(config_.single_site_fraction);
+  const bool read_only = config_.read_only_fraction > 0 &&
+                         rng.NextBool(config_.read_only_fraction);
   const int wanted =
-      std::min(config_.sites_per_global_txn, config_.num_sites);
+      single_site ? 1
+                  : std::min(config_.sites_per_global_txn, config_.num_sites);
   // Choose `wanted` distinct sites (partial Fisher-Yates over site ids).
   std::vector<SiteId> sites(static_cast<size_t>(config_.num_sites));
   for (int s = 0; s < config_.num_sites; ++s) {
@@ -43,7 +50,10 @@ core::GlobalTxnSpec Generator::NextGlobal(Rng& rng) const {
     const SiteId site = sites[static_cast<size_t>(c % wanted)];
     const db::TableId table = static_cast<db::TableId>(
         rng.NextUint64(static_cast<uint64_t>(config_.tables_per_site)));
-    const bool write = rng.NextBool(config_.global_write_fraction);
+    // The write coin is flipped unconditionally so a read-only transaction
+    // consumes the same number of randoms as a read-write one.
+    const bool write =
+        rng.NextBool(config_.global_write_fraction) && !read_only;
     spec.steps.push_back(
         core::GlobalTxnSpec::Step{site, MakeCommand(rng, table, write)});
   }

@@ -1,0 +1,11 @@
+// E19 — online reconfiguration sweep: epoch-fenced live add/remove/replace
+// of a site under load, with handoff, fencing and determinism oracles. The
+// implementation lives in bench/sweep_reconfig.cpp and is shared with
+// bench_suite.
+
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  return hermes::bench::SweepMain(hermes::bench::RunReconfigSweep, argc,
+                                  argv);
+}

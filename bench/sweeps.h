@@ -57,6 +57,7 @@ int RunNetworkFaultsSweep(const SweepArgs& args);  // E13
 int RunChaosSweep(const SweepArgs& args);          // E15
 int RunPaxosSweep(const SweepArgs& args);          // E16
 int RunAblationMatrixSweep(const SweepArgs& args);  // E18
+int RunReconfigSweep(const SweepArgs& args);        // E19
 
 }  // namespace hermes::bench
 

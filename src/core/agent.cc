@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "common/str.h"
 
 namespace hermes::core {
+
+namespace {
+
+bool ShardInSet(int shard, const std::vector<int>& shards) {
+  return std::find(shards.begin(), shards.end(), shard) != shards.end();
+}
+
+}  // namespace
 
 const char* CertPolicyName(CertPolicy policy) {
   switch (policy) {
@@ -57,6 +66,37 @@ int TwoPCAgent::ResubmissionsOf(const TxnId& gtid) const {
 }
 
 void TwoPCAgent::Handle(SiteId from, const Message& msg) {
+  // Epoch fencing and migrated-residue redirection. Every coordinator-bound
+  // kind carries the sender's shard-map epoch view: a sender below this
+  // agent's epoch is refused (it must re-fetch the map and re-drive), and
+  // any message for a subtransaction whose residue left in a shard handoff
+  // is answered with the adopting site instead of being processed here.
+  // Epoch 0 marks an unfenced sender (sharding disabled) and always passes.
+  const TxnId* gtid = nullptr;
+  int64_t epoch = 0;
+  const char* what = nullptr;
+  if (const auto* m = std::get_if<BeginMsg>(&msg)) {
+    gtid = &m->gtid, epoch = m->epoch, what = "begin";
+  } else if (const auto* m = std::get_if<DmlRequestMsg>(&msg)) {
+    gtid = &m->gtid, epoch = m->epoch, what = "dml";
+  } else if (const auto* m = std::get_if<PrepareMsg>(&msg)) {
+    gtid = &m->gtid, epoch = m->epoch, what = "prepare";
+  } else if (const auto* m = std::get_if<DecisionMsg>(&msg)) {
+    gtid = &m->gtid, epoch = m->epoch, what = "decision";
+  } else if (const auto* m = std::get_if<OnePhaseCommitMsg>(&msg)) {
+    gtid = &m->gtid, epoch = m->epoch, what = "1pc";
+  }
+  if (gtid != nullptr) {
+    const auto moved = migrated_to_.find(*gtid);
+    if (moved != migrated_to_.end()) {
+      RefuseEpoch(from, *gtid, what, moved->second);
+      return;
+    }
+    if (directory_ != nullptr && epoch > 0 && epoch < directory_->epoch()) {
+      RefuseEpoch(from, *gtid, what, kInvalidSite);
+      return;
+    }
+  }
   if (const auto* m = std::get_if<BeginMsg>(&msg)) {
     OnBegin(from, *m);
   } else if (const auto* m = std::get_if<DmlRequestMsg>(&msg)) {
@@ -68,6 +108,25 @@ void TwoPCAgent::Handle(SiteId from, const Message& msg) {
   } else if (const auto* m = std::get_if<OnePhaseCommitMsg>(&msg)) {
     OnOnePhaseCommit(from, *m);
   }
+}
+
+void TwoPCAgent::RefuseEpoch(SiteId from, const TxnId& gtid, const char* what,
+                             SiteId moved_to) {
+  const int64_t current = directory_ != nullptr ? directory_->epoch() : 0;
+  ++metrics_->epoch_refusals;
+  if (tracer_ != nullptr) {
+    trace::Event e;
+    e.kind = trace::EventKind::kEpochRefused;
+    e.txn = gtid;
+    e.site = config_.site;
+    e.peer = from;
+    e.value = current;
+    e.ok = false;
+    e.detail = what;
+    tracer_->Record(std::move(e));
+  }
+  network_->Send(config_.site, from,
+                 Message{EpochRefusedMsg{gtid, current, moved_to}});
 }
 
 // --- active state ----------------------------------------------------------
@@ -139,6 +198,28 @@ void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
                        db::CmdResult{}}});
     return;
   }
+  if (directory_ != nullptr) {
+    // Post-handoff guard: a command whose key's shard now belongs to another
+    // (unwedged) owner must not execute here — the handoff already copied
+    // the rows away, so a write would be invisible at the new owner. The
+    // coordinator rolls the global transaction back and the workload
+    // re-plans against the fresh map. (Wedged shards still execute: the
+    // drain lets pre-fence transactions finish at the old owner.)
+    const std::optional<int64_t> key = db::CommandExactKey(msg.cmd);
+    if (key.has_value()) {
+      const shard::ShardMap& map = directory_->Current();
+      const shard::ShardEntry& entry = map.shards[map.ShardOf(*key)];
+      if (entry.owner != config_.site && !entry.wedged) {
+        network_->Send(
+            config_.site, from,
+            Message{DmlResponseMsg{
+                msg.gtid, msg.cmd_index,
+                Status::Aborted("key's shard moved to another site"),
+                db::CmdResult{}}});
+        return;
+      }
+    }
+  }
   // Log the command first: it is the resubmission source.
   log_.Append(LogRecord{.kind = LogRecordKind::kCommand,
                         .gtid = msg.gtid,
@@ -182,17 +263,26 @@ void TwoPCAgent::OnDmlRequest(SiteId from, const DmlRequestMsg& msg) {
 // handed to the vote hook, which broadcasts it to the acceptors as the
 // participant's ballot-0 proposal for its own Paxos instance.
 void TwoPCAgent::SendVote(const TxnId& gtid, SiteId coordinator, bool ready,
-                          Status status, bool read_only) {
+                          Status status, bool read_only,
+                          SiteId on_behalf_of) {
   network_->Send(config_.site, coordinator,
-                 Message{VoteMsg{gtid, ready, std::move(status), read_only}});
-  if (vote_hook_) vote_hook_(gtid, ready, coordinator);
+                 Message{VoteMsg{gtid, ready, std::move(status), read_only,
+                                 on_behalf_of}});
+  // Adopted residue never re-enters the Paxos vote hook: the original
+  // participant's ballot-0 vote already reached the acceptors at the source
+  // site, and a proposal under this site's id would target the wrong
+  // instance of the transaction's membership.
+  if (vote_hook_ && on_behalf_of == kInvalidSite) {
+    vote_hook_(gtid, ready, coordinator);
+  }
 }
 
 void TwoPCAgent::Refuse(AgentTxn& txn, const Status& reason) {
   if (ltm_->IsActive(txn.ltm_handle)) ltm_->Abort(txn.ltm_handle);
   certifier_->OnRemoved(txn.gtid);
   txn.phase = Phase::kAborted;
-  SendVote(txn.gtid, txn.coordinator, /*ready=*/false, reason);
+  SendVote(txn.gtid, txn.coordinator, /*ready=*/false, reason,
+           /*read_only=*/false, txn.acting_for);
 }
 
 void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
@@ -220,14 +310,16 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     // participant re-votes with its flag so the coordinator keeps excluding
     // it from the decision round.
     ++metrics_->dup_msgs_absorbed;
-    SendVote(msg.gtid, from, /*ready=*/true, Status::Ok(), txn->read_only);
+    SendVote(msg.gtid, from, /*ready=*/true, Status::Ok(), txn->read_only,
+             txn->acting_for);
     return;
   }
   if (txn->phase == Phase::kAborted) {
     // Retransmitted PREPARE after a refusal (the REFUSE vote was lost).
     ++metrics_->dup_msgs_absorbed;
     SendVote(msg.gtid, from, /*ready=*/false,
-             Status::Aborted("previously refused"));
+             Status::Aborted("previously refused"), /*read_only=*/false,
+             txn->acting_for);
     return;
   }
   txn->coordinator = from;
@@ -319,7 +411,8 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
     }
     txn->phase = Phase::kAborted;
     SendVote(txn->gtid, from, /*ready=*/false,
-             Status::Aborted("unilaterally aborted before prepare"));
+             Status::Aborted("unilaterally aborted before prepare"),
+             /*read_only=*/false, txn->acting_for);
     return;
   }
 
@@ -401,7 +494,8 @@ void TwoPCAgent::OnPrepare(SiteId from, const PrepareMsg& msg) {
   ltm_->recorder()->RecordPrepare(SubTxnId{txn->gtid, txn->resubmission},
                                   config_.site);
   if (config_.bind_bound_data) BindAccessedItems(*txn);
-  SendVote(txn->gtid, txn->coordinator, /*ready=*/true, Status::Ok());
+  SendVote(txn->gtid, txn->coordinator, /*ready=*/true, Status::Ok(),
+           /*read_only=*/false, txn->acting_for);
   ScheduleAliveCheck(*txn);
   // Arm the decision wait: if no COMMIT/ROLLBACK arrives in time the agent
   // starts probing the coordinator — the 2PC blocking window made visible.
@@ -556,7 +650,8 @@ void TwoPCAgent::OnDecision(SiteId from, const DecisionMsg& msg) {
       // inquiry reply, or a retransmission whose ACK was lost): re-ack
       // idempotently.
       ++metrics_->dup_msgs_absorbed;
-      network_->Send(config_.site, from, Message{AckMsg{msg.gtid, true}});
+      network_->Send(config_.site, from,
+                     Message{AckMsg{msg.gtid, true, txn->acting_for}});
       return;
     }
     if (txn->phase != Phase::kPrepared) return;
@@ -577,14 +672,16 @@ void TwoPCAgent::OnDecision(SiteId from, const DecisionMsg& msg) {
   } else {
     if (txn->phase == Phase::kAborted) {
       ++metrics_->dup_msgs_absorbed;
-      network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
+      network_->Send(config_.site, from,
+                     Message{AckMsg{msg.gtid, false, txn->acting_for}});
       return;
     }
     if (txn->phase == Phase::kCommitted) {
       // A short-commit read-only participant already committed locally and
       // released its locks; with no writes there is nothing to undo and the
       // global order is unaffected. Ack so the sender stops retransmitting.
-      network_->Send(config_.site, from, Message{AckMsg{msg.gtid, false}});
+      network_->Send(config_.site, from,
+                     Message{AckMsg{msg.gtid, false, txn->acting_for}});
       return;
     }
     ProcessRollback(*txn);
@@ -651,6 +748,20 @@ void TwoPCAgent::CompleteCommit(AgentTxn& txn) {
   txn.phase = Phase::kCommitted;
   txn.commit_pending = false;
   CancelTimers(txn);
+  // Fencing tripwire: committing a row whose shard now belongs to another
+  // (unwedged) owner would install a write invisible at the new owner. The
+  // fence + drain + handoff machinery must make this impossible; the E19
+  // sweep gates on the counter staying zero.
+  if (directory_ != nullptr) {
+    const shard::ShardMap& map = directory_->Current();
+    for (const ItemId& item : txn.bound_items) {
+      const shard::ShardEntry& entry = map.shards[map.ShardOf(item.key)];
+      if (entry.owner != config_.site && !entry.wedged) {
+        ++metrics_->commits_stale_epoch;
+        break;
+      }
+    }
+  }
   UnbindAll(txn);
   certifier_->OnCommitted(txn.gtid, txn.sn, loop_->Now());
   if (tracer_ != nullptr) {
@@ -665,7 +776,7 @@ void TwoPCAgent::CompleteCommit(AgentTxn& txn) {
   }
   log_.Append(LogRecord{.kind = LogRecordKind::kComplete, .gtid = txn.gtid});
   network_->Send(config_.site, txn.coordinator,
-                 Message{AckMsg{txn.gtid, /*commit=*/true}});
+                 Message{AckMsg{txn.gtid, /*commit=*/true, txn.acting_for}});
 }
 
 void TwoPCAgent::ProcessRollback(AgentTxn& txn) {
@@ -687,7 +798,7 @@ void TwoPCAgent::ProcessRollback(AgentTxn& txn) {
   }
   log_.Append(LogRecord{.kind = LogRecordKind::kAbort, .gtid = txn.gtid});
   network_->Send(config_.site, txn.coordinator,
-                 Message{AckMsg{txn.gtid, /*commit=*/false}});
+                 Message{AckMsg{txn.gtid, /*commit=*/false, txn.acting_for}});
 }
 
 // --- short-commit 1PC (single-site fast path) --------------------------------
@@ -819,6 +930,7 @@ void TwoPCAgent::UnbindAll(AgentTxn& txn) {
 void TwoPCAgent::Crash() {
   for (auto& [gtid, txn] : txns_) CancelTimers(txn);
   txns_.clear();
+  migrated_to_.clear();  // volatile; Recover() rebuilds it from the log
   certifier_->Crash();
 }
 
@@ -833,6 +945,13 @@ void TwoPCAgent::Recover() {
     }
   }
   certifier_->Recover();
+  // Restore the migrated-residue redirect table: messages for handed-off
+  // subtransactions must keep pointing their sender at the adopting site.
+  for (const LogRecord& record : log_.records()) {
+    if (record.kind == LogRecordKind::kMigrated) {
+      migrated_to_[record.gtid] = record.peer;
+    }
+  }
   // Rebuild every in-doubt subtransaction: prepared, not alive, with its
   // logged serial number; resubmit, then finish via the logged decision or
   // a coordinator inquiry.
@@ -961,6 +1080,150 @@ void TwoPCAgent::OnUnilateralAbort(const SubTxnId& id,
   // If a resubmission attempt is in flight its command callback handles the
   // retry; otherwise the next alive check (or the commit attempt) triggers
   // the resubmission — exactly the Appendix A/C algorithms.
+}
+
+// --- shard handoff -----------------------------------------------------------
+
+bool TwoPCAgent::TxnTouchesShards(const TxnId& gtid, const shard::ShardMap& map,
+                                  const std::vector<int>& shards) const {
+  for (const db::Command& cmd : log_.CommandsOf(gtid)) {
+    const std::optional<int64_t> key = db::CommandExactKey(cmd);
+    if (!key.has_value() || ShardInSet(map.ShardOf(*key), shards)) return true;
+  }
+  return false;
+}
+
+bool TwoPCAgent::TxnInsideShards(const TxnId& gtid, const shard::ShardMap& map,
+                                 const std::vector<int>& shards) const {
+  for (const db::Command& cmd : log_.CommandsOf(gtid)) {
+    const std::optional<int64_t> key = db::CommandExactKey(cmd);
+    if (!key.has_value() || !ShardInSet(map.ShardOf(*key), shards)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TwoPCAgent::InFlightOnShards(const shard::ShardMap& map,
+                                  const std::vector<int>& shards) const {
+  for (const auto& [gtid, txn] : txns_) {
+    if (txn.phase != Phase::kActive && txn.phase != Phase::kPrepared) continue;
+    if (TxnTouchesShards(gtid, map, shards)) return true;
+  }
+  return false;
+}
+
+bool TwoPCAgent::CanMigrateResidue(const shard::ShardMap& map,
+                                   const std::vector<int>& shards) const {
+  // Actives can always be force-aborted (execution autonomy). A *prepared*
+  // subtransaction can only relocate whole: if any of its commands touch a
+  // shard that is staying, its resubmission would have to split across two
+  // sites — keep draining instead.
+  for (const auto& [gtid, txn] : txns_) {
+    if (txn.phase != Phase::kPrepared) continue;
+    if (TxnTouchesShards(gtid, map, shards) &&
+        !TxnInsideShards(gtid, map, shards)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<MigratedTxn> TwoPCAgent::ExtractResidueForShards(
+    const shard::ShardMap& map, const std::vector<int>& shards, SiteId dest) {
+  // Deterministic extraction order: txns_ is an unordered_map.
+  std::vector<TxnId> targets;
+  for (const auto& [gtid, txn] : txns_) {
+    if (txn.phase != Phase::kActive && txn.phase != Phase::kPrepared) continue;
+    if (TxnTouchesShards(gtid, map, shards)) targets.push_back(gtid);
+  }
+  std::sort(targets.begin(), targets.end());
+  std::vector<MigratedTxn> out;
+  for (const TxnId& gtid : targets) {
+    AgentTxn& txn = *FindTxn(gtid);
+    if (txn.phase == Phase::kActive) {
+      // Force-abort: before the READY vote the LDBS may kill active work at
+      // any time; the coordinator sees failing DML and rolls back globally.
+      if (txn.alive && ltm_->IsActive(txn.ltm_handle)) {
+        ltm_->InjectUnilateralAbort(txn.ltm_handle);
+        ++metrics_->reconfig_forced_aborts;
+      }
+      continue;
+    }
+    assert(TxnInsideShards(gtid, map, shards));
+    MigratedTxn m;
+    m.gtid = gtid;
+    m.coordinator = txn.coordinator;
+    m.origin = config_.site;
+    m.resubmission = txn.resubmission;
+    m.sn = txn.sn;
+    m.commit_pending = txn.commit_pending;
+    m.csn = txn.csn;
+    m.commands = log_.CommandsOf(gtid);
+    CancelTimers(txn);
+    UnbindAll(txn);
+    const LtmTxnHandle handle = txn.ltm_handle;
+    txns_.erase(gtid);  // before the abort: mutes the UAN listener
+    // Undo the residue's local work (the handoff copies only committed
+    // rows); the adopting site re-executes the commands from its own log.
+    if (ltm_->IsActive(handle)) ltm_->InjectUnilateralAbort(handle);
+    certifier_->OnRemoved(gtid);
+    ltm_->recorder()->RecordMigrateOut(SubTxnId{gtid, m.resubmission},
+                                       config_.site);
+    // Force the migration record: after a crash the residue must not be
+    // resurrected here as in-doubt — it lives at `dest` now.
+    log_.ForceAppend(LogRecord{.kind = LogRecordKind::kMigrated,
+                               .gtid = gtid,
+                               .peer = dest});
+    migrated_to_[gtid] = dest;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void TwoPCAgent::AdoptMigrated(const MigratedTxn& m) {
+  assert(FindTxn(m.gtid) == nullptr);
+  // Replay the residue into this agent's log so later crash recovery and
+  // resubmission treat the adopted subtransaction exactly like a native one
+  // (kResubmission records keep ResubmissionsOf in step with the carried
+  // incarnation index).
+  log_.Append(LogRecord{.kind = LogRecordKind::kBegin,
+                        .gtid = m.gtid,
+                        .peer = m.coordinator});
+  for (const db::Command& cmd : m.commands) {
+    log_.Append(LogRecord{.kind = LogRecordKind::kCommand,
+                          .gtid = m.gtid,
+                          .command = cmd});
+  }
+  log_.ForceAppend(LogRecord{.kind = LogRecordKind::kPrepare,
+                             .gtid = m.gtid,
+                             .sn = m.sn});
+  for (int i = 0; i < m.resubmission; ++i) {
+    log_.Append(LogRecord{.kind = LogRecordKind::kResubmission,
+                          .gtid = m.gtid});
+  }
+  AgentTxn& txn = txns_[m.gtid];
+  txn.gtid = m.gtid;
+  txn.coordinator = m.coordinator;
+  txn.phase = Phase::kPrepared;
+  txn.alive = false;
+  txn.resubmission = m.resubmission;
+  txn.sn = m.sn;
+  txn.acting_for = m.origin;
+  txn.last_completion = loop_->Now();
+  certifier_->OnPrepared(m.gtid,
+                         AliveInterval{loop_->Now(), loop_->Now()}, m.sn);
+  txn.commit_pending = m.commit_pending;
+  if (m.commit_pending && m.csn >= 0) {
+    txn.csn = m.csn;
+    certifier_->OnCommitDecision(m.gtid, m.csn);
+  }
+  ++metrics_->reconfig_residue_adopted;
+  // Same tail as crash recovery: resubmit the commands against the copied
+  // rows, then finish via the carried decision or a coordinator inquiry.
+  StartResubmission(txn);
+  ScheduleAliveCheck(txn);
+  if (!txn.commit_pending) SendInquiry(m.gtid);
 }
 
 }  // namespace hermes::core

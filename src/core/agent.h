@@ -42,6 +42,7 @@
 #include "core/metrics.h"
 #include "ltm/ltm.h"
 #include "net/network.h"
+#include "shard/shard_map.h"
 #include "sim/event_loop.h"
 #include "trace/trace.h"
 
@@ -91,6 +92,22 @@ struct AgentConfig {
   int inquiry_escalate_after = 0;
 };
 
+// Prepared-transaction residue of a shard handoff: everything the adopting
+// agent needs to re-enter the subtransaction as prepared and resubmit its
+// commands at the destination (mirroring same-site crash recovery).
+struct MigratedTxn {
+  TxnId gtid;
+  SiteId coordinator = kInvalidSite;
+  // The site the residue left; votes/acks from the adopter carry it as
+  // `on_behalf_of` so the coordinator's per-participant bookkeeping clears.
+  SiteId origin = kInvalidSite;
+  int resubmission = 0;
+  SerialNumber sn;
+  bool commit_pending = false;
+  int64_t csn = -1;
+  std::vector<db::Command> commands;  // the resubmission source
+};
+
 class TwoPCAgent {
  public:
   // Test/experiment hook invoked when a subtransaction enters the prepared
@@ -117,6 +134,34 @@ class TwoPCAgent {
 
   // Agent-bound protocol messages (BEGIN, DML, PREPARE, COMMIT/ROLLBACK).
   void Handle(SiteId from, const Message& msg);
+
+  // Epoch fencing: with a directory installed, every coordinator-bound
+  // message whose epoch is below the directory's current epoch is refused
+  // with EpochRefusedMsg instead of being processed (null = fencing off).
+  void set_directory(const shard::Directory* directory) {
+    directory_ = directory;
+  }
+
+  // --- shard handoff ------------------------------------------------------
+  // True when any in-flight (active or prepared) subtransaction has a
+  // logged command touching one of `shards` under `map`.
+  bool InFlightOnShards(const shard::ShardMap& map,
+                        const std::vector<int>& shards) const;
+  // True when a forced handoff of `shards` is safe: every in-flight
+  // prepared subtransaction touching them has *all* its logged commands
+  // inside the moving set (actives are always force-abortable).
+  bool CanMigrateResidue(const shard::ShardMap& map,
+                         const std::vector<int>& shards) const;
+  // Forced handoff: unilaterally aborts in-flight *active* subtransactions
+  // touching `shards` and extracts every *prepared* one as residue —
+  // undoing its local work (LDBS autonomy), recording kMigrateOut, and
+  // redirecting all later messages for it to `dest`.
+  std::vector<MigratedTxn> ExtractResidueForShards(
+      const shard::ShardMap& map, const std::vector<int>& shards, SiteId dest);
+  // Destination half: re-enters the residue as a prepared subtransaction
+  // of this agent (log replayed, certifier re-admitted, commands
+  // resubmitted; finished via the carried decision or an inquiry).
+  void AdoptMigrated(const MigratedTxn& migrated);
 
   // Replaces every installed hook (tests owning the only hook); the add_
   // form appends, letting failure injectors and fault-plan triggers
@@ -192,6 +237,9 @@ class TwoPCAgent {
     // Short-commit read-only participant: committed locally at prepare
     // time, excluded from the decision round.
     bool read_only = false;
+    // Adopted residue of a shard handoff: the original participant site,
+    // carried as on_behalf_of on votes/acks (kInvalidSite = native).
+    SiteId acting_for = kInvalidSite;
     bool commit_pending = false;  // COMMIT received but not yet performed
     int inquiry_attempts = 0;     // drives the capped inquiry backoff
     sim::EventId alive_timer = sim::kInvalidEvent;
@@ -209,7 +257,14 @@ class TwoPCAgent {
   void OnOnePhaseCommit(SiteId from, const OnePhaseCommitMsg& msg);
 
   void SendVote(const TxnId& gtid, SiteId coordinator, bool ready,
-                Status status, bool read_only = false);
+                Status status, bool read_only = false,
+                SiteId on_behalf_of = kInvalidSite);
+  void RefuseEpoch(SiteId from, const TxnId& gtid, const char* what,
+                   SiteId moved_to);
+  bool TxnTouchesShards(const TxnId& gtid, const shard::ShardMap& map,
+                        const std::vector<int>& shards) const;
+  bool TxnInsideShards(const TxnId& gtid, const shard::ShardMap& map,
+                       const std::vector<int>& shards) const;
   void Refuse(AgentTxn& txn, const Status& reason);
   void TryCommit(AgentTxn& txn);
   void CompleteCommit(AgentTxn& txn);
@@ -236,6 +291,7 @@ class TwoPCAgent {
   ltm::Ltm* ltm_;
   Metrics* metrics_;
   trace::Tracer* tracer_;
+  const shard::Directory* directory_ = nullptr;
 
   AgentLog log_;
   // The certification seam: prepared-set membership, prepare/commit
@@ -246,6 +302,9 @@ class TwoPCAgent {
   // Hashed: FindTxn is on the hot path of every protocol message. Iteration
   // only happens in Crash/Recover paths where order is immaterial.
   std::unordered_map<TxnId, AgentTxn> txns_;
+  // Subtransactions whose residue left in a shard handoff: any later
+  // message for them is answered with EpochRefusedMsg naming the adopter.
+  std::unordered_map<TxnId, SiteId> migrated_to_;
   std::vector<PreparedHook> prepared_hooks_;
   VoteHook vote_hook_;
   EscalateHook escalate_hook_;

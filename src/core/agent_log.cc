@@ -89,6 +89,17 @@ SiteId AgentLog::CoordinatorOf(const TxnId& gtid) const {
   return kInvalidSite;
 }
 
+SiteId AgentLog::MigratedToOf(const TxnId& gtid) const {
+  auto it = by_txn_.find(gtid);
+  if (it == by_txn_.end()) return kInvalidSite;
+  for (size_t pos : it->second) {
+    if (records_[pos].kind == LogRecordKind::kMigrated) {
+      return records_[pos].peer;
+    }
+  }
+  return kInvalidSite;
+}
+
 int AgentLog::ResubmissionsOf(const TxnId& gtid) const {
   auto it = by_txn_.find(gtid);
   if (it == by_txn_.end()) return 0;
@@ -110,6 +121,7 @@ std::vector<TxnId> AgentLog::InDoubt() const {
           break;
         case LogRecordKind::kComplete:
         case LogRecordKind::kAbort:
+        case LogRecordKind::kMigrated:
           resolved = true;
           break;
         default:

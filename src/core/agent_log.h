@@ -30,6 +30,8 @@ enum class LogRecordKind : uint8_t {
   kCommit,        // force-written before the local commit is performed
   kAbort,         // global rollback processed
   kComplete,      // local commit done, COMMIT-ACK sent
+  kMigrated,      // force-written when the prepared residue left in a shard
+                  // handoff; `peer` names the adopting site
 };
 
 struct LogRecord {
@@ -37,8 +39,8 @@ struct LogRecord {
   TxnId gtid;
   int64_t lsn = 0;
   bool forced = false;
-  // kBegin only: the coordinating site (needed to direct recovery
-  // inquiries after a crash).
+  // kBegin: the coordinating site (needed to direct recovery inquiries
+  // after a crash). kMigrated: the site that adopted the residue.
   SiteId peer = kInvalidSite;
   // kCommand only.
   std::optional<db::Command> command;
@@ -71,10 +73,16 @@ class AgentLog {
   bool HasAbort(const TxnId& gtid) const;
   bool HasComplete(const TxnId& gtid) const;
 
-  // Transactions that were prepared but have no complete/abort record —
-  // the in-doubt set an agent must recover after a crash. Sorted by TxnId
-  // so the recovery order is deterministic.
+  // Transactions that were prepared but have no complete/abort/migrated
+  // record — the in-doubt set an agent must recover after a crash (migrated
+  // residue is the adopting site's problem). Sorted by TxnId so the
+  // recovery order is deterministic.
   std::vector<TxnId> InDoubt() const;
+
+  // Adopting site recorded with the migration record of `gtid`, or
+  // kInvalidSite if the residue never left this agent. Rebuilds the
+  // redirect table after a crash.
+  SiteId MigratedToOf(const TxnId& gtid) const;
 
   // True if any record exists for `gtid` — i.e. this agent has ever seen
   // the transaction, even if all volatile state about it was lost in a

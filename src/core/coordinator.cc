@@ -33,6 +33,11 @@ Coordinator::CoordTxn* Coordinator::FindTxn(const TxnId& gtid) {
 }
 
 TxnId Coordinator::Submit(GlobalTxnSpec spec, GlobalTxnCallback cb) {
+  // Pick up the latest shard-map epoch at submission: the generator routed
+  // the steps against the directory's current map, so the view is fresh by
+  // construction (a race with a concurrent reconfiguration is handled by
+  // the epoch-refusal path like any other staleness).
+  if (directory_ != nullptr) epoch_view_ = directory_->epoch();
   const TxnId gtid =
       TxnId::MakeGlobal(site_, epoch_ * kEpochSeqStride + next_seq_++);
   CoordTxn& txn = txns_[gtid];
@@ -89,7 +94,8 @@ void Coordinator::ExecuteNextStep(const TxnId& gtid) {
 void Coordinator::SendStep(CoordTxn& txn) {
   const GlobalTxnSpec::Step& step = txn.spec.steps[txn.next_step];
   if (txn.begun.insert(step.site).second) {
-    network_->Send(site_, step.site, Message{BeginMsg{txn.gtid}});
+    network_->Send(site_, step.site,
+                   Message{BeginMsg{txn.gtid, epoch_view_}});
   }
   if (tracer_ != nullptr) {
     trace::Event e;
@@ -103,7 +109,7 @@ void Coordinator::SendStep(CoordTxn& txn) {
   network_->Send(site_, step.site,
                  Message{DmlRequestMsg{txn.gtid,
                                        static_cast<int32_t>(txn.next_step),
-                                       step.cmd}});
+                                       step.cmd, epoch_view_}});
   ArmRetryTimer(txn);
 }
 
@@ -192,7 +198,8 @@ void Coordinator::StartOnePhaseCommit(CoordTxn& txn) {
   // No decision record: the agent force-writes the outcome into its own
   // log, and the ACK carries it back. The 1PC-COMMIT is retransmitted
   // unboundedly like a decision (the agent's handler is duplicate-safe).
-  network_->Send(site_, participant, Message{OnePhaseCommitMsg{txn.gtid}});
+  network_->Send(site_, Target(txn, participant),
+                 Message{OnePhaseCommitMsg{txn.gtid, epoch_view_}});
   ArmRetryTimer(txn);
 }
 
@@ -215,7 +222,8 @@ void Coordinator::SendPrepares(CoordTxn& txn) {
       e.sn = txn.sn;
       tracer_->Record(std::move(e));
     }
-    network_->Send(site_, s, Message{PrepareMsg{txn.gtid, txn.sn}});
+    network_->Send(site_, Target(txn, s),
+                   Message{PrepareMsg{txn.gtid, txn.sn, epoch_view_}});
   }
   ArmRetryTimer(txn);
 }
@@ -223,14 +231,18 @@ void Coordinator::SendPrepares(CoordTxn& txn) {
 void Coordinator::OnVote(SiteId from, const VoteMsg& msg) {
   CoordTxn* txn = FindTxn(msg.gtid);
   if (txn == nullptr || txn->phase != Phase::kPreparing) return;
-  txn->votes_pending.erase(from);
-  if (msg.ready && msg.read_only) txn->readonly_sites.insert(from);
+  // An adopting site answers for the original participant after a shard
+  // handoff: clear the bookkeeping under that id.
+  const SiteId voter =
+      msg.on_behalf_of != kInvalidSite ? msg.on_behalf_of : from;
+  txn->votes_pending.erase(voter);
+  if (msg.ready && msg.read_only) txn->readonly_sites.insert(voter);
   if (tracer_ != nullptr) {
     trace::Event e;
     e.kind = trace::EventKind::kVoteRecv;
     e.txn = msg.gtid;
     e.site = site_;
-    e.peer = from;
+    e.peer = voter;
     e.ok = msg.ready;
     if (!msg.ready) e.detail = msg.reason.ToString();
     tracer_->Record(std::move(e));
@@ -339,7 +351,9 @@ void Coordinator::SendDecisions(CoordTxn& txn, bool commit) {
       if (!commit) e.detail = txn.failure.ToString();
       tracer_->Record(std::move(e));
     }
-    network_->Send(site_, s, Message{DecisionMsg{txn.gtid, commit, txn.csn}});
+    network_->Send(site_, Target(txn, s),
+                   Message{DecisionMsg{txn.gtid, commit, txn.csn,
+                                       epoch_view_}});
   }
   if (txn.acks_pending.empty()) {
     FinishTxn(txn, commit);
@@ -357,6 +371,52 @@ void Coordinator::Handle(SiteId from, const Message& msg) {
     OnAck(from, *m);
   } else if (const auto* m = std::get_if<InquiryMsg>(&msg)) {
     OnInquiry(from, *m);
+  } else if (const auto* m = std::get_if<EpochRefusedMsg>(&msg)) {
+    OnEpochRefused(from, *m);
+  }
+}
+
+void Coordinator::OnEpochRefused(SiteId from, const EpochRefusedMsg& msg) {
+  // Always refresh the cached view first — even for transactions this
+  // coordinator no longer knows, so the next inquiry reply to the refusing
+  // agent carries an epoch it accepts.
+  if (directory_ != nullptr && epoch_view_ < directory_->epoch()) {
+    epoch_view_ = directory_->Fetch().epoch;
+    ++metrics_->epoch_map_refreshes;
+  }
+  CoordTxn* txn = FindTxn(msg.gtid);
+  if (txn == nullptr) return;
+  if (msg.moved_to != kInvalidSite) txn->relocated[from] = msg.moved_to;
+  RefreshRouting(*txn);
+  // Re-drive the refused phase immediately against the fresh map instead of
+  // waiting out the retransmission timer.
+  CancelRetryTimer(*txn);
+  const TxnId gtid = msg.gtid;
+  loop_->ScheduleAfter(0, [this, gtid]() { OnRetryTimeout(gtid); });
+}
+
+SiteId Coordinator::Target(const CoordTxn& txn, SiteId s) const {
+  const auto it = txn.relocated.find(s);
+  if (it != txn.relocated.end()) return it->second;
+  if (directory_ != nullptr) return directory_->Forward(s);
+  return s;
+}
+
+void Coordinator::RefreshRouting(CoordTxn& txn) {
+  if (directory_ == nullptr) return;
+  if (epoch_view_ < directory_->epoch()) {
+    epoch_view_ = directory_->Fetch().epoch;
+    ++metrics_->epoch_map_refreshes;
+  }
+  if (txn.phase != Phase::kExecuting) return;
+  // Unexecuted steps follow their key's owner under the fresh map (a step
+  // without an exact key keeps its planned site — the agent's own
+  // moved-shard guard rejects it if the rows left).
+  const shard::ShardMap& map = directory_->Current();
+  for (size_t i = txn.next_step; i < txn.spec.steps.size(); ++i) {
+    const std::optional<int64_t> key =
+        db::CommandExactKey(txn.spec.steps[i].cmd);
+    if (key.has_value()) txn.spec.steps[i].site = map.OwnerOfKey(*key);
   }
 }
 
@@ -382,7 +442,8 @@ void Coordinator::OnInquiry(SiteId from, const InquiryMsg& msg) {
     network_->Send(site_, from,
                    Message{DecisionMsg{msg.gtid, *outcome,
                                        *outcome ? log_.DecisionCsnOf(msg.gtid)
-                                                : -1}});
+                                                : -1,
+                                       epoch_view_}});
     return;
   }
   if (txn->phase == Phase::kCommitting) {
@@ -391,10 +452,13 @@ void Coordinator::OnInquiry(SiteId from, const InquiryMsg& msg) {
     if (txn->one_phase) return;
     TraceInquiryReply(msg.gtid, from, /*commit=*/true, nullptr);
     network_->Send(site_, from,
-                   Message{DecisionMsg{msg.gtid, true, txn->csn}});
+                   Message{DecisionMsg{msg.gtid, true, txn->csn,
+                                       epoch_view_}});
   } else if (txn->phase == Phase::kRollingBack) {
     TraceInquiryReply(msg.gtid, from, /*commit=*/false, nullptr);
-    network_->Send(site_, from, Message{DecisionMsg{msg.gtid, false}});
+    network_->Send(site_, from,
+                   Message{DecisionMsg{msg.gtid, false, /*csn=*/-1,
+                                       epoch_view_}});
   }
   // Still executing/preparing/deciding: stay silent, the agent retries
   // (while deciding, the protocol is already resolving the outcome).
@@ -443,7 +507,21 @@ void Coordinator::OnAck(SiteId from, const AckMsg& msg) {
     e.ok = msg.commit;
     tracer_->Record(std::move(e));
   }
-  txn->acks_pending.erase(from);
+  // As with votes: an adopting site acks under the original participant id.
+  SiteId acker = msg.on_behalf_of != kInvalidSite ? msg.on_behalf_of : from;
+  if (txn->acks_pending.count(acker) == 0) {
+    // An adopter that already finished the transaction auto-acks a
+    // retransmitted decision under its own id. Resolve which original
+    // participant we currently route to this sender, else the ack never
+    // matches and the decision retransmits forever.
+    for (SiteId orig : txn->acks_pending) {
+      if (Target(*txn, orig) == from) {
+        acker = orig;
+        break;
+      }
+    }
+  }
+  txn->acks_pending.erase(acker);
   if (txn->one_phase && !msg.commit) {
     // The agent — the 1PC commit point — durably chose abort and already
     // recorded the global outcome; only the client report happens here.
@@ -514,6 +592,8 @@ void Coordinator::Crash() {
 }
 
 void Coordinator::Recover() {
+  // A reconfiguration may have happened while this site was down.
+  if (directory_ != nullptr) epoch_view_ = directory_->epoch();
   // Force-write a fresh submission epoch before anything else: next_seq_
   // is volatile, so without the epoch bump post-recovery transaction ids
   // could collide with pre-crash ones still held by participants.
@@ -595,16 +675,22 @@ void Coordinator::OnRetryTimeout(const TxnId& gtid) {
                                 "after ", retry_.max_attempts, " attempts")));
         return;
       }
+      // The silence may mean the step's site was removed mid-run (messages
+      // to retired sites are dropped): re-target against the fresh map
+      // before retransmitting.
+      RefreshRouting(*txn);
       // Re-send BEGIN along with the command: either may have been the
       // loss, and the agent ignores a duplicate BEGIN.
       const GlobalTxnSpec::Step& step = txn->spec.steps[txn->next_step];
       TraceRetransmit(*txn, step.site, "dml");
-      network_->Send(site_, step.site, Message{BeginMsg{txn->gtid}});
+      txn->begun.insert(step.site);
+      network_->Send(site_, step.site,
+                     Message{BeginMsg{txn->gtid, epoch_view_}});
       network_->Send(
           site_, step.site,
           Message{DmlRequestMsg{txn->gtid,
                                 static_cast<int32_t>(txn->next_step),
-                                step.cmd}});
+                                step.cmd, epoch_view_}});
       ArmRetryTimer(*txn);
       break;
     }
@@ -623,9 +709,11 @@ void Coordinator::OnRetryTimeout(const TxnId& gtid) {
                       consensus::DecideMode::kAbortTimeout);
         return;
       }
+      RefreshRouting(*txn);
       for (SiteId s : txn->votes_pending) {
         TraceRetransmit(*txn, s, "prepare");
-        network_->Send(site_, s, Message{PrepareMsg{txn->gtid, txn->sn}});
+        network_->Send(site_, Target(*txn, s),
+                       Message{PrepareMsg{txn->gtid, txn->sn, epoch_view_}});
       }
       ArmRetryTimer(*txn);
       break;
@@ -637,10 +725,12 @@ void Coordinator::OnRetryTimeout(const TxnId& gtid) {
       // attempt bound, with the backoff capped at max_timeout. The agent
       // re-acks decisions for transactions in any state.
       ++txn->retry_attempt;
+      RefreshRouting(*txn);
       if (txn->one_phase) {
         for (SiteId s : txn->acks_pending) {
           TraceRetransmit(*txn, s, "1pc-commit");
-          network_->Send(site_, s, Message{OnePhaseCommitMsg{txn->gtid}});
+          network_->Send(site_, Target(*txn, s),
+                         Message{OnePhaseCommitMsg{txn->gtid, epoch_view_}});
         }
         ArmRetryTimer(*txn);
         break;
@@ -648,8 +738,9 @@ void Coordinator::OnRetryTimeout(const TxnId& gtid) {
       const bool commit = txn->phase == Phase::kCommitting;
       for (SiteId s : txn->acks_pending) {
         TraceRetransmit(*txn, s, "decision");
-        network_->Send(site_, s,
-                       Message{DecisionMsg{txn->gtid, commit, txn->csn}});
+        network_->Send(site_, Target(*txn, s),
+                       Message{DecisionMsg{txn->gtid, commit, txn->csn,
+                                           epoch_view_}});
       }
       ArmRetryTimer(*txn);
       break;

@@ -16,6 +16,7 @@
 #define HERMES_CORE_COORDINATOR_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -31,6 +32,7 @@
 #include "core/metrics.h"
 #include "history/recorder.h"
 #include "net/network.h"
+#include "shard/shard_map.h"
 #include "sim/event_loop.h"
 #include "sim/site_clock.h"
 #include "trace/trace.h"
@@ -145,6 +147,15 @@ class Coordinator {
   // COMMIT messages. Null under the SN scheme.
   void set_csn_source(cert::CsnSource* source) { csn_source_ = source; }
 
+  // Shard directory (owned by Mdbs; null = sharding disabled). When set,
+  // every agent-bound message is stamped with this coordinator's epoch
+  // view; an EpochRefusedMsg makes it re-fetch the map, re-target pending
+  // steps by key ownership, and re-drive the refused phase.
+  void set_directory(const shard::Directory* directory) {
+    directory_ = directory;
+    if (directory != nullptr) epoch_view_ = directory->epoch();
+  }
+
   // --- site crash recovery ------------------------------------------------
   // Crash() discards all volatile state: every undecided transaction is
   // failed towards its client (presumed abort — participants learn the
@@ -208,6 +219,10 @@ class Coordinator {
     // preparing and outstanding acks while committing / rolling back.
     sim::EventId retry_timer = sim::kInvalidEvent;
     int retry_attempt = 0;
+    // Participants whose prepared residue migrated in a shard handoff:
+    // decisions/prepares for `key` are delivered to `value`, which answers
+    // under the original id via on_behalf_of. Learned from EpochRefusedMsg.
+    std::map<SiteId, SiteId> relocated;
   };
 
   void ExecuteNextStep(const TxnId& gtid);
@@ -227,6 +242,13 @@ class Coordinator {
                          consensus::DecideMode::kAbortFinal);
   void OnAck(SiteId from, const AckMsg& msg);
   void OnInquiry(SiteId from, const InquiryMsg& msg);
+  void OnEpochRefused(SiteId from, const EpochRefusedMsg& msg);
+  // Where messages for participant `s` of `txn` go: its relocation if the
+  // residue migrated, else the directory's retired-site forward, else `s`.
+  SiteId Target(const CoordTxn& txn, SiteId s) const;
+  // Re-fetches the shard map when the cached view is stale and re-targets
+  // the transaction's unexecuted steps by key ownership.
+  void RefreshRouting(CoordTxn& txn);
   void TraceInquiryReply(const TxnId& gtid, SiteId peer, bool commit,
                          const char* detail);
   void FinishTxn(CoordTxn& txn, bool committed);
@@ -252,6 +274,10 @@ class Coordinator {
   bool sn_at_submit_ = false;
   bool short_commit_ = false;
   cert::CsnSource* csn_source_ = nullptr;
+  const shard::Directory* directory_ = nullptr;
+  // Cached shard-map epoch, stamped on every agent-bound message; 0 when
+  // sharding is disabled (agents never refuse epoch 0).
+  int64_t epoch_view_ = 0;
   // Transaction ids are (epoch * stride + seq): next_seq_ is volatile and
   // resets on crash, but the epoch — recovered from the force-written epoch
   // records in the log — guarantees post-recovery ids never collide with

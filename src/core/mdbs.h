@@ -21,6 +21,8 @@
 #include "history/recorder.h"
 #include "ltm/ltm.h"
 #include "net/network.h"
+#include "shard/reconfig.h"
+#include "shard/shard_map.h"
 #include "sim/event_loop.h"
 #include "sim/site_clock.h"
 
@@ -50,6 +52,21 @@ struct MdbsConfig {
   // machinery they hook into).
   cert::CertifierKind certifier = cert::CertifierKind::kSn;
   bool short_commit = false;
+  // --- online reconfiguration (src/shard) --------------------------------
+  // Number of shards partitioning the key space across sites; 0 keeps the
+  // legacy unsharded mode (no directory, no epoch fencing, StartReconfig
+  // rejected). When > 0 every agent and coordinator is wired to the shared
+  // shard::Directory and stamps/fences protocol messages by epoch.
+  int num_shards = 0;
+  // Capacity ceiling on site ids: ProvisionSite hands out ids
+  // num_sites..max_sites-1 for add/replace operations. 0 = num_sites (no
+  // headroom). Also sets the ballot-number modulus under Paxos Commit so
+  // provisioned sites elect with unique ballots.
+  int max_sites = 0;
+  // Drain/force tuning and protected sites for the reconfiguration
+  // controller. Under Paxos Commit the acceptor sites 0..2f are always
+  // appended to the protected set (the acceptor set is fixed for life).
+  shard::ControllerConfig reconfig;
   // Optional per-site clock skew (section 5.2 experiments). Missing entries
   // default to zero.
   std::vector<sim::Duration> clock_offsets;
@@ -75,7 +92,7 @@ struct LocalTxnResult {
 
 using LocalTxnCallback = std::function<void(const LocalTxnResult&)>;
 
-class Mdbs {
+class Mdbs : private shard::HostOps {
  public:
   Mdbs(const MdbsConfig& config, sim::EventLoop* loop);
   ~Mdbs();
@@ -83,7 +100,8 @@ class Mdbs {
   Mdbs(const Mdbs&) = delete;
   Mdbs& operator=(const Mdbs&) = delete;
 
-  int num_sites() const { return config_.num_sites; }
+  // Sites ever built, including retired ones (site ids stay dense).
+  int num_sites() const { return static_cast<int>(sites_.size()); }
 
   // --- schema & data setup -----------------------------------------------
 
@@ -149,16 +167,36 @@ class Mdbs {
   //   >0           — stay down for `downtime` of virtual time, then recover
   //                  (the measurable blocking window);
   //   <0           — stay down until an explicit RecoverSite().
-  // Crashing a site that is already down is a deterministic no-op.
-  void CrashSite(SiteId site, sim::Duration downtime = 0);
+  // Crashing a site that is already down is a deterministic no-op (Ok);
+  // an out-of-range id or a site retired by reconfiguration is
+  // kInvalidArgument and nothing happens.
+  Status CrashSite(SiteId site, sim::Duration downtime = 0);
 
   // Recovers a crashed site now: re-registers the endpoint, then replays
   // the agent log (resubmission + inquiries for in-doubt subtransactions)
-  // and the coordinator log (epoch bump + COMMIT re-delivery). No-op if the
-  // site is up.
-  void RecoverSite(SiteId site);
+  // and the coordinator log (epoch bump + COMMIT re-delivery). No-op (Ok)
+  // if the site is up; kInvalidArgument for unknown or retired sites.
+  Status RecoverSite(SiteId site);
 
   bool SiteUp(SiteId site) const { return sites_[site]->up; }
+  // True once the site was retired by a remove/replace reconfiguration.
+  bool SiteRemoved(SiteId site) const { return sites_[site]->removed; }
+
+  // --- online reconfiguration ---------------------------------------------
+
+  // Null unless config.num_shards > 0.
+  shard::Directory* directory() { return directory_.get(); }
+  const shard::Directory* directory() const { return directory_.get(); }
+
+  // Begins an add/remove/replace of a site (see shard/reconfig.h). Fails
+  // with kInvalidArgument when sharding is disabled, the target is unknown,
+  // retired, down or protected, or capacity is exhausted; kRejected while
+  // another reconfiguration is still running.
+  Status StartReconfig(const shard::ReconfigOp& op,
+                       std::function<void(Status)> done = {});
+  bool reconfiguring() const {
+    return controller_ != nullptr && controller_->busy();
+  }
 
   // Applies hooks to every coordinator (CGM interposition).
   void SetCoordinatorHooks(const CoordinatorHooks& hooks);
@@ -176,12 +214,31 @@ class Mdbs {
     // machine); null under plain 2PC.
     std::unique_ptr<consensus::PaxosCommit> consensus;
     bool up = true;
+    // Retired by reconfiguration: the endpoint stays registered so late
+    // PREPARE/decision traffic can be forwarded to the adopting site, but
+    // everything else addressed here is dropped.
+    bool removed = false;
   };
 
   struct LocalRun;  // driver of one SubmitLocal execution
 
   void RouteMessage(SiteId site, const net::Envelope& env);
   void RecoverSiteNow(SiteId site);
+  // Constructs site `s` (clock/storage/LTM/agent/coordinator/consensus) and
+  // registers its endpoint. `s` must equal sites_.size().
+  void BuildSite(SiteId s);
+
+  // shard::HostOps for the reconfiguration controller.
+  SiteId ProvisionSite() override;
+  bool SiteUsable(SiteId site) override;
+  bool QuiescentForShards(SiteId site, const std::vector<int>& shards,
+                          bool and_coordinator) override;
+  bool CanForceTransfer(SiteId site, const std::vector<int>& shards,
+                        bool and_coordinator) override;
+  int64_t TransferShards(SiteId from, SiteId to,
+                         const std::vector<int>& shards) override;
+  void DeactivateSite(SiteId site) override;
+  void Schedule(sim::Time delay, std::function<void()> fn) override;
 
   MdbsConfig config_;
   sim::EventLoop* loop_;
@@ -196,6 +253,12 @@ class Mdbs {
   Metrics scheduler_metrics_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<int64_t> next_local_seq_;
+  // Tables created via CreateTableEverywhere, replayed onto provisioned
+  // sites so table ids stay aligned across the federation.
+  std::vector<std::string> table_names_;
+  // Sharded mode only (config.num_shards > 0); otherwise both null.
+  std::unique_ptr<shard::Directory> directory_;
+  std::unique_ptr<shard::Controller> controller_;
 };
 
 }  // namespace hermes::core

@@ -38,6 +38,12 @@ std::string MessageToString(const Message& msg) {
   if (const auto* m = std::get_if<InquiryMsg>(&msg)) {
     return StrCat("INQUIRY ", m->gtid.ToString());
   }
+  if (const auto* m = std::get_if<EpochRefusedMsg>(&msg)) {
+    std::string out = StrCat("EPOCH-REFUSED ", m->gtid.ToString(),
+                             " epoch=", m->current_epoch);
+    if (m->moved_to != kInvalidSite) StrAppend(out, " moved_to=", m->moved_to);
+    return out;
+  }
   if (const auto* m = std::get_if<PaxosBeginMsg>(&msg)) {
     return StrCat("PAXOS-BEGIN ", m->gtid.ToString(), " n=",
                   m->participants.size());

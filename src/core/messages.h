@@ -18,8 +18,12 @@
 namespace hermes::core {
 
 // Coordinator -> Agent: opens the global subtransaction T^s_k at the site.
+// Every coordinator-to-agent message carries the sender's shard-map epoch
+// view (`epoch`); an agent refuses messages below its own epoch (epoch
+// fencing). 0 = sharding disabled, never refused.
 struct BeginMsg {
   TxnId gtid;
+  int64_t epoch = 0;
 };
 
 // Coordinator -> Agent: one DML command of the global subtransaction.
@@ -27,6 +31,7 @@ struct DmlRequestMsg {
   TxnId gtid;
   int32_t cmd_index = 0;
   db::Command cmd;
+  int64_t epoch = 0;
 };
 
 // Agent -> Coordinator: result of a DML command.
@@ -42,6 +47,7 @@ struct DmlResponseMsg {
 struct PrepareMsg {
   TxnId gtid;
   SerialNumber sn;
+  int64_t epoch = 0;
 };
 
 // Agent -> Coordinator: READY or REFUSE. `read_only` marks a short-commit
@@ -52,6 +58,10 @@ struct VoteMsg {
   bool ready = false;
   Status reason;  // populated for REFUSE
   bool read_only = false;
+  // After a shard handoff the adopting site answers for the original
+  // participant: the coordinator clears its vote bookkeeping under this id
+  // (kInvalidSite = the sender votes for itself).
+  SiteId on_behalf_of = kInvalidSite;
 };
 
 // Coordinator -> Agent: COMMIT (commit=true) or ROLLBACK. `csn` is the
@@ -61,6 +71,7 @@ struct DecisionMsg {
   TxnId gtid;
   bool commit = false;
   int64_t csn = -1;
+  int64_t epoch = 0;
 };
 
 // Coordinator -> Agent: single-site short commit — the transaction ran
@@ -69,12 +80,15 @@ struct DecisionMsg {
 // the outcome it durably chose.
 struct OnePhaseCommitMsg {
   TxnId gtid;
+  int64_t epoch = 0;
 };
 
-// Agent -> Coordinator: COMMIT-ACK / ROLLBACK-ACK.
+// Agent -> Coordinator: COMMIT-ACK / ROLLBACK-ACK. `on_behalf_of` as on
+// VoteMsg: the adopting site acks under the original participant's id.
 struct AckMsg {
   TxnId gtid;
   bool commit = false;
+  SiteId on_behalf_of = kInvalidSite;
 };
 
 // Agent -> Coordinator: a recovered agent asks for the outcome of an
@@ -82,6 +96,18 @@ struct AckMsg {
 // ROLLBACK for transactions it no longer knows (presumed abort).
 struct InquiryMsg {
   TxnId gtid;
+};
+
+// Agent -> Coordinator: the agent refused a message because it carried a
+// stale shard-map epoch (or addressed a subtransaction whose residue
+// migrated away in a handoff). The coordinator refreshes its map from the
+// directory and re-drives the transaction's current phase against the new
+// owners. `moved_to` names the adopting site when the refusal was for a
+// migrated subtransaction (kInvalidSite otherwise).
+struct EpochRefusedMsg {
+  TxnId gtid;
+  int64_t current_epoch = 0;
+  SiteId moved_to = kInvalidSite;
 };
 
 // --- Paxos Commit (consensus::PaxosCommit) -----------------------------------
@@ -162,10 +188,10 @@ struct PaxosAcceptedMsg {
 using Message = std::variant<BeginMsg, DmlRequestMsg, DmlResponseMsg,
                              PrepareMsg, VoteMsg, DecisionMsg,
                              OnePhaseCommitMsg, AckMsg,
-                             InquiryMsg, PaxosBeginMsg, PaxosBeginAckMsg,
-                             PaxosVoteMsg, PaxosVotedMsg, PaxosPrepareMsg,
-                             PaxosPromiseMsg, PaxosProposeMsg,
-                             PaxosAcceptedMsg>;
+                             InquiryMsg, EpochRefusedMsg, PaxosBeginMsg,
+                             PaxosBeginAckMsg, PaxosVoteMsg, PaxosVotedMsg,
+                             PaxosPrepareMsg, PaxosPromiseMsg,
+                             PaxosProposeMsg, PaxosAcceptedMsg>;
 
 // True for the Paxos Commit message kinds (routed to the site's consensus
 // module rather than to the agent or coordinator).

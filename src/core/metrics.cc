@@ -45,6 +45,14 @@ void Metrics::Merge(const Metrics& o) {
   paxos_elections += o.paxos_elections;
   paxos_decided_fast += o.paxos_decided_fast;
   paxos_decided_resolved += o.paxos_decided_resolved;
+  epoch_refusals += o.epoch_refusals;
+  epoch_map_refreshes += o.epoch_map_refreshes;
+  reconfig_started += o.reconfig_started;
+  reconfig_completed += o.reconfig_completed;
+  reconfig_rows_moved += o.reconfig_rows_moved;
+  reconfig_residue_adopted += o.reconfig_residue_adopted;
+  reconfig_forced_aborts += o.reconfig_forced_aborts;
+  commits_stale_epoch += o.commits_stale_epoch;
 }
 
 std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
@@ -90,6 +98,14 @@ std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
       {"paxos_elections", paxos_elections},
       {"paxos_decided_fast", paxos_decided_fast},
       {"paxos_decided_resolved", paxos_decided_resolved},
+      {"epoch_refusals", epoch_refusals},
+      {"epoch_map_refreshes", epoch_map_refreshes},
+      {"reconfig_started", reconfig_started},
+      {"reconfig_completed", reconfig_completed},
+      {"reconfig_rows_moved", reconfig_rows_moved},
+      {"reconfig_residue_adopted", reconfig_residue_adopted},
+      {"reconfig_forced_aborts", reconfig_forced_aborts},
+      {"commits_stale_epoch", commits_stale_epoch},
   };
 }
 
@@ -152,6 +168,16 @@ std::string Metrics::ToString() const {
               " readonly=", short_commits_readonly,
               " csn_assigned=", csn_assigned,
               " single_site_committed=", single_site_committed, "\n");
+  }
+  if (reconfig_started + epoch_refusals > 0) {
+    StrAppend(out, "reconfig: started=", reconfig_started,
+              " completed=", reconfig_completed,
+              " rows_moved=", reconfig_rows_moved,
+              " residue_adopted=", reconfig_residue_adopted,
+              " forced_aborts=", reconfig_forced_aborts,
+              " epoch_refusals=", epoch_refusals,
+              " map_refreshes=", epoch_map_refreshes,
+              " stale_commits=", commits_stale_epoch, "\n");
   }
   StrAppend(out, "local: committed=", local_committed,
             " aborted=", local_aborted, "\n");

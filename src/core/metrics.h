@@ -74,6 +74,17 @@ struct Metrics {
   int64_t paxos_decided_fast = 0;      // ballot-0 fast-path decisions
   int64_t paxos_decided_resolved = 0;  // decisions via a resolution round
 
+  // Sharding + online reconfiguration (shard subsystem, epoch fencing).
+  int64_t epoch_refusals = 0;        // messages refused for a stale epoch
+  int64_t epoch_map_refreshes = 0;   // coordinator shard-map re-fetches
+  int64_t reconfig_started = 0;      // reconfigurations fenced (epoch bump 1)
+  int64_t reconfig_completed = 0;    // reconfigurations committed (bump 2)
+  int64_t reconfig_rows_moved = 0;   // committed rows transferred in handoffs
+  int64_t reconfig_residue_adopted = 0;  // prepared subtxns migrated + adopted
+  int64_t reconfig_forced_aborts = 0;    // active subtxns aborted at deadline
+  int64_t commits_stale_epoch = 0;   // tripwire: local commit on a shard the
+                                     // site no longer owned (must stay 0)
+
   void AddLatency(sim::Duration d) {
     ++latency_samples;
     latency_total += d;

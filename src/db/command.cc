@@ -46,6 +46,13 @@ std::string CommandToString(const Command& cmd) {
   return StrCat("DELETE t", d.table, " WHERE ", d.pred.ToString());
 }
 
+std::optional<int64_t> CommandExactKey(const Command& cmd) {
+  if (const auto* i = std::get_if<InsertCmd>(&cmd)) return i->key;
+  if (const auto* s = std::get_if<SelectCmd>(&cmd)) return s->pred.ExactKey();
+  if (const auto* u = std::get_if<UpdateCmd>(&cmd)) return u->pred.ExactKey();
+  return std::get<DeleteCmd>(cmd).pred.ExactKey();
+}
+
 Command MakeSelect(TableId table, Predicate pred) {
   return SelectCmd{table, std::move(pred)};
 }

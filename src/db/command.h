@@ -8,6 +8,7 @@
 #define HERMES_DB_COMMAND_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -65,6 +66,12 @@ struct CmdResult {
 TableId CommandTable(const Command& cmd);
 bool CommandWrites(const Command& cmd);
 std::string CommandToString(const Command& cmd);
+
+// The single row a command pins, when its predicate pins exactly one (the
+// key of an INSERT, or a key-equality predicate). nullopt for scans —
+// shard-routing callers must treat those conservatively as touching every
+// shard.
+std::optional<int64_t> CommandExactKey(const Command& cmd);
 
 // Convenience constructors used heavily in tests and examples.
 Command MakeSelect(TableId table, Predicate pred);

@@ -11,7 +11,8 @@ namespace {
 
 constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kCrashSite, FaultKind::kRecoverSite, FaultKind::kPartition,
-    FaultKind::kHeal, FaultKind::kLossBurst};
+    FaultKind::kHeal,      FaultKind::kLossBurst,   FaultKind::kAddSite,
+    FaultKind::kRemoveSite, FaultKind::kReplaceSite};
 
 constexpr TriggerKind kAllTriggerKinds[] = {TriggerKind::kAtTime,
                                             TriggerKind::kOnPrepared};
@@ -36,6 +37,12 @@ const char* FaultKindName(FaultKind kind) {
       return "heal";
     case FaultKind::kLossBurst:
       return "loss_burst";
+    case FaultKind::kAddSite:
+      return "add_site";
+    case FaultKind::kRemoveSite:
+      return "remove_site";
+    case FaultKind::kReplaceSite:
+      return "replace_site";
   }
   return "?";
 }
@@ -285,6 +292,24 @@ FaultPlan GenerateChaosPlan(uint64_t seed, const ChaosOptions& opts) {
     draw_pair(ev.site, ev.peer);
     ev.duration = draw_downtime();
     ev.loss_prob = 0.3 + 0.7 * rng.NextDouble();
+    plan.events.push_back(ev);
+  }
+  // Membership churn last, so plans without it (reconfigs == 0) consume
+  // exactly the historical number of randoms.
+  for (int i = 0; i < opts.reconfigs; ++i) {
+    FaultEvent ev;
+    const uint64_t pick = rng.NextUint64(3);
+    ev.kind = pick == 0   ? FaultKind::kAddSite
+              : pick == 1 ? FaultKind::kRemoveSite
+                          : FaultKind::kReplaceSite;
+    ev.trigger = TriggerKind::kAtTime;
+    ev.at = draw_time();
+    if (ev.kind != FaultKind::kAddSite) {
+      const SiteId lo = std::min<SiteId>(std::max<SiteId>(
+          opts.reconfig_min_site, 0), static_cast<SiteId>(sites - 1));
+      ev.site = lo + static_cast<SiteId>(rng.NextUint64(
+          static_cast<uint64_t>(std::max(sites - lo, 1))));
+    }
     plan.events.push_back(ev);
   }
   // Deterministic, readable order: timed events by firing time, triggered

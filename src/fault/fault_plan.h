@@ -29,6 +29,13 @@ enum class FaultKind : uint8_t {
   kPartition,    // drop all site<->peer traffic for `duration`
   kHeal,         // end an ongoing site<->peer partition early
   kLossBurst,    // site<->peer loss probability `loss_prob` for `duration`
+  // Membership churn: Mdbs::StartReconfig (sharded runs only; dropped
+  // best-effort when sharding is off, the controller is busy or the
+  // target is invalid). `site` is the remove/replace target; unused
+  // for kAddSite.
+  kAddSite,
+  kRemoveSite,
+  kReplaceSite,
 };
 
 enum class TriggerKind : uint8_t {
@@ -86,6 +93,15 @@ struct ChaosOptions {
   // Fraction of crashes converted into kOnPrepared triggers (crash the
   // watched site right after a local prepare — the lost-decision window).
   double triggered_fraction = 0.25;
+  // Membership churn (E15/E19): number of add/remove/replace events, drawn
+  // uniformly over the three kinds. 0 draws no extra randoms, so existing
+  // seeds replay byte-identically.
+  int reconfigs = 0;
+  // Remove/replace targets are drawn from [reconfig_min_site, num_sites);
+  // the default spares site 0, the usual coordinator of scripted
+  // scenarios (Paxos acceptors are additionally protected by the
+  // controller itself).
+  SiteId reconfig_min_site = 1;
 };
 
 // Deterministic: the same (seed, options) always yields the same plan.

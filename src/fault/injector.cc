@@ -43,6 +43,22 @@ void Fire(const FaultEvent& ev, core::Mdbs* mdbs, trace::Tracer* tracer) {
                             mdbs->network().ClearLinkLoss(b, a);
                           });
       break;
+    case FaultKind::kAddSite:
+    case FaultKind::kRemoveSite:
+    case FaultKind::kReplaceSite: {
+      shard::ReconfigOp op;
+      op.kind = ev.kind == FaultKind::kAddSite
+                    ? shard::ReconfigKind::kAddSite
+                : ev.kind == FaultKind::kRemoveSite
+                    ? shard::ReconfigKind::kRemoveSite
+                    : shard::ReconfigKind::kReplaceSite;
+      op.site = ev.site;
+      // Best-effort: sharding disabled, a busy controller or an invalid
+      // target silently drops the event — chaos plans are requests, not
+      // invariants (the kFaultEvent trace above still marks the attempt).
+      (void)mdbs->StartReconfig(op);
+      break;
+    }
   }
 }
 

@@ -146,10 +146,21 @@ TxnGraph BuildSerializationGraph(const std::vector<Op>& ops) {
 
 TxnGraph BuildCommitOrderGraph(const std::vector<Op>& ops) {
   TxnGraph g;
+  // Transactions whose prepared residue left a site in a shard handoff
+  // (kMigrateOut) commit at the adopting site when the carried decision
+  // lands — an instant dictated by the handoff, not by the adopter's
+  // SN-certified commit order — so the per-site total-order invariant does
+  // not apply to them. They stay in C(H) and are still judged by the
+  // atomicity, replay and view-serializability oracles.
+  std::set<TxnId> migrated;
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kMigrateOut) migrated.insert(op.subtxn.txn);
+  }
   // Per site, the sequence of local commits in order.
   std::map<SiteId, std::vector<TxnId>> commits;
   for (const Op& op : ops) {
     if (op.kind == OpKind::kLocalCommit) {
+      if (migrated.count(op.subtxn.txn) != 0) continue;
       commits[op.site].push_back(op.subtxn.txn);
       g.AddNode(op.subtxn.txn);
     }

@@ -22,6 +22,8 @@ const char* OpKindName(OpKind kind) {
       return "C";
     case OpKind::kGlobalAbort:
       return "A";
+    case OpKind::kMigrateOut:
+      return "M";
   }
   return "?";
 }
@@ -40,6 +42,7 @@ std::string Op::ToString() const {
     case OpKind::kPrepare:
     case OpKind::kLocalCommit:
     case OpKind::kLocalAbort:
+    case OpKind::kMigrateOut:
       StrAppend(out, "@s", site);
       if (kind == OpKind::kLocalAbort && unilateral) out += "(unilateral)";
       break;

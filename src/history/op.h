@@ -32,6 +32,9 @@ enum class OpKind : uint8_t {
   kLocalAbort,   // A^s_kj
   kGlobalCommit,  // C_k
   kGlobalAbort,   // A_k
+  kMigrateOut,    // M^s_kj: the subtransaction's prepared residue left site
+                  // s in a shard handoff; the site's local outcome is
+                  // settled by the adopting site instead
 };
 
 const char* OpKindName(OpKind kind);

@@ -37,14 +37,23 @@ std::map<TxnId, TxnFate> ClassifyTransactions(const std::vector<Op>& h) {
       case OpKind::kGlobalAbort:
         f.committed = false;
         break;
+      case OpKind::kMigrateOut:
+        f.migrated_sites.insert(op.site);
+        break;
     }
   }
   for (auto& [id, f] : fates) {
     if (f.global) {
+      // Sites whose residue migrated away in a shard handoff owe no local
+      // commit: the adopting site settles the outcome in their stead.
+      std::set<SiteId> required;
+      std::set_difference(f.sites.begin(), f.sites.end(),
+                          f.migrated_sites.begin(), f.migrated_sites.end(),
+                          std::inserter(required, required.begin()));
       f.complete =
           f.committed &&
           std::includes(f.committed_sites.begin(), f.committed_sites.end(),
-                        f.sites.begin(), f.sites.end());
+                        required.begin(), required.end());
     } else {
       f.complete = f.committed;
     }
@@ -135,6 +144,7 @@ std::string CheckGlobalAtomicity(const std::vector<Op>& h) {
     kCommitted,
     kAborted,            // rollback requested by the agent/coordinator
     kAbortedUnilateral,  // the LDBS aborted on its own (resubmittable)
+    kMigrated,           // prepared residue left in a shard handoff
   };
   struct TxnState {
     bool global_commit = false;
@@ -167,6 +177,12 @@ std::string CheckGlobalAtomicity(const std::vector<Op>& h) {
         break;
       case OpKind::kGlobalAbort:
         t.global_abort = true;
+        break;
+      case OpKind::kMigrateOut:
+        // The residue left this site in a shard handoff: the outcome here
+        // is settled by the adopting site, so the source is exempt from
+        // both the commit-without-C_k and rollback-after-C_k rules.
+        t.sites[op.site] = SiteOutcome::kMigrated;
         break;
     }
   }

@@ -30,6 +30,10 @@ struct TxnFate {
   std::set<SiteId> sites;
   // Sites at which a local commit was recorded.
   std::set<SiteId> committed_sites;
+  // Sites whose prepared residue left in a shard handoff (kMigrateOut):
+  // their local outcome is settled by the adopting site, so completeness
+  // does not require a local commit there.
+  std::set<SiteId> migrated_sites;
   int resubmissions = 0;  // max resubmission index seen
   int unilateral_aborts = 0;
 

@@ -59,6 +59,14 @@ void Recorder::RecordLocalAbort(const SubTxnId& subtxn, SiteId site,
   Append(std::move(op));
 }
 
+void Recorder::RecordMigrateOut(const SubTxnId& subtxn, SiteId site) {
+  Op op;
+  op.kind = OpKind::kMigrateOut;
+  op.subtxn = subtxn;
+  op.site = site;
+  Append(std::move(op));
+}
+
 void Recorder::RecordGlobalCommit(const TxnId& txn, SiteId coordinator_site) {
   if (!RecordGlobalDecision(txn, /*commit=*/true)) return;
   Op op;

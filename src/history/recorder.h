@@ -34,6 +34,10 @@ class Recorder {
   void RecordPrepare(const SubTxnId& subtxn, SiteId site);
   void RecordLocalCommit(const SubTxnId& subtxn, SiteId site);
   void RecordLocalAbort(const SubTxnId& subtxn, SiteId site, bool unilateral);
+  // A shard handoff moved the prepared residue of `subtxn` away from
+  // `site`; the subtransaction's outcome there is settled by the adopting
+  // site (the atomicity oracle treats the source site as closed).
+  void RecordMigrateOut(const SubTxnId& subtxn, SiteId site);
   void RecordGlobalCommit(const TxnId& txn, SiteId coordinator_site);
   void RecordGlobalAbort(const TxnId& txn, SiteId coordinator_site);
 

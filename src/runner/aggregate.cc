@@ -84,6 +84,16 @@ void CellAggregate::AddRun(uint64_t seed, const workload::RunResult& r) {
   Add("paxos_decided_fast", static_cast<double>(m.paxos_decided_fast));
   Add("paxos_decided_resolved",
       static_cast<double>(m.paxos_decided_resolved));
+  Add("epoch_refusals", static_cast<double>(m.epoch_refusals));
+  Add("epoch_map_refreshes", static_cast<double>(m.epoch_map_refreshes));
+  Add("reconfig_started", static_cast<double>(m.reconfig_started));
+  Add("reconfig_completed", static_cast<double>(m.reconfig_completed));
+  Add("reconfig_rows_moved", static_cast<double>(m.reconfig_rows_moved));
+  Add("reconfig_residue_adopted",
+      static_cast<double>(m.reconfig_residue_adopted));
+  Add("reconfig_forced_aborts",
+      static_cast<double>(m.reconfig_forced_aborts));
+  Add("commits_stale_epoch", static_cast<double>(m.commits_stale_epoch));
   Add("messages", static_cast<double>(r.messages));
   Add("dropped", static_cast<double>(r.msgs_dropped));
   Add("duplicated", static_cast<double>(r.msgs_duplicated));

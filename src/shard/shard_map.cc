@@ -1,0 +1,67 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace hermes::shard {
+
+std::vector<int> ShardMap::ShardsOf(SiteId site) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_shards(); ++i) {
+    if (shards[i].owner == site) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<SiteId> ShardMap::Owners() const {
+  std::vector<SiteId> out;
+  for (const ShardEntry& e : shards) {
+    if (e.owner != kInvalidSite) out.push_back(e.owner);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string ShardMap::ToString() const {
+  std::ostringstream os;
+  os << "epoch=" << epoch << " [";
+  for (int i = 0; i < num_shards(); ++i) {
+    if (i) os << " ";
+    os << i << ":s" << shards[i].owner << (shards[i].wedged ? "*" : "");
+  }
+  os << "]";
+  return os.str();
+}
+
+ShardMap ShardMap::MakeInitial(int num_shards, int num_sites) {
+  assert(num_shards > 0 && num_sites > 0);
+  ShardMap map;
+  map.epoch = 1;
+  map.shards.resize(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    map.shards[i].owner = static_cast<SiteId>(i % num_sites);
+  }
+  return map;
+}
+
+void Directory::Install(ShardMap next) {
+  assert(next.epoch == map_.epoch + 1 && "epochs advance by exactly one");
+  map_ = std::move(next);
+}
+
+SiteId Directory::Forward(SiteId site) const {
+  SiteId cur = site;
+  // Bounded walk: forwarding chains are short (one hop per retirement) and
+  // never cyclic, but guard against a controller bug anyway.
+  for (int hops = 0; hops < 64; ++hops) {
+    auto it = forwards_.find(cur);
+    if (it == forwards_.end()) return cur;
+    cur = it->second;
+  }
+  assert(false && "forwarding cycle");
+  return cur;
+}
+
+}  // namespace hermes::shard

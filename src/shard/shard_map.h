@@ -1,0 +1,98 @@
+// Versioned shard map: partitioning of the row space across sites.
+//
+// The key space of every table is hashed into a fixed number of shards
+// (shard = key mod num_shards); each shard is owned by exactly one site.
+// The map carries an epoch that increases by one on every installation —
+// reconfiguration bumps it twice (wedge, then commit), and every
+// coordinator-to-agent message is stamped with the sender's epoch view so
+// agents can refuse stale senders (the fencing argument of Chockler &
+// Gotsman, "Multi-Shot Distributed Transaction Commit").
+//
+// The Directory is the authoritative copy — the role a replicated
+// configuration service plays in a real deployment. In the simulation it
+// is a shared object: Fetch() models an RPC to the service and is counted,
+// Install() is the controller's reconfiguration commit point.
+
+#ifndef HERMES_SHARD_SHARD_MAP_H_
+#define HERMES_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace hermes::shard {
+
+struct ShardEntry {
+  SiteId owner = kInvalidSite;
+  // A wedged shard is mid-handoff: its rows still live at `owner` but new
+  // transactions must not touch it (the generator redraws, the controller
+  // waits for in-flight ones to drain).
+  bool wedged = false;
+};
+
+struct ShardMap {
+  int64_t epoch = 0;
+  std::vector<ShardEntry> shards;
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  int ShardOf(int64_t key) const {
+    int n = num_shards();
+    return n == 0 ? 0 : static_cast<int>(((key % n) + n) % n);
+  }
+  SiteId OwnerOfKey(int64_t key) const { return shards[ShardOf(key)].owner; }
+  bool WedgedKey(int64_t key) const { return shards[ShardOf(key)].wedged; }
+
+  // Shards owned by `site` (ascending shard index).
+  std::vector<int> ShardsOf(SiteId site) const;
+  // Distinct owners (ascending SiteId).
+  std::vector<SiteId> Owners() const;
+
+  std::string ToString() const;
+
+  // Initial assignment: shard i -> site i mod num_sites.
+  static ShardMap MakeInitial(int num_shards, int num_sites);
+};
+
+// Authoritative shard map plus the forwarding table for retired sites.
+// Coordinators hold a cached epoch view and call Fetch() to refresh it
+// after an epoch refusal.
+class Directory {
+ public:
+  Directory() = default;
+  explicit Directory(ShardMap initial) : map_(std::move(initial)) {}
+
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  int64_t epoch() const { return map_.epoch; }
+  const ShardMap& Current() const { return map_; }
+
+  // Models the RPC to the configuration service; counted so sweeps can
+  // report refresh traffic.
+  ShardMap Fetch() const {
+    ++fetches_;
+    return map_;
+  }
+  int64_t fetches() const { return fetches_; }
+
+  // Controller-only: installs a successor map. Epochs advance by exactly
+  // one; anything else is a controller bug.
+  void Install(ShardMap next);
+
+  // Retired-site forwarding: messages addressed to `from` should go to
+  // Forward(from) instead. Transitive (replace of a replacement chains).
+  void SetForward(SiteId from, SiteId to) { forwards_[from] = to; }
+  SiteId Forward(SiteId site) const;
+
+ private:
+  ShardMap map_;
+  std::unordered_map<SiteId, SiteId> forwards_;
+  mutable int64_t fetches_ = 0;
+};
+
+}  // namespace hermes::shard
+
+#endif  // HERMES_SHARD_SHARD_MAP_H_

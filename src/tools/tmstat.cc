@@ -83,7 +83,8 @@ bool WantReport(const Options& opt, const char* name) {
 }
 
 void PrintTimeline(const Options& opt, const trace::TraceAnalyzer& analyzer,
-                   const trace::SpanForest& forest) {
+                   const trace::SpanForest& forest,
+                   const std::vector<trace::Event>& events) {
   Section("timeline");
   if (!opt.txn.empty()) {
     const Result<TxnId> id = trace::DecodeTxnId(opt.txn);
@@ -94,7 +95,13 @@ void PrintTimeline(const Options& opt, const trace::TraceAnalyzer& analyzer,
     std::printf("%s", analyzer.ReportTxn(*id).c_str());
     return;
   }
-  // One line per global transaction: outcome and end-to-end latency.
+  // One line per global transaction (outcome and end-to-end latency), with
+  // the run's membership-change markers interleaved at their virtual time.
+  struct Line {
+    sim::Time at;
+    std::string text;
+  };
+  std::vector<Line> lines;
   for (int32_t root_id : forest.roots) {
     const trace::Span& root = forest.spans[static_cast<size_t>(root_id)];
     std::string line = StrCat(trace::EncodeTxnId(root.txn), " t=", root.begin);
@@ -104,8 +111,40 @@ void PrintTimeline(const Options& opt, const trace::TraceAnalyzer& analyzer,
     } else {
       StrAppend(line, " UNFINISHED");
     }
-    std::printf("%s\n", line.c_str());
+    lines.push_back({root.begin, std::move(line)});
   }
+  for (const trace::Event& e : events) {
+    switch (e.kind) {
+      case trace::EventKind::kReconfigBegin:
+        lines.push_back(
+            {e.at, StrCat("RECONFIG t=", e.at, " begin kind=", e.detail,
+                          " site=", e.site, " successor=", e.peer,
+                          " fence_epoch=", e.value)});
+        break;
+      case trace::EventKind::kReconfigHandoff:
+        lines.push_back({e.at, StrCat("RECONFIG t=", e.at, " handoff ",
+                                      e.site, " -> ", e.peer,
+                                      " rows=", e.value)});
+        break;
+      case trace::EventKind::kReconfigDone:
+        lines.push_back(
+            {e.at, StrCat("RECONFIG t=", e.at, " done kind=", e.detail,
+                          " site=", e.site, " epoch=", e.value)});
+        break;
+      case trace::EventKind::kEpochRefused:
+        lines.push_back(
+            {e.at, StrCat("EPOCH-REFUSED t=", e.at, " ",
+                          trace::EncodeTxnId(e.txn), " at site=", e.site,
+                          " sender=", e.peer, " msg=", e.detail,
+                          " current_epoch=", e.value)});
+        break;
+      default:
+        break;
+    }
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.at < b.at; });
+  for (const Line& l : lines) std::printf("%s\n", l.text.c_str());
 }
 
 void PrintSpans(const Options& opt, const trace::SpanForest& forest) {
@@ -283,7 +322,9 @@ int main(int argc, char** argv) {
     if (summary.empty() || summary.back() != '\n') summary += '\n';
     std::printf("%s", summary.c_str());
   }
-  if (opt.report == "timeline") PrintTimeline(opt, analyzer, forest);
+  if (opt.report == "timeline") {
+    PrintTimeline(opt, analyzer, forest, parsed.events);
+  }
   if (opt.report == "spans") PrintSpans(opt, forest);
   if (WantReport(opt, "critical-path")) PrintCriticalPath(opt, cp);
   if (WantReport(opt, "blocking")) PrintBlocking(forest, cp);

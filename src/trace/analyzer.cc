@@ -234,11 +234,24 @@ std::string TraceAnalyzer::Summary() const {
       ++aborted;
     }
   }
-  return StrCat("trace: ", events_.size(), " events, ", timelines_.size(),
-                " transactions (", committed, " committed, ", aborted,
-                " aborted, ", unfinished, " unfinished), ", chains_.size(),
-                " resubmission chain(s), ", refusals_.size(),
-                " certification refusal(s)");
+  int64_t reconfigs = 0, handoffs = 0, epoch_refused = 0;
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kReconfigDone) ++reconfigs;
+    if (e.kind == EventKind::kReconfigHandoff) ++handoffs;
+    if (e.kind == EventKind::kEpochRefused) ++epoch_refused;
+  }
+  std::string out =
+      StrCat("trace: ", events_.size(), " events, ", timelines_.size(),
+             " transactions (", committed, " committed, ", aborted,
+             " aborted, ", unfinished, " unfinished), ", chains_.size(),
+             " resubmission chain(s), ", refusals_.size(),
+             " certification refusal(s)");
+  // Membership changes only clutter the summary of runs that had none.
+  if (reconfigs + handoffs + epoch_refused > 0) {
+    StrAppend(out, ", ", reconfigs, " reconfiguration(s) (", handoffs,
+              " shard handoff(s), ", epoch_refused, " epoch refusal(s))");
+  }
+  return out;
 }
 
 }  // namespace hermes::trace

@@ -88,6 +88,14 @@ const char* EventKindName(EventKind kind) {
       return "short_commit";
     case EventKind::kCsnAssign:
       return "csn_assign";
+    case EventKind::kReconfigBegin:
+      return "reconfig_begin";
+    case EventKind::kReconfigHandoff:
+      return "reconfig_handoff";
+    case EventKind::kReconfigDone:
+      return "reconfig_done";
+    case EventKind::kEpochRefused:
+      return "epoch_refused";
   }
   return "?";
 }
@@ -134,6 +142,8 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kPaxosDecided,   EventKind::kPaxosPrepare,
     EventKind::kPaxosPromise,   EventKind::kPaxosElect,
     EventKind::kShortCommit,    EventKind::kCsnAssign,
+    EventKind::kReconfigBegin,  EventKind::kReconfigHandoff,
+    EventKind::kReconfigDone,   EventKind::kEpochRefused,
 };
 
 constexpr RefuseKind kAllRefuseKinds[] = {

@@ -118,6 +118,19 @@ enum class EventKind : uint8_t {
                  // at prepare time, skipping the decision round)
   kCsnAssign,    // the coordinator drew the decision-time commit sequence
                  // number from the global source; value = csn
+
+  // Online reconfiguration (shard subsystem).
+  kReconfigBegin,    // shard map fenced (wedge epoch installed);
+                     // site = leaving/target site, peer = destination,
+                     // value = new epoch, detail = reconfiguration kind
+  kReconfigHandoff,  // one source's shards + prepared residue moved;
+                     // site = source, peer = destination, value = rows moved
+  kReconfigDone,     // final map installed, moved shards live at the
+                     // destination; value = new epoch, detail = kind
+  kEpochRefused,     // an agent refused a message carrying a stale epoch;
+                     // site = refusing agent, peer = sender,
+                     // value = the agent's current epoch, detail = message
+                     // kind (begin / dml / prepare / decision / 1pc)
 };
 
 // Why a certification refused a PREPARE.

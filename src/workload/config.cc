@@ -17,6 +17,8 @@ const char* SystemName(System s) {
 core::MdbsConfig WorkloadConfig::ToMdbsConfig() const {
   core::MdbsConfig config;
   config.num_sites = num_sites;
+  config.num_shards = num_shards;
+  config.max_sites = max_sites;
   config.record_history = record_history;
   config.tracer = tracer;
   config.network.base_latency = net_base_latency;
@@ -84,6 +86,10 @@ std::string WorkloadConfig::ToString() const {
   if (single_site_fraction > 0 || read_only_fraction > 0) {
     StrAppend(out, " ss_frac=", single_site_fraction,
               " ro_frac=", read_only_fraction);
+  }
+  if (num_shards > 0) {
+    StrAppend(out, " shards=", num_shards, " max_sites=",
+              max_sites > 0 ? max_sites : num_sites);
   }
   if (!fault_plan.empty()) {
     StrAppend(out, " faults=", fault_plan.events.size());

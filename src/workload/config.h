@@ -25,6 +25,14 @@ struct WorkloadConfig {
   int tables_per_site = 1;
   int64_t rows_per_table = 128;
   double zipf_theta = 0.0;  // 0 = uniform access
+  // E19 sharded mode (2CM only): > 0 partitions the key space into this
+  // many shards owned by sites via a versioned shard::Directory; the
+  // generator routes every command to its key's owner, LoadData loads each
+  // key only at its owner, and StartReconfig can move shards mid-run.
+  // 0 keeps the legacy unsharded topology (byte-identical traces).
+  int num_shards = 0;
+  // Site-id headroom for add/replace reconfigurations (0 = num_sites).
+  int max_sites = 0;
 
   // --- load -----------------------------------------------------------------
   int global_clients = 8;

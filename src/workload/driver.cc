@@ -100,11 +100,17 @@ void InstallFailureInjector(const std::shared_ptr<RunState>& st) {
 
 void LoadData(const std::shared_ptr<RunState>& st) {
   const WorkloadConfig& config = st->config;
+  // Sharded mode: each key lives only at its owning site; the generator
+  // routes all access there. Legacy mode replicates every key everywhere.
+  const shard::ShardMap* map = st->mdbs->directory() != nullptr
+                                   ? &st->mdbs->directory()->Current()
+                                   : nullptr;
   for (int t = 0; t < config.tables_per_site; ++t) {
     auto id = st->mdbs->CreateTableEverywhere(StrCat("t", t));
     assert(id.ok());
     for (SiteId s = 0; s < config.num_sites; ++s) {
       for (int64_t k = 0; k < config.rows_per_table; ++k) {
+        if (map != nullptr && map->OwnerOfKey(k) != s) continue;
         st->mdbs->LoadRow(s, *id, k,
                           db::Row{{"val", db::Value(int64_t{0})}});
       }
@@ -163,6 +169,9 @@ RunResult Driver::Run(const WorkloadConfig& config) {
   }
 
   Generator generator(config, config.seed);
+  if (config.system == System::k2CM && mdbs->directory() != nullptr) {
+    generator.set_directory(mdbs->directory());
+  }
   auto st = std::make_shared<RunState>();
   st->config = config;
   st->loop = &loop;
@@ -218,7 +227,9 @@ RunResult Driver::Run(const WorkloadConfig& config) {
   result.msgs_reordered = mdbs->network().messages_reordered();
   result.end_time = st->done_at >= 0 ? st->done_at : loop.Now();
   result.events = loop.events_processed();
-  for (SiteId s = 0; s < config.num_sites; ++s) {
+  // num_sites() (not config.num_sites): reconfiguration may have
+  // provisioned sites mid-run, and their LTM work counts too.
+  for (SiteId s = 0; s < mdbs->num_sites(); ++s) {
     const ltm::LtmStats& ls = mdbs->ltm(s)->stats();
     result.ltm.begun += ls.begun;
     result.ltm.committed += ls.committed;

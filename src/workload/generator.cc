@@ -15,13 +15,17 @@ int64_t Generator::PickKey(Rng& rng) const {
   return static_cast<int64_t>(zipf_.Next(rng));
 }
 
-db::Command Generator::MakeCommand(Rng& rng, db::TableId table,
-                                   bool write) const {
-  const int64_t key = PickKey(rng);
+db::Command Generator::MakeCommandForKey(db::TableId table, int64_t key,
+                                         bool write) const {
   if (write) {
     return db::MakeAddKey(table, key, "val", db::Value(int64_t{1}));
   }
   return db::MakeSelectKey(table, key);
+}
+
+db::Command Generator::MakeCommand(Rng& rng, db::TableId table,
+                                   bool write) const {
+  return MakeCommandForKey(table, PickKey(rng), write);
 }
 
 core::GlobalTxnSpec Generator::NextGlobal(Rng& rng) const {
@@ -32,6 +36,25 @@ core::GlobalTxnSpec Generator::NextGlobal(Rng& rng) const {
                            rng.NextBool(config_.single_site_fraction);
   const bool read_only = config_.read_only_fraction > 0 &&
                          rng.NextBool(config_.read_only_fraction);
+  if (directory_ != nullptr) {
+    // Sharded mode: keys first, sites second — every command executes at
+    // its key's current owner. Keys whose shard is mid-handoff (wedged)
+    // are redrawn a few times so new work steers clear of the drain.
+    const shard::ShardMap& map = directory_->Fetch();
+    for (int c = 0; c < config_.cmds_per_global_txn; ++c) {
+      const db::TableId table = static_cast<db::TableId>(
+          rng.NextUint64(static_cast<uint64_t>(config_.tables_per_site)));
+      const bool write =
+          rng.NextBool(config_.global_write_fraction) && !read_only;
+      int64_t key = PickKey(rng);
+      for (int redraw = 0; redraw < 8 && map.WedgedKey(key); ++redraw) {
+        key = PickKey(rng);
+      }
+      spec.steps.push_back(core::GlobalTxnSpec::Step{
+          map.OwnerOfKey(key), MakeCommandForKey(table, key, write)});
+    }
+    return spec;
+  }
   const int wanted =
       single_site ? 1
                   : std::min(config_.sites_per_global_txn, config_.num_sites);
@@ -73,6 +96,22 @@ core::LocalTxnSpec Generator::NextLocal(Rng& rng, SiteId site,
     } else {
       table = static_cast<db::TableId>(
           rng.NextUint64(static_cast<uint64_t>(config_.tables_per_site)));
+    }
+    if (directory_ != nullptr) {
+      // Sharded mode: only keys living at this site make sense locally.
+      // Redraw until one lands here; with shards spread evenly the expected
+      // number of draws is the site count, so the bound is generous. A key
+      // that stubbornly refuses is used as-is (the command then fails like
+      // any mistargeted local access would).
+      const shard::ShardMap& map = directory_->Fetch();
+      int64_t key = PickKey(rng);
+      for (int redraw = 0;
+           redraw < 64 && (map.OwnerOfKey(key) != site || map.WedgedKey(key));
+           ++redraw) {
+        key = PickKey(rng);
+      }
+      spec.commands.push_back(MakeCommandForKey(table, key, write));
+      continue;
     }
     spec.commands.push_back(MakeCommand(rng, table, write));
   }

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/coordinator.h"
 #include "core/mdbs.h"
+#include "shard/shard_map.h"
 #include "workload/config.h"
 
 namespace hermes::workload {
@@ -16,21 +17,34 @@ class Generator {
  public:
   Generator(const WorkloadConfig& config, uint64_t seed);
 
-  // A global transaction touching `sites_per_global_txn` distinct sites.
+  // Sharded mode: commands are routed to their key's current owner (keys in
+  // wedged shards are redrawn a few times to let a drain finish). Null (the
+  // default) keeps the legacy site-first generation, byte-identical to
+  // older seeds.
+  void set_directory(const shard::Directory* directory) {
+    directory_ = directory;
+  }
+
+  // A global transaction touching `sites_per_global_txn` distinct sites
+  // (legacy mode) or the owners of its drawn keys (sharded mode).
   core::GlobalTxnSpec NextGlobal(Rng& rng) const;
 
   // A local transaction at `site`. Under CGM the partition restriction is
   // honored by directing local updates at the dedicated local table
-  // (`local_table` >= 0); reads may touch shared tables.
+  // (`local_table` >= 0); reads may touch shared tables. Sharded mode
+  // redraws keys until they live at `site`.
   core::LocalTxnSpec NextLocal(Rng& rng, SiteId site,
                                db::TableId local_table) const;
 
  private:
   db::Command MakeCommand(Rng& rng, db::TableId table, bool write) const;
+  db::Command MakeCommandForKey(db::TableId table, int64_t key,
+                                bool write) const;
   int64_t PickKey(Rng& rng) const;
 
   WorkloadConfig config_;
   ZipfGenerator zipf_;
+  const shard::Directory* directory_ = nullptr;
 };
 
 }  // namespace hermes::workload

@@ -143,6 +143,127 @@ TEST(ChaosGenerator, PlansAreWellFormedAcrossSeeds) {
   }
 }
 
+TEST(FaultPlanJson, ReconfigKindsRoundTrip) {
+  FaultPlan plan;
+  FaultEvent add;
+  add.kind = FaultKind::kAddSite;
+  add.at = 50 * sim::kMillisecond;
+  plan.events.push_back(add);
+  FaultEvent remove;
+  remove.kind = FaultKind::kRemoveSite;
+  remove.at = 100 * sim::kMillisecond;
+  remove.site = 2;
+  plan.events.push_back(remove);
+  FaultEvent replace;
+  replace.kind = FaultKind::kReplaceSite;
+  replace.at = 150 * sim::kMillisecond;
+  replace.site = 1;
+  plan.events.push_back(replace);
+
+  const std::string jsonl = plan.ToJsonl();
+  EXPECT_NE(jsonl.find("\"add_site\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"remove_site\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"replace_site\""), std::string::npos);
+  const auto parsed = ParseFaultPlan(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, plan);
+  EXPECT_EQ(parsed->ToJsonl(), jsonl);
+}
+
+TEST(ChaosGenerator, ReconfigEventsAreDeterministicAndInRange) {
+  ChaosOptions opts;
+  opts.num_sites = 4;
+  opts.reconfigs = 3;
+  const FaultPlan a = GenerateChaosPlan(7, opts);
+  EXPECT_EQ(a, GenerateChaosPlan(7, opts));
+  int reconfig_events = 0;
+  for (const FaultEvent& ev : a.events) {
+    if (ev.kind != FaultKind::kAddSite &&
+        ev.kind != FaultKind::kRemoveSite &&
+        ev.kind != FaultKind::kReplaceSite) {
+      continue;
+    }
+    ++reconfig_events;
+    EXPECT_EQ(ev.trigger, TriggerKind::kAtTime);
+    if (ev.kind != FaultKind::kAddSite) {
+      // Targets spare the scripted-coordinator site 0 by default.
+      EXPECT_GE(ev.site, opts.reconfig_min_site);
+      EXPECT_LT(ev.site, opts.num_sites);
+    }
+  }
+  EXPECT_EQ(reconfig_events, opts.reconfigs);
+  const auto parsed = ParseFaultPlan(a.ToJsonl());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ToJsonl(), a.ToJsonl());
+}
+
+TEST(ChaosGenerator, ReconfigDrawsDoNotDisturbExistingEvents) {
+  // The membership draws are appended after every legacy draw, so turning
+  // them on must reproduce the exact same crash/partition/burst events.
+  ChaosOptions base;
+  base.num_sites = 4;
+  ChaosOptions churny = base;
+  churny.reconfigs = 2;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const FaultPlan without = GenerateChaosPlan(seed, base);
+    FaultPlan with = GenerateChaosPlan(seed, churny);
+    std::vector<FaultEvent> legacy;
+    for (const FaultEvent& ev : with.events) {
+      if (ev.kind == FaultKind::kAddSite ||
+          ev.kind == FaultKind::kRemoveSite ||
+          ev.kind == FaultKind::kReplaceSite) {
+        continue;
+      }
+      legacy.push_back(ev);
+    }
+    ASSERT_EQ(legacy.size(), without.events.size());
+    for (const FaultEvent& ev : without.events) {
+      EXPECT_NE(std::find(legacy.begin(), legacy.end(), ev), legacy.end());
+    }
+  }
+}
+
+TEST(FaultInjector, ReconfigEventDrivesALiveReconfiguration) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;
+  config.num_shards = 8;
+  config.max_sites = 3;
+  core::Mdbs mdbs(config, &loop);
+
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.kind = FaultKind::kAddSite;
+  ev.at = 10 * sim::kMillisecond;
+  plan.events.push_back(ev);
+  InstallFaultPlan(plan, &mdbs);
+  loop.Run();
+
+  EXPECT_EQ(mdbs.num_sites(), 3);
+  EXPECT_EQ(mdbs.metrics().reconfig_completed, 1);
+  EXPECT_FALSE(mdbs.directory()->Current().ShardsOf(2).empty());
+}
+
+TEST(FaultInjector, ReconfigEventIsBestEffortWithoutSharding) {
+  sim::EventLoop loop;
+  core::MdbsConfig config;
+  config.num_sites = 2;  // unsharded: the event must be silently dropped
+  core::Mdbs mdbs(config, &loop);
+
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.kind = FaultKind::kRemoveSite;
+  ev.at = 5 * sim::kMillisecond;
+  ev.site = 1;
+  plan.events.push_back(ev);
+  InstallFaultPlan(plan, &mdbs);
+  loop.Run();
+
+  EXPECT_EQ(mdbs.num_sites(), 2);
+  EXPECT_FALSE(mdbs.SiteRemoved(1));
+  EXPECT_EQ(mdbs.metrics().reconfig_started, 0);
+}
+
 TEST(FaultInjector, TimedCrashAndRecoveryFire) {
   sim::EventLoop loop;
   core::MdbsConfig config;

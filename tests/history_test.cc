@@ -87,6 +87,14 @@ class HistoryBuilder {
     Append(op);
   }
 
+  void MigrateOut(const SubTxnId& subtxn, SiteId site) {
+    Op op;
+    op.kind = OpKind::kMigrateOut;
+    op.subtxn = subtxn;
+    op.site = site;
+    Append(op);
+  }
+
   void GlobalCommit(const TxnId& txn) {
     Op op;
     op.kind = OpKind::kGlobalCommit;
@@ -450,6 +458,41 @@ TEST(Graphs, FindCycleReturnsClosedPath) {
   EXPECT_GE(cycle->size(), 3u);
   EXPECT_EQ(cycle->front(), cycle->back());
   EXPECT_FALSE(g.TopologicalOrder().has_value());
+}
+
+TEST(Graphs, CommitOrderGraphExemptsMigratedTransactions) {
+  // A shard handoff moves T1's prepared residue from site b to site a; the
+  // adopted subtransaction commits at a when the carried decision lands,
+  // which can be after unrelated commits at a — an inversion the adopter's
+  // SN-certified commit order cannot rule out. CG must exempt migrated
+  // transactions; they stay in C(H) for the atomicity/replay/VSR oracles.
+  HistoryBuilder h;
+  const auto X = h.Item(HistoryBuilder::kA, 0);
+  const auto Y = h.Item(HistoryBuilder::kA, 1);
+  const auto Z = h.Item(HistoryBuilder::kB, 2);
+  const SubTxnId t1 = Sub(1), l = Local(HistoryBuilder::kA, 1);
+
+  h.Write(t1, X);
+  h.Write(t1, Z);
+  h.Prepare(t1, HistoryBuilder::kA);
+  h.Prepare(t1, HistoryBuilder::kB);
+  h.GlobalCommit(t1.txn);
+  h.LocalCommit(t1, HistoryBuilder::kA);
+  h.MigrateOut(t1, HistoryBuilder::kB);  // residue leaves b for a
+  h.Write(l, Y);
+  h.LocalCommit(l, HistoryBuilder::kA);
+  h.LocalCommit(t1, HistoryBuilder::kA);  // adopted commit lands after L
+
+  const auto committed = CommittedProjection(h.ops());
+  EXPECT_FALSE(BuildCommitOrderGraph(committed).HasCycle());
+  EXPECT_TRUE(CommitGraphAcyclic(committed));
+
+  // Without the kMigrateOut marker the same commit sequence reads as a
+  // genuine T1 -> L -> T1 inversion at site a.
+  auto unmarked = h.ops();
+  std::erase_if(unmarked,
+                [](const Op& op) { return op.kind == OpKind::kMigrateOut; });
+  EXPECT_TRUE(BuildCommitOrderGraph(unmarked).HasCycle());
 }
 
 // --- replay -------------------------------------------------------------------

@@ -267,5 +267,34 @@ TEST_F(MdbsTest, DluBlocksLocalUpdateOfBoundData) {
   EXPECT_EQ(check.verdict, history::Verdict::kSerializable);
 }
 
+TEST_F(MdbsTest, CrashAndRecoverRejectUnknownSites) {
+  Build(2);
+  EXPECT_EQ(mdbs_->CrashSite(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mdbs_->CrashSite(2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mdbs_->RecoverSite(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mdbs_->RecoverSite(99).code(), StatusCode::kInvalidArgument);
+  // Nothing happened to the real sites.
+  EXPECT_TRUE(mdbs_->SiteUp(0));
+  EXPECT_TRUE(mdbs_->SiteUp(1));
+  EXPECT_EQ(mdbs_->metrics().coordinator_crashes, 0);
+}
+
+TEST_F(MdbsTest, RepeatedCrashAndRecoverAreIdempotent) {
+  Build(2);
+  // Recovering a site that is up is a deterministic no-op.
+  EXPECT_TRUE(mdbs_->RecoverSite(1).ok());
+  EXPECT_TRUE(mdbs_->SiteUp(1));
+
+  ASSERT_TRUE(mdbs_->CrashSite(1, /*downtime=*/-1).ok());
+  EXPECT_FALSE(mdbs_->SiteUp(1));
+  // Crashing an already-down site is a no-op too, not a second crash.
+  const int64_t crashes = mdbs_->metrics().coordinator_crashes;
+  EXPECT_TRUE(mdbs_->CrashSite(1, /*downtime=*/-1).ok());
+  EXPECT_EQ(mdbs_->metrics().coordinator_crashes, crashes);
+
+  EXPECT_TRUE(mdbs_->RecoverSite(1).ok());
+  EXPECT_TRUE(mdbs_->SiteUp(1));
+}
+
 }  // namespace
 }  // namespace hermes

@@ -1,4 +1,5 @@
-// Runs every sweep experiment (E5, E6, E7, E9, E13, E15, E16, E18, E19) through the parallel
+// Runs every sweep experiment (E5, E6, E7, E9, E13, E15, E16, E18, E19,
+// E20) through the parallel
 // runner in a single process — the one-command regeneration path for the
 // EXPERIMENTS.md sweep tables and their BENCH_<name>.json artifacts.
 //
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
       {"E16 paxos", RunPaxosSweep},
       {"E18 ablation_matrix", RunAblationMatrixSweep},
       {"E19 reconfig", RunReconfigSweep},
+      {"E20 trace_overhead", RunTraceOverheadSweep},
   };
   int rc = 0;
   for (const Entry& e : sweeps) {

@@ -1,0 +1,11 @@
+// E20 — trace overhead sweep: {off, jsonl, binary, binary+1/16-sampling}
+// x workload size, with perturbation, format-interchangeability and
+// determinism gates. The implementation lives in
+// bench/sweep_trace_overhead.cpp and is shared with bench_suite.
+
+#include "bench/sweeps.h"
+
+int main(int argc, char** argv) {
+  return hermes::bench::SweepMain(hermes::bench::RunTraceOverheadSweep,
+                                  argc, argv);
+}

@@ -1,0 +1,409 @@
+// E20 — trace overhead sweep: {off, jsonl, binary, binary + 1/16
+// sampling} x workload sizes.
+//
+// The tentpole claim behind the binary ring-buffer backend is that
+// always-on tracing is affordable: at the largest workload cell the
+// binary tracer must cost < 5% of the untraced run's wall-clock time.
+// Wall time is measured with std::chrono::steady_clock around
+// Driver::Run only — export (ToJsonl / ToBinary) is timed separately
+// and reported in its own column, because a live deployment serializes
+// once per run, not per event. The timing grid always executes
+// serially (workers would contend for cores and poison the clock);
+// --workers only affects the determinism sub-grid.
+//
+// Correctness gates, all modes:
+//  * every run passes the atomicity / order-invariant / serializability
+//    oracles;
+//  * committed and aborted counts are identical across all four modes
+//    for every (size, seed) — tracing, whatever the backend or sampling
+//    rate, must never perturb the simulation;
+//  * the critical-path report computed from the JSONL capture and from
+//    the binary capture of the same run are byte-identical — the two
+//    formats are interchangeable encodings of the same events;
+//  * a serial and a 2-worker RunAll over binary-traced specs produce
+//    byte-identical fingerprints and byte-identical MergeBinaryTraces
+//    outputs;
+//  * with 1/16 sampling, sampled_out > 0 and the tracer invariant
+//    emitted == stored + sampled_out + dropped holds.
+//
+// The < 5% overhead gate is enforced only in full mode (--quick cells
+// are too small for stable wall-clock ratios); quick mode still prints
+// the measured overhead.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/sweeps.h"
+#include "runner/runner.h"
+#include "trace/binary.h"
+#include "trace/critical_path.h"
+#include "trace/span.h"
+#include "trace/trace.h"
+#include "workload/driver.h"
+
+namespace hermes::bench {
+
+namespace {
+
+struct OverheadMode {
+  const char* name;
+  bool traced;
+  trace::TracerOptions options;
+};
+
+workload::WorkloadConfig OverheadConfig(uint64_t seed, int txns) {
+  workload::WorkloadConfig config;
+  config.seed = seed;
+  config.num_sites = 4;
+  config.rows_per_table = 128;
+  config.global_clients = 8;
+  config.target_global_txns = txns;
+  config.sites_per_global_txn = 2;
+  return config;
+}
+
+struct TimedRun {
+  workload::RunResult result;
+  trace::TracerStats stats;   // tracer counters (traced modes)
+  std::string capture;        // export bytes (traced modes)
+  double wall_ms = 0.0;       // best-of-repeats Driver::Run wall time
+  double export_ms = 0.0;     // best-of-repeats ToJsonl/ToBinary time
+};
+
+double Ms(std::chrono::steady_clock::duration d) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                 .count()) /
+         1e6;
+}
+
+// Runs the config `repeats` times under `mode`'s tracer and keeps the
+// fastest wall time (the repeats are byte-identical by determinism, so
+// min is a noise filter, not a choice of result).
+TimedRun RunTimed(const OverheadMode& mode,
+                  const workload::WorkloadConfig& base, int repeats) {
+  TimedRun out;
+  for (int r = 0; r < repeats; ++r) {
+    workload::WorkloadConfig config = base;
+    std::optional<trace::Tracer> tracer;
+    if (mode.traced) {
+      tracer.emplace(mode.options);
+      config.tracer = &*tracer;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    workload::RunResult result = workload::Driver::Run(config);
+    const auto ran = std::chrono::steady_clock::now();
+    std::string capture;
+    if (tracer.has_value()) {
+      capture = mode.options.format == trace::TraceFormat::kBinary
+                    ? tracer->ToBinary()
+                    : tracer->ToJsonl();
+    }
+    const auto exported = std::chrono::steady_clock::now();
+    const double wall = Ms(ran - start);
+    if (r == 0 || wall < out.wall_ms) {
+      out.wall_ms = wall;
+      out.export_ms = Ms(exported - ran);
+      out.result = std::move(result);
+      if (tracer.has_value()) out.stats = tracer->stats();
+      out.capture = std::move(capture);
+    }
+  }
+  return out;
+}
+
+bool OracleOk(const workload::RunResult& r) {
+  return r.history_checked && r.atomicity_ok && r.commit_graph_acyclic &&
+         r.replay_consistent && r.order_invariant_ok &&
+         r.verdict != history::Verdict::kNotSerializable;
+}
+
+bool WriteFile(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  return std::fclose(f) == 0 && written == bytes.size();
+}
+
+}  // namespace
+
+int RunTraceOverheadSweep(const SweepArgs& args) {
+  const std::vector<int> sizes =
+      args.quick ? std::vector<int>{120} : std::vector<int>{200, 800, 3000};
+  const int num_seeds = args.quick ? 2 : 3;
+  const int repeats = args.quick ? 1 : 3;
+
+  trace::TracerOptions jsonl_opts;
+  trace::TracerOptions binary_opts;
+  binary_opts.format = trace::TraceFormat::kBinary;
+  trace::TracerOptions sampled_opts = binary_opts;
+  sampled_opts.sample_period = 16;
+  sampled_opts.sample_seed = 0xE20;
+  const std::vector<OverheadMode> modes = {
+      {"off", false, {}},
+      {"jsonl", true, jsonl_opts},
+      {"binary", true, binary_opts},
+      {"binary_s16", true, sampled_opts},
+  };
+
+  std::printf(
+      "E20 — trace overhead: {off, jsonl, binary, binary+1/16-sampling} x "
+      "workload size\n(4 sites, 8 global clients, %d seeds per cell, "
+      "best-of-%d wall timing around Driver::Run only, timing grid always "
+      "serial%s)\n\n",
+      num_seeds, repeats, args.quick ? ", quick" : "");
+
+  runner::Aggregator agg;
+  std::string base_config;
+  bool all_ok = true;
+
+  // wall/export totals per (size, mode index), summed over seeds.
+  std::map<std::pair<int, size_t>, double> wall_ms;
+  std::map<std::pair<int, size_t>, double> export_ms;
+
+  for (int txns : sizes) {
+    // Per-seed decided counts of the off cell, the reference the traced
+    // modes must reproduce exactly.
+    std::vector<int64_t> ref_committed(static_cast<size_t>(num_seeds), -1);
+    std::vector<int64_t> ref_aborted(static_cast<size_t>(num_seeds), -1);
+    for (size_t m = 0; m < modes.size(); ++m) {
+      const OverheadMode& mode = modes[m];
+      const std::string cell = StrCat(mode.name, "/", txns);
+      for (int s = 0; s < num_seeds; ++s) {
+        const workload::WorkloadConfig config =
+            OverheadConfig(7100 + static_cast<uint64_t>(s), txns);
+        if (base_config.empty()) base_config = config.ToString();
+        TimedRun run = RunTimed(mode, config, repeats);
+        wall_ms[{txns, m}] += run.wall_ms;
+        export_ms[{txns, m}] += run.export_ms;
+
+        bool ok = OracleOk(run.result);
+        if (!ok) {
+          std::fprintf(stderr, "oracle: %s seed=%d violated (%s%s%s)\n",
+                       cell.c_str(), s, run.result.atomicity_error.c_str(),
+                       run.result.order_invariant_error.c_str(),
+                       run.result.verdict_detail.c_str());
+        }
+        const int64_t committed = run.result.metrics.global_committed;
+        const int64_t aborted = run.result.metrics.global_aborted;
+        if (m == 0) {
+          ref_committed[static_cast<size_t>(s)] = committed;
+          ref_aborted[static_cast<size_t>(s)] = aborted;
+        } else if (committed != ref_committed[static_cast<size_t>(s)] ||
+                   aborted != ref_aborted[static_cast<size_t>(s)]) {
+          ok = false;
+          std::fprintf(stderr,
+                       "perturbation: %s seed=%d decided %lld/%lld, off "
+                       "decided %lld/%lld — tracing changed the run\n",
+                       cell.c_str(), s,
+                       static_cast<long long>(committed),
+                       static_cast<long long>(aborted),
+                       static_cast<long long>(
+                           ref_committed[static_cast<size_t>(s)]),
+                       static_cast<long long>(
+                           ref_aborted[static_cast<size_t>(s)]));
+        }
+        if (mode.traced) {
+          // Tracer accounting invariant: every emitted event is stored,
+          // sampled out, or dropped by the ring.
+          const int64_t stored = run.stats.emitted -
+                                 run.stats.sampled_out - run.stats.dropped;
+          if (stored < 0 ||
+              run.result.metrics.trace_events_emitted !=
+                  run.stats.emitted ||
+              run.result.metrics.trace_sampled_out !=
+                  run.stats.sampled_out) {
+            ok = false;
+            std::fprintf(stderr,
+                         "accounting: %s seed=%d emitted=%lld "
+                         "sampled_out=%lld dropped=%lld\n",
+                         cell.c_str(), s,
+                         static_cast<long long>(run.stats.emitted),
+                         static_cast<long long>(run.stats.sampled_out),
+                         static_cast<long long>(run.stats.dropped));
+          }
+          if (mode.options.sample_period > 1 &&
+              run.stats.sampled_out == 0) {
+            ok = false;
+            std::fprintf(stderr,
+                         "sampling: %s seed=%d sampled nothing out\n",
+                         cell.c_str(), s);
+          }
+        }
+        all_ok = all_ok && ok;
+
+        agg.AddRun(cell, config.seed, run.result);
+        runner::CellAggregate& aggregate = agg.Cell(cell);
+        aggregate.Add("wall_ms", run.wall_ms);
+        aggregate.Add("export_ms", run.export_ms);
+        aggregate.Add("trace_bytes",
+                      static_cast<double>(run.capture.size()));
+        if (s == 0 && mode.options.format == trace::TraceFormat::kJsonl &&
+            mode.traced) {
+          AddPhaseStats(aggregate, run.capture);
+        }
+      }
+    }
+  }
+
+  // Format interchangeability: for the first seed of every size, the
+  // critical-path report from the JSONL capture and from the binary
+  // capture of the same run must be byte-identical.
+  bool formats_agree = true;
+  for (int txns : sizes) {
+    const workload::WorkloadConfig config = OverheadConfig(7100, txns);
+    TimedRun jsonl_run = RunTimed(modes[1], config, 1);
+    TimedRun binary_run = RunTimed(modes[2], config, 1);
+    const trace::LenientParse jp =
+        trace::ParseJsonlLenient(jsonl_run.capture);
+    Result<std::vector<trace::Event>> bp =
+        trace::ParseBinary(binary_run.capture);
+    if (!bp.ok()) {
+      std::fprintf(stderr, "binary parse (%d txns): %s\n", txns,
+                   bp.status().ToString().c_str());
+      formats_agree = false;
+      continue;
+    }
+    const std::string from_jsonl =
+        trace::AnalyzeCriticalPath(trace::BuildSpanForest(jp.events))
+            .ToString();
+    const std::string from_binary =
+        trace::AnalyzeCriticalPath(trace::BuildSpanForest(*bp)).ToString();
+    if (from_jsonl != from_binary) {
+      formats_agree = false;
+      std::fprintf(stderr,
+                   "format divergence (%d txns): critical-path report "
+                   "differs between the JSONL and binary captures\n",
+                   txns);
+    }
+  }
+  all_ok = all_ok && formats_agree;
+
+  // Determinism sub-grid: binary-traced specs through RunAll serially and
+  // on 2 workers — per-run fingerprints and the deterministic multi-run
+  // merge must be byte-identical.
+  std::vector<runner::RunSpec> det;
+  for (int s = 0; s < num_seeds; ++s) {
+    runner::RunSpec spec;
+    spec.cell = "det";
+    spec.config = OverheadConfig(7100 + static_cast<uint64_t>(s),
+                                 sizes.front());
+    spec.capture_trace = true;
+    spec.trace_options = binary_opts;
+    det.push_back(spec);
+  }
+  det.back().trace_options = sampled_opts;
+  Result<std::vector<runner::RunOutput>> det_serial =
+      runner::RunAll(det, {.workers = 1});
+  Result<std::vector<runner::RunOutput>> det_parallel =
+      runner::RunAll(det, {.workers = 2});
+  if (!det_serial.ok() || !det_parallel.ok()) {
+    std::fprintf(stderr, "harness: determinism sub-grid failed\n");
+    return 2;
+  }
+  bool deterministic = true;
+  for (size_t i = 0; i < det.size(); ++i) {
+    if (runner::Fingerprint((*det_serial)[i]) !=
+        runner::Fingerprint((*det_parallel)[i])) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "determinism: binary-traced run %zu diverged between "
+                   "serial and 2-worker execution\n",
+                   i);
+    }
+  }
+  Result<std::string> merged_serial = runner::MergeBinaryTraces(*det_serial);
+  Result<std::string> merged_parallel =
+      runner::MergeBinaryTraces(*det_parallel);
+  if (!merged_serial.ok() || !merged_parallel.ok()) {
+    std::fprintf(stderr, "harness: MergeBinaryTraces failed: %s\n",
+                 (merged_serial.ok() ? merged_parallel : merged_serial)
+                     .status()
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+  if (*merged_serial != *merged_parallel) {
+    deterministic = false;
+    std::fprintf(stderr,
+                 "determinism: merged binary trace differs between serial "
+                 "and 2-worker sweeps\n");
+  }
+  all_ok = all_ok && deterministic;
+
+  // Table + the headline overhead gate.
+  TablePrinter table({"cell", "committed", "aborted", "events",
+                      "sampled out", "trace KB", "wall ms", "export ms",
+                      "overhead %", "status"});
+  const int largest = sizes.back();
+  double binary_overhead_at_largest = 0.0;
+  for (int txns : sizes) {
+    const double off_wall = wall_ms[{txns, 0}];
+    for (size_t m = 0; m < modes.size(); ++m) {
+      const std::string cell = StrCat(modes[m].name, "/", txns);
+      runner::CellAggregate& aggregate = agg.Cell(cell);
+      const double wall = wall_ms[{txns, m}];
+      const double overhead_pct =
+          m == 0 || off_wall <= 0.0
+              ? 0.0
+              : (wall - off_wall) / off_wall * 100.0;
+      aggregate.Add("overhead_pct", overhead_pct);
+      if (m == 2 && txns == largest) binary_overhead_at_largest = overhead_pct;
+      table.AddRow(
+          cell, static_cast<int64_t>(aggregate.Sum("committed")),
+          static_cast<int64_t>(aggregate.Sum("aborted")),
+          static_cast<int64_t>(aggregate.Sum("trace_emitted")),
+          static_cast<int64_t>(aggregate.Sum("trace_sampled_out")),
+          Fixed2(aggregate.Sum("trace_bytes") / 1024.0), Fixed2(wall),
+          Fixed2(export_ms[{txns, m}]), Fixed2(overhead_pct),
+          all_ok ? "OK" : "VIOLATED");
+    }
+  }
+
+  // The acceptance gate: at the largest cell the binary backend costs
+  // < 5% of the untraced run. Quick cells are milliseconds long, so the
+  // ratio is noise there — report it but only gate the full sweep.
+  const bool overhead_ok = binary_overhead_at_largest < 5.0;
+  if (!args.quick && !overhead_ok) {
+    std::fprintf(stderr,
+                 "overhead gate: binary tracing cost %.2f%% at the %d-txn "
+                 "cell (budget 5%%)\n",
+                 binary_overhead_at_largest, largest);
+    all_ok = false;
+  }
+
+  if (!args.trace_out.empty()) {
+    // Export the merged binary trace (tmstat reads it directly) and the
+    // first determinism run's Prometheus metrics.
+    if (!WriteFile(args.trace_out, *merged_serial) ||
+        !WriteFile(StrCat(args.trace_out, ".prom"),
+                   (*det_serial)[0].result.PrometheusText())) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   args.trace_out.c_str());
+    } else {
+      std::printf("trace: %s (binary)\nmetrics: %s.prom\n",
+                  args.trace_out.c_str(), args.trace_out.c_str());
+    }
+  }
+
+  const int rc = FinishSweep("E20_trace_overhead", base_config, 7100,
+                             args.workers, table, agg);
+  std::printf(
+      "\nExpected shape: all four modes decide the same transactions on "
+      "every\nseed (tracing never perturbs the run), the JSONL and binary "
+      "captures\nyield byte-identical critical-path reports, and at the "
+      "largest cell the\nbinary backend costs %.2f%% wall time (budget "
+      "5%%%s). Determinism\nsub-grid incl. merged binary trace: %s.\n",
+      binary_overhead_at_largest,
+      args.quick ? ", gated in full mode only" : ", gated",
+      deterministic ? "byte-identical" : "DIVERGED");
+  if (!all_ok) return 1;
+  return rc;
+}
+
+}  // namespace hermes::bench

@@ -58,6 +58,7 @@ int RunChaosSweep(const SweepArgs& args);          // E15
 int RunPaxosSweep(const SweepArgs& args);          // E16
 int RunAblationMatrixSweep(const SweepArgs& args);  // E18
 int RunReconfigSweep(const SweepArgs& args);        // E19
+int RunTraceOverheadSweep(const SweepArgs& args);   // E20
 
 }  // namespace hermes::bench
 

@@ -53,6 +53,9 @@ void Metrics::Merge(const Metrics& o) {
   reconfig_residue_adopted += o.reconfig_residue_adopted;
   reconfig_forced_aborts += o.reconfig_forced_aborts;
   commits_stale_epoch += o.commits_stale_epoch;
+  trace_events_emitted += o.trace_events_emitted;
+  trace_events_dropped += o.trace_events_dropped;
+  trace_sampled_out += o.trace_sampled_out;
 }
 
 std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
@@ -106,6 +109,9 @@ std::vector<std::pair<const char*, int64_t>> Metrics::CounterEntries() const {
       {"reconfig_residue_adopted", reconfig_residue_adopted},
       {"reconfig_forced_aborts", reconfig_forced_aborts},
       {"commits_stale_epoch", commits_stale_epoch},
+      {"trace_events_emitted", trace_events_emitted},
+      {"trace_events_dropped", trace_events_dropped},
+      {"trace_sampled_out", trace_sampled_out},
   };
 }
 
@@ -178,6 +184,11 @@ std::string Metrics::ToString() const {
               " epoch_refusals=", epoch_refusals,
               " map_refreshes=", epoch_map_refreshes,
               " stale_commits=", commits_stale_epoch, "\n");
+  }
+  if (trace_events_emitted > 0) {
+    StrAppend(out, "trace: emitted=", trace_events_emitted,
+              " dropped=", trace_events_dropped,
+              " sampled_out=", trace_sampled_out, "\n");
   }
   StrAppend(out, "local: committed=", local_committed,
             " aborted=", local_aborted, "\n");

@@ -85,6 +85,13 @@ struct Metrics {
   int64_t commits_stale_epoch = 0;   // tripwire: local commit on a shard the
                                      // site no longer owned (must stay 0)
 
+  // Tracing self-observability (workload driver, from TracerStats).
+  // emitted == stored + sampled_out + dropped, so a consumer can tell how
+  // complete a captured trace is without opening it.
+  int64_t trace_events_emitted = 0;  // Record calls on the run's tracer
+  int64_t trace_events_dropped = 0;  // records evicted by ring overflow
+  int64_t trace_sampled_out = 0;     // events dropped by the gtid sampler
+
   void AddLatency(sim::Duration d) {
     ++latency_samples;
     latency_total += d;

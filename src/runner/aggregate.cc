@@ -94,6 +94,9 @@ void CellAggregate::AddRun(uint64_t seed, const workload::RunResult& r) {
   Add("reconfig_forced_aborts",
       static_cast<double>(m.reconfig_forced_aborts));
   Add("commits_stale_epoch", static_cast<double>(m.commits_stale_epoch));
+  Add("trace_emitted", static_cast<double>(m.trace_events_emitted));
+  Add("trace_dropped", static_cast<double>(m.trace_events_dropped));
+  Add("trace_sampled_out", static_cast<double>(m.trace_sampled_out));
   Add("messages", static_cast<double>(r.messages));
   Add("dropped", static_cast<double>(r.msgs_dropped));
   Add("duplicated", static_cast<double>(r.msgs_duplicated));

@@ -1,12 +1,15 @@
 #include "runner/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
 
 #include "common/str.h"
+#include "trace/binary.h"
 #include "trace/trace.h"
 
 namespace hermes::runner {
@@ -84,11 +87,17 @@ Result<std::vector<RunOutput>> RunAll(const std::vector<RunSpec>& specs,
         config.tracer = nullptr;
         std::optional<trace::Tracer> tracer;
         if (specs[i].capture_trace) {
-          tracer.emplace();
+          tracer.emplace(specs[i].trace_options);
           config.tracer = &*tracer;
         }
         outputs[i].result = workload::Driver::Run(config);
-        if (tracer.has_value()) outputs[i].trace_jsonl = tracer->ToJsonl();
+        if (tracer.has_value()) {
+          if (tracer->options().format == trace::TraceFormat::kBinary) {
+            outputs[i].trace_binary = tracer->ToBinary();
+          } else {
+            outputs[i].trace_jsonl = tracer->ToJsonl();
+          }
+        }
       });
   if (!status.ok()) return status;
   return outputs;
@@ -129,7 +138,52 @@ std::string Fingerprint(const RunOutput& out) {
   }
   if (!r.series.empty()) StrAppend(fp, r.series.ToString());
   StrAppend(fp, "trace:\n", out.trace_jsonl);
+  // Binary captures are opaque bytes; fingerprint them verbatim so a
+  // serial-vs-parallel divergence in the binary backend fails the same
+  // byte-identity assertions the JSONL capture does.
+  if (!out.trace_binary.empty()) {
+    StrAppend(fp, "trace_binary[", out.trace_binary.size(), "]:",
+              out.trace_binary, "\n");
+  }
   return fp;
+}
+
+Result<std::string> MergeBinaryTraces(const std::vector<RunOutput>& outputs) {
+  struct Tagged {
+    trace::Event event;
+    size_t run = 0;
+  };
+  std::vector<Tagged> all;
+  int64_t dropped = 0;
+  int64_t sampled_out = 0;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].trace_binary.empty()) {
+      return Status::InvalidArgument(
+          StrCat("run ", i, " has no binary trace capture"));
+    }
+    trace::BinaryParse p = trace::ParseBinaryLenient(outputs[i].trace_binary);
+    if (p.truncated || p.skipped_records > 0) {
+      return Status::InvalidArgument(StrCat(
+          "run ", i, ": damaged binary trace",
+          p.warnings.empty() ? "" : StrCat(" — ", p.warnings.front())));
+    }
+    dropped += p.dropped;
+    sampled_out += p.sampled_out;
+    all.reserve(all.size() + p.events.size());
+    for (trace::Event& e : p.events) all.push_back({std::move(e), i});
+  }
+  // Stable sort on (virtual time, site, seq, run): a total order built
+  // only from run content and spec position, never from completion order.
+  std::stable_sort(all.begin(), all.end(), [](const Tagged& a,
+                                              const Tagged& b) {
+    return std::tie(a.event.at, a.event.site, a.event.seq, a.run) <
+           std::tie(b.event.at, b.event.site, b.event.seq, b.run);
+  });
+  trace::BinaryTraceWriter writer;
+  writer.AddDropped(dropped);
+  writer.AddSampledOut(sampled_out);
+  for (const Tagged& t : all) writer.Add(t.event);
+  return writer.Finish();
 }
 
 }  // namespace hermes::runner

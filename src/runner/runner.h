@@ -44,14 +44,20 @@ Status ParallelFor(size_t n, int workers,
 struct RunSpec {
   std::string cell;
   workload::WorkloadConfig config;
-  // Collect the run's structured trace and return its JSONL export.
+  // Collect the run's structured trace and return its export.
   bool capture_trace = false;
+  // Backend/sampling of the private tracer the harness gives a
+  // capture_trace run. The default (kJsonl, no sampling) fills
+  // RunOutput::trace_jsonl; TraceFormat::kBinary fills trace_binary.
+  trace::TracerOptions trace_options;
 };
 
 struct RunOutput {
   workload::RunResult result;
-  // JSONL export of the run's trace (empty unless capture_trace).
+  // JSONL export of the run's trace (capture_trace with a kJsonl tracer).
   std::string trace_jsonl;
+  // Binary export ("HTRB") of the run's trace (kBinary tracer).
+  std::string trace_binary;
 };
 
 struct SweepOptions {
@@ -66,9 +72,18 @@ struct SweepOptions {
 Result<std::vector<RunOutput>> RunAll(const std::vector<RunSpec>& specs,
                                       const SweepOptions& options);
 
-// Canonical textual digest of one run — the trace JSONL plus every metric
-// and verdict — used to assert byte-identical serial/parallel execution.
+// Canonical textual digest of one run — the trace export (JSONL and/or
+// binary) plus every metric and verdict — used to assert byte-identical
+// serial/parallel execution.
 std::string Fingerprint(const RunOutput& out);
+
+// Merges the binary trace captures of a sweep into one binary trace,
+// deterministically: events are stable-sorted by (virtual time, site, seq,
+// run index) and re-encoded with a fresh dictionary; header drop/sample
+// counts sum. The result is independent of worker count or completion
+// order — the multi-run analogue of one run's byte-identical trace. Fails
+// if any capture is damaged or missing.
+Result<std::string> MergeBinaryTraces(const std::vector<RunOutput>& outputs);
 
 }  // namespace hermes::runner
 

@@ -1,23 +1,26 @@
 // tmstat — offline trace analysis for hermes runs.
 //
-// Reads a trace JSONL file (written by any benchmark/sweep via
-// --trace-out, or by Tracer::WriteJsonl) and prints reports folded from
-// the causal span pipeline: per-transaction timelines, the 2PC
-// critical-path phase breakdown, prepared blocking-window statistics,
-// certification refusal conflicts, resubmission chains and the windowed
-// virtual-time series. Optionally exports the span forest as a
-// Chrome/Perfetto trace (load the file at https://ui.perfetto.dev).
+// Reads a trace file — JSONL or the binary ring-buffer format, detected
+// by the "HTRB" magic bytes (written by any benchmark/sweep via
+// --trace-out, or by Tracer::WriteJsonl / WriteBinary) — and prints
+// reports folded from the causal span pipeline: per-transaction
+// timelines, the 2PC critical-path phase breakdown, prepared
+// blocking-window statistics, certification refusal conflicts,
+// resubmission chains and the windowed virtual-time series. Optionally
+// exports the span forest as a Chrome/Perfetto trace (load the file at
+// https://ui.perfetto.dev).
 //
 // Usage:
-//   tmstat <trace.jsonl> [--report=summary|timeline|spans|critical-path|
-//                         blocking|refusals|resubmissions|timeseries|all]
+//   tmstat <trace.{jsonl,bin}>
+//          [--report=summary|timeline|spans|critical-path|
+//                    blocking|refusals|resubmissions|timeseries|all]
 //          [--txn=G0.1] [--window-ms=N] [--perfetto=OUT.trace.json]
 //
-// Parsing is lenient: unknown event kinds and truncated trailing lines
-// are skipped with a counted warning instead of aborting the report —
-// but the exit code is then nonzero (1) and a per-line count summary is
-// printed, so pipelines cannot mistake a partially-read trace for a
-// complete one.
+// Parsing is lenient: unknown event kinds, truncated trailing lines and
+// binary files cut mid-record are skipped with a counted warning instead
+// of aborting the report — but the exit code is then nonzero (1) and a
+// recovery count is printed, so pipelines cannot mistake a partially-read
+// trace for a complete one.
 
 #include <algorithm>
 #include <cstdio>
@@ -27,6 +30,7 @@
 
 #include "common/str.h"
 #include "trace/analyzer.h"
+#include "trace/binary.h"
 #include "trace/critical_path.h"
 #include "trace/perfetto.h"
 #include "trace/span.h"
@@ -40,7 +44,7 @@ using namespace hermes;  // NOLINT: single-file CLI
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: tmstat <trace.jsonl> [--report=summary|timeline|spans|\n"
+      "usage: tmstat <trace.{jsonl,bin}> [--report=summary|timeline|spans|\n"
       "               critical-path|blocking|refusals|resubmissions|\n"
       "               timeseries|all]\n"
       "              [--txn=G0.1] [--window-ms=N]\n"
@@ -277,43 +281,73 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tmstat: cannot read %s\n", opt.path.c_str());
     return 1;
   }
-  const trace::LenientParse parsed = trace::ParseJsonlLenient(text);
-  if (parsed.skipped_lines > 0) {
-    // Per-line accounting: every non-blank input line either became an
-    // event or was skipped; spell both counts out so the reports below
-    // are unmistakably partial.
-    int64_t total_lines = 0;
-    bool blank = true;
-    for (const char c : text) {
-      if (c == '\n') {
-        if (!blank) ++total_lines;
-        blank = true;
-      } else if (c != ' ' && c != '\t' && c != '\r') {
-        blank = false;
+  std::vector<trace::Event> events;
+  bool partial = false;
+  if (trace::IsBinaryTrace(text)) {
+    trace::BinaryParse parsed = trace::ParseBinaryLenient(text);
+    partial = parsed.truncated || parsed.skipped_records > 0;
+    if (partial) {
+      // One line with the whole-records-recovered count: fixed-width
+      // records make the loss exact, and pipelines get exit code 1.
+      std::fprintf(stderr,
+                   "tmstat: damaged binary trace: %lld of %lld whole "
+                   "record(s) recovered (%s) — reports reflect partial "
+                   "data\n",
+                   static_cast<long long>(parsed.events.size()),
+                   static_cast<long long>(parsed.records_declared),
+                   parsed.warnings.empty() ? "no detail"
+                                           : parsed.warnings.front().c_str());
+    }
+    if (parsed.dropped > 0 || parsed.sampled_out > 0) {
+      std::fprintf(stderr,
+                   "tmstat: note: capture dropped %lld record(s) to ring "
+                   "overflow, sampled out %lld\n",
+                   static_cast<long long>(parsed.dropped),
+                   static_cast<long long>(parsed.sampled_out));
+    }
+    events = std::move(parsed.events);
+  } else {
+    trace::LenientParse parsed = trace::ParseJsonlLenient(text);
+    partial = parsed.skipped_lines > 0;
+    if (partial) {
+      // Per-line accounting: every non-blank input line either became an
+      // event or was skipped; spell both counts out so the reports below
+      // are unmistakably partial.
+      int64_t total_lines = 0;
+      bool blank = true;
+      for (const char c : text) {
+        if (c == '\n') {
+          if (!blank) ++total_lines;
+          blank = true;
+        } else if (c != ' ' && c != '\t' && c != '\r') {
+          blank = false;
+        }
+      }
+      if (!blank) ++total_lines;
+      std::fprintf(stderr,
+                   "tmstat: %lld line(s) total: %lld parsed, %lld skipped — "
+                   "reports reflect partial data\n",
+                   static_cast<long long>(total_lines),
+                   static_cast<long long>(parsed.events.size()),
+                   static_cast<long long>(parsed.skipped_lines));
+      for (const std::string& w : parsed.warnings) {
+        std::fprintf(stderr, "tmstat:   %s\n", w.c_str());
+      }
+      if (parsed.skipped_lines >
+          static_cast<int64_t>(parsed.warnings.size())) {
+        std::fprintf(stderr,
+                     "tmstat:   (further skip reasons suppressed)\n");
       }
     }
-    if (!blank) ++total_lines;
-    std::fprintf(stderr,
-                 "tmstat: %lld line(s) total: %lld parsed, %lld skipped — "
-                 "reports reflect partial data\n",
-                 static_cast<long long>(total_lines),
-                 static_cast<long long>(parsed.events.size()),
-                 static_cast<long long>(parsed.skipped_lines));
-    for (const std::string& w : parsed.warnings) {
-      std::fprintf(stderr, "tmstat:   %s\n", w.c_str());
-    }
-    if (parsed.skipped_lines >
-        static_cast<int64_t>(parsed.warnings.size())) {
-      std::fprintf(stderr, "tmstat:   (further skip reasons suppressed)\n");
-    }
+    events = std::move(parsed.events);
   }
 
-  const trace::SpanForest forest = trace::BuildSpanForest(parsed.events);
+  const trace::SpanForest forest = trace::BuildSpanForest(events);
   const trace::CriticalPathReport cp = trace::AnalyzeCriticalPath(forest);
-  const trace::TraceAnalyzer analyzer(parsed.events);
+  const trace::TraceAnalyzer analyzer(events);
 
   std::printf("trace: %s — %zu events, %zu global txns, trace_end=%lld us\n",
-              opt.path.c_str(), parsed.events.size(), forest.roots.size(),
+              opt.path.c_str(), events.size(), forest.roots.size(),
               static_cast<long long>(forest.trace_end));
 
   if (WantReport(opt, "summary")) {
@@ -323,17 +357,17 @@ int main(int argc, char** argv) {
     std::printf("%s", summary.c_str());
   }
   if (opt.report == "timeline") {
-    PrintTimeline(opt, analyzer, forest, parsed.events);
+    PrintTimeline(opt, analyzer, forest, events);
   }
   if (opt.report == "spans") PrintSpans(opt, forest);
   if (WantReport(opt, "critical-path")) PrintCriticalPath(opt, cp);
   if (WantReport(opt, "blocking")) PrintBlocking(forest, cp);
   if (WantReport(opt, "refusals")) PrintRefusals(analyzer);
   if (WantReport(opt, "resubmissions")) PrintResubmissions(analyzer);
-  if (WantReport(opt, "timeseries")) PrintTimeSeries(opt, parsed.events);
+  if (WantReport(opt, "timeseries")) PrintTimeSeries(opt, events);
 
   if (!opt.perfetto_out.empty()) {
-    const std::string json = trace::ExportPerfetto(forest, parsed.events);
+    const std::string json = trace::ExportPerfetto(forest, events);
     if (!WriteFile(opt.perfetto_out, json)) {
       std::fprintf(stderr, "tmstat: cannot write %s\n",
                    opt.perfetto_out.c_str());
@@ -343,6 +377,6 @@ int main(int argc, char** argv) {
   }
   // Partial input is a failure even though the reports were printed:
   // callers scripting tmstat must not trust stats folded from a trace
-  // with unparseable lines.
-  return parsed.skipped_lines > 0 ? 1 : 0;
+  // with unparseable lines or records.
+  return partial ? 1 : 0;
 }

@@ -1,0 +1,63 @@
+#include "trace/ring.h"
+
+#include <cstring>
+
+namespace hermes::trace {
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      buf_(capacity_ * kBinaryRecordSize) {}
+
+const uint8_t* TraceRing::RecordAt(size_t logical_index) const {
+  const size_t slot = (head_ + logical_index) % capacity_;
+  return buf_.data() + slot * kBinaryRecordSize;
+}
+
+void TraceRing::Append(const Event& e) {
+  const uint32_t detail_id = interner_.Intern(e.detail);
+  const uint32_t related_id = interner_.Intern(EncodeRelated(e.related));
+  size_t slot;
+  if (count_ < capacity_) {
+    slot = (head_ + count_) % capacity_;
+    ++count_;
+  } else {
+    slot = head_;  // overwrite the oldest record
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+  EncodeBinaryRecord(e, detail_id, related_id,
+                     buf_.data() + slot * kBinaryRecordSize);
+}
+
+void TraceRing::ForEach(const std::function<void(const Event&)>& fn) const {
+  // Records the ring wrote always decode: the dictionary only grows and
+  // the encoder writes in-range kind bytes.
+  std::vector<std::string> dict;
+  dict.reserve(interner_.entries().size() + 1);
+  dict.emplace_back();
+  for (const std::string& s : interner_.entries()) dict.push_back(s);
+  for (size_t i = 0; i < count_; ++i) {
+    Event e;
+    if (DecodeBinaryRecord(RecordAt(i), dict, e).ok()) fn(e);
+  }
+}
+
+std::string TraceRing::Serialize(int64_t sampled_out) const {
+  BinaryTraceWriter writer;
+  writer.AddDropped(dropped_);
+  writer.AddSampledOut(sampled_out);
+  // Re-encode through a fresh writer so the serialized dictionary holds
+  // only strings the surviving records reference, in first-use order —
+  // evicted records must not leak entries into the export.
+  ForEach([&](const Event& e) { writer.Add(e); });
+  return writer.Finish();
+}
+
+void TraceRing::Clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  interner_.Clear();
+}
+
+}  // namespace hermes::trace

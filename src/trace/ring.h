@@ -1,0 +1,63 @@
+// Fixed-size ring buffer of binary trace records — the storage behind
+// TraceFormat::kBinary.
+//
+// Appending encodes the event into one fixed-width record (trace/binary.h)
+// inside a preallocated circular byte buffer: no per-event heap allocation
+// once the dictionary has seen the event's strings, which keeps always-on
+// tracing cheap enough for million-transaction runs. When the ring is
+// full the oldest record is overwritten and counted, so memory is bounded
+// by construction and the trace degrades to a sliding window over the tail
+// of the run — with the drop count carried in the serialized header so no
+// truncation is ever silent. Dictionary entries are never evicted (detail
+// strings are drawn from small fixed vocabularies), so a surviving record
+// can always resolve its string ids.
+
+#ifndef HERMES_TRACE_RING_H_
+#define HERMES_TRACE_RING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/binary.h"
+
+namespace hermes::trace {
+
+class TraceRing {
+ public:
+  // `capacity` is in records; at least 1.
+  explicit TraceRing(size_t capacity);
+
+  // Encodes and appends `e`, evicting (and counting) the oldest record
+  // when the ring is full.
+  void Append(const Event& e);
+
+  // Records currently held (<= capacity).
+  size_t size() const { return count_; }
+  size_t capacity() const { return capacity_; }
+  // Records evicted by overflow since construction/Clear.
+  int64_t dropped() const { return dropped_; }
+
+  // Visits the held records oldest -> newest, decoded back into Events.
+  void ForEach(const std::function<void(const Event&)>& fn) const;
+
+  // Serializes to the binary trace format (header carries dropped() and
+  // the caller's sampler drop count).
+  std::string Serialize(int64_t sampled_out) const;
+
+  void Clear();
+
+ private:
+  const uint8_t* RecordAt(size_t logical_index) const;
+
+  size_t capacity_;
+  std::vector<uint8_t> buf_;  // capacity_ * kBinaryRecordSize bytes
+  size_t head_ = 0;           // logical index of the oldest record
+  size_t count_ = 0;
+  int64_t dropped_ = 0;
+  StringInterner interner_;
+};
+
+}  // namespace hermes::trace
+
+#endif  // HERMES_TRACE_RING_H_

@@ -33,8 +33,10 @@ namespace {
 
 using Key = std::pair<TxnId, SiteId>;
 
+}  // namespace
+
 // Builder state: open span ids per (transaction, site) and per kind.
-struct Builder {
+struct SpanForestBuilder::Impl {
   SpanForest forest;
   std::map<TxnId, int32_t> root_of;
   std::map<Key, int32_t> open_dml;
@@ -113,15 +115,15 @@ struct Builder {
     Note(&forest.spans[static_cast<size_t>(RootOf(txn, at))], at,
          std::move(label));
   }
+
+  void Add(const Event& e);
 };
 
-}  // namespace
-
-SpanForest BuildSpanForest(const std::vector<Event>& events) {
-  Builder b;
-  for (const Event& e : events) {
+void SpanForestBuilder::Impl::Add(const Event& e) {
+  Impl& b = *this;
+  {
     if (e.at > b.forest.trace_end) b.forest.trace_end = e.at;
-    if (!e.txn.valid() || !e.txn.global()) continue;
+    if (!e.txn.valid() || !e.txn.global()) return;
     switch (e.kind) {
       case EventKind::kTxnBegin: {
         auto it = b.root_of.find(e.txn);
@@ -344,7 +346,30 @@ SpanForest BuildSpanForest(const std::vector<Event>& events) {
         break;  // transport noise and non-txn events carry no span info
     }
   }
-  return b.forest;
+}
+
+SpanForestBuilder::SpanForestBuilder() : impl_(std::make_unique<Impl>()) {}
+
+SpanForestBuilder::~SpanForestBuilder() = default;
+
+void SpanForestBuilder::Add(const Event& e) { impl_->Add(e); }
+
+SpanForest SpanForestBuilder::Finish() {
+  SpanForest out = std::move(impl_->forest);
+  impl_ = std::make_unique<Impl>();
+  return out;
+}
+
+SpanForest BuildSpanForest(const std::vector<Event>& events) {
+  SpanForestBuilder b;
+  for (const Event& e : events) b.Add(e);
+  return b.Finish();
+}
+
+SpanForest BuildSpanForest(const Tracer& tracer) {
+  SpanForestBuilder b;
+  tracer.ForEach([&](const Event& e) { b.Add(e); });
+  return b.Finish();
 }
 
 const Span* SpanForest::Root(const TxnId& txn) const {

@@ -39,84 +39,101 @@ std::string TimeSeries::ToString() const {
   return out;
 }
 
+TimeSeriesBuilder::TimeSeriesBuilder(sim::Duration window_us) {
+  series_.window_us =
+      window_us <= 0 ? TimeSeries::kDefaultWindow : window_us;
+}
+
+TimeSeries::Window& TimeSeriesBuilder::WindowAt(sim::Time at) {
+  const size_t idx =
+      at <= 0 ? 0 : static_cast<size_t>(at / series_.window_us);
+  if (idx >= series_.windows.size()) {
+    // New windows inherit the current levels as their starting peaks: a
+    // transaction in flight across a quiet window still loads it.
+    TimeSeries::Window carry;
+    carry.max_in_flight = in_flight_;
+    carry.max_prepared = static_cast<int64_t>(prepared_.size());
+    series_.windows.resize(idx + 1, carry);
+  }
+  return series_.windows[idx];
+}
+
+void TimeSeriesBuilder::Gauges(TimeSeries::Window& w) {
+  w.max_in_flight = std::max(w.max_in_flight, in_flight_);
+  w.max_prepared =
+      std::max(w.max_prepared, static_cast<int64_t>(prepared_.size()));
+}
+
+void TimeSeriesBuilder::Add(const Event& e) {
+  if (!e.txn.valid() || !e.txn.global() || e.at < 0) return;
+  switch (e.kind) {
+    case EventKind::kTxnBegin: {
+      if (!begun_.insert(e.txn).second) break;
+      TimeSeries::Window& w = WindowAt(e.at);
+      ++w.begun;
+      ++in_flight_;
+      Gauges(w);
+      break;
+    }
+    case EventKind::kTxnEnd: {
+      if (begun_.erase(e.txn) == 0) break;
+      TimeSeries::Window& w = WindowAt(e.at);
+      if (e.ok) {
+        ++w.committed;
+      } else {
+        ++w.aborted;
+      }
+      --in_flight_;
+      Gauges(w);
+      break;
+    }
+    case EventKind::kCertReady: {
+      TimeSeries::Window& w = WindowAt(e.at);
+      prepared_.insert({e.txn, e.site});
+      Gauges(w);
+      break;
+    }
+    case EventKind::kLocalCommit:
+    case EventKind::kLocalAbort: {
+      TimeSeries::Window& w = WindowAt(e.at);
+      prepared_.erase({e.txn, e.site});
+      Gauges(w);
+      break;
+    }
+    case EventKind::kCertRefuse: {
+      ++WindowAt(e.at).refusals;
+      break;
+    }
+    case EventKind::kResubmitStart: {
+      ++WindowAt(e.at).resubmissions;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+TimeSeries TimeSeriesBuilder::Finish() {
+  TimeSeries out = std::move(series_);
+  series_ = TimeSeries{};
+  series_.window_us = out.window_us;
+  in_flight_ = 0;
+  begun_.clear();
+  prepared_.clear();
+  return out;
+}
+
 TimeSeries BuildTimeSeries(const std::vector<Event>& events,
                            sim::Duration window_us) {
-  TimeSeries ts;
-  if (window_us <= 0) window_us = TimeSeries::kDefaultWindow;
-  ts.window_us = window_us;
+  TimeSeriesBuilder b(window_us);
+  for (const Event& e : events) b.Add(e);
+  return b.Finish();
+}
 
-  int64_t in_flight = 0;
-  std::set<TxnId> begun;  // guards double counting on duplicate events
-  std::set<std::pair<TxnId, SiteId>> prepared;
-
-  auto window_at = [&](sim::Time at) -> TimeSeries::Window& {
-    const size_t idx =
-        at <= 0 ? 0 : static_cast<size_t>(at / window_us);
-    if (idx >= ts.windows.size()) {
-      // New windows inherit the current levels as their starting peaks: a
-      // transaction in flight across a quiet window still loads it.
-      TimeSeries::Window carry;
-      carry.max_in_flight = in_flight;
-      carry.max_prepared = static_cast<int64_t>(prepared.size());
-      ts.windows.resize(idx + 1, carry);
-    }
-    return ts.windows[idx];
-  };
-  auto gauges = [&](TimeSeries::Window& w) {
-    w.max_in_flight = std::max(w.max_in_flight, in_flight);
-    w.max_prepared =
-        std::max(w.max_prepared, static_cast<int64_t>(prepared.size()));
-  };
-
-  for (const Event& e : events) {
-    if (!e.txn.valid() || !e.txn.global() || e.at < 0) continue;
-    switch (e.kind) {
-      case EventKind::kTxnBegin: {
-        if (!begun.insert(e.txn).second) break;
-        TimeSeries::Window& w = window_at(e.at);
-        ++w.begun;
-        ++in_flight;
-        gauges(w);
-        break;
-      }
-      case EventKind::kTxnEnd: {
-        if (begun.erase(e.txn) == 0) break;
-        TimeSeries::Window& w = window_at(e.at);
-        if (e.ok) {
-          ++w.committed;
-        } else {
-          ++w.aborted;
-        }
-        --in_flight;
-        gauges(w);
-        break;
-      }
-      case EventKind::kCertReady: {
-        TimeSeries::Window& w = window_at(e.at);
-        prepared.insert({e.txn, e.site});
-        gauges(w);
-        break;
-      }
-      case EventKind::kLocalCommit:
-      case EventKind::kLocalAbort: {
-        TimeSeries::Window& w = window_at(e.at);
-        prepared.erase({e.txn, e.site});
-        gauges(w);
-        break;
-      }
-      case EventKind::kCertRefuse: {
-        ++window_at(e.at).refusals;
-        break;
-      }
-      case EventKind::kResubmitStart: {
-        ++window_at(e.at).resubmissions;
-        break;
-      }
-      default:
-        break;
-    }
-  }
-  return ts;
+TimeSeries BuildTimeSeries(const Tracer& tracer, sim::Duration window_us) {
+  TimeSeriesBuilder b(window_us);
+  tracer.ForEach([&](const Event& e) { b.Add(e); });
+  return b.Finish();
 }
 
 }  // namespace hermes::trace

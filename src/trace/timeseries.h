@@ -13,7 +13,9 @@
 #define HERMES_TRACE_TIMESERIES_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/trace.h"
@@ -56,9 +58,44 @@ struct TimeSeries {
   friend bool operator==(const TimeSeries& a, const TimeSeries& b) = default;
 };
 
+// Incremental bucketing: feed events one at a time (in trace order), read
+// a consistent snapshot at any point, take the series at the end.
+// Attachable to a Tracer as a streaming fold — the workload driver grows
+// the run's series this way while the simulation executes, so the series
+// stays complete even when a fixed-size ring has evicted early records.
+// Feeding the same events BuildTimeSeries would receive yields an
+// identical series.
+class TimeSeriesBuilder : public EventFold {
+ public:
+  explicit TimeSeriesBuilder(
+      sim::Duration window_us = TimeSeries::kDefaultWindow);
+
+  void Add(const Event& e);
+  void Fold(const Event& e) override { Add(e); }
+
+  // A copy of the series built so far — the mid-run flush snapshot.
+  TimeSeries Snapshot() const { return series_; }
+
+  // Moves out the series and resets the builder.
+  TimeSeries Finish();
+
+ private:
+  TimeSeries series_;
+  int64_t in_flight_ = 0;
+  std::set<TxnId> begun_;  // guards double counting on duplicate events
+  std::set<std::pair<TxnId, SiteId>> prepared_;
+
+  TimeSeries::Window& WindowAt(sim::Time at);
+  void Gauges(TimeSeries::Window& w);
+};
+
 // Buckets a trace into a series. Only global-transaction events count;
 // prepared levels follow certification READY .. local commit/rollback.
 TimeSeries BuildTimeSeries(const std::vector<Event>& events,
+                           sim::Duration window_us = TimeSeries::kDefaultWindow);
+
+// Streams the tracer's stored events (either backend) into a series.
+TimeSeries BuildTimeSeries(const Tracer& tracer,
                            sim::Duration window_us = TimeSeries::kDefaultWindow);
 
 }  // namespace hermes::trace

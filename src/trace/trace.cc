@@ -1,8 +1,11 @@
 #include "trace/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/str.h"
+#include "trace/binary.h"
+#include "trace/ring.h"
 
 namespace hermes::trace {
 
@@ -118,40 +121,15 @@ const char* RefuseKindName(RefuseKind kind) {
   return "?";
 }
 
-namespace {
-
-// All EventKind values, for name -> kind lookup during parsing.
-constexpr EventKind kAllKinds[] = {
-    EventKind::kTxnBegin,       EventKind::kStepStart,
-    EventKind::kStepEnd,        EventKind::kPrepareSend,
-    EventKind::kVoteRecv,       EventKind::kDecisionSend,
-    EventKind::kAckRecv,        EventKind::kTxnEnd,
-    EventKind::kPrepareRecv,    EventKind::kCertReady,
-    EventKind::kCertRefuse,     EventKind::kResubmitStart,
-    EventKind::kResubmitDone,   EventKind::kCommitRetry,
-    EventKind::kLocalCommit,    EventKind::kLocalAbort,
-    EventKind::kUnilateralAbort, EventKind::kLocalTxnBegin,
-    EventKind::kLocalTxnEnd,    EventKind::kSiteCrash,
-    EventKind::kSiteRecover,    EventKind::kInquirySend,
-    EventKind::kInquiryReply,   EventKind::kMsgSend,
-    EventKind::kMsgDrop,        EventKind::kMsgDup,
-    EventKind::kRetransmit,     EventKind::kInjectFailure,
-    EventKind::kFaultEvent,     EventKind::kCgmLock,
-    EventKind::kCgmAdmission,   EventKind::kPaxosBegin,
-    EventKind::kPaxosVote,      EventKind::kPaxosAccept,
-    EventKind::kPaxosDecided,   EventKind::kPaxosPrepare,
-    EventKind::kPaxosPromise,   EventKind::kPaxosElect,
-    EventKind::kShortCommit,    EventKind::kCsnAssign,
-    EventKind::kReconfigBegin,  EventKind::kReconfigHandoff,
-    EventKind::kReconfigDone,   EventKind::kEpochRefused,
-};
-
-constexpr RefuseKind kAllRefuseKinds[] = {
-    RefuseKind::kNone, RefuseKind::kInterval, RefuseKind::kExtension,
-    RefuseKind::kDead, RefuseKind::kUnknownTxn, RefuseKind::kSnapshot,
-};
-
-}  // namespace
+const char* TraceFormatName(TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kJsonl:
+      return "jsonl";
+    case TraceFormat::kBinary:
+      return "binary";
+  }
+  return "?";
+}
 
 void AppendJsonString(std::string& out, std::string_view s) {
   out += '"';
@@ -237,6 +215,12 @@ Result<core::SerialNumber> DecodeSerialNumber(const std::string& text) {
 
 std::string Event::ToJson() const {
   std::string out;
+  out.reserve(96 + detail.size() + 16 * related.size());
+  AppendJson(out);
+  return out;
+}
+
+void Event::AppendJson(std::string& out) const {
   StrAppend(out, "{\"seq\":", seq, ",\"t\":", at, ",\"kind\":\"",
             EventKindName(kind), "\"");
   if (txn.valid()) {
@@ -268,31 +252,135 @@ std::string Event::ToJson() const {
     out += ']';
   }
   out += '}';
-  return out;
+}
+
+namespace {
+
+// SplitMix64 finisher — a deterministic, platform-independent mixer for
+// the sampling decision (std::hash would tie trace content to the
+// standard library implementation).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Tracer::Tracer(const sim::EventLoop* loop) : Tracer(TracerOptions{}, loop) {}
+
+Tracer::Tracer(const TracerOptions& options, const sim::EventLoop* loop)
+    : loop_(loop), options_(options) {
+  if (options_.format == TraceFormat::kBinary) {
+    ring_ = std::make_unique<TraceRing>(options_.ring_capacity);
+  }
+}
+
+Tracer::~Tracer() = default;
+
+bool Tracer::KeepsTxn(const TxnId& txn) const {
+  if (options_.sample_period <= 1) return true;
+  // Only global transactions are sampled: their event population dominates
+  // the trace, and whole-gtid keep-or-drop preserves span-tree shape.
+  if (!txn.valid() || !txn.global()) return true;
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(txn.site)) << 32) ^
+      static_cast<uint64_t>(txn.seq);
+  return Mix64(options_.sample_seed ^ Mix64(key)) % options_.sample_period ==
+         0;
 }
 
 void Tracer::Record(Event e) {
-  e.seq = static_cast<int64_t>(events_.size());
+  // seq is the emit index, assigned before the sampling decision, so a
+  // sampled trace shows honest seq gaps where transactions were dropped.
+  e.seq = stats_.emitted;
   e.at = loop_ != nullptr ? loop_->Now() : -1;
-  events_.push_back(std::move(e));
+  ++stats_.emitted;
+  if (!KeepsTxn(e.txn)) {
+    ++stats_.sampled_out;
+    return;
+  }
+  for (EventFold* fold : folds_) fold->Fold(e);
+  if (ring_ != nullptr) {
+    ring_->Append(e);
+    stats_.dropped = ring_->dropped();
+  } else {
+    events_.push_back(std::move(e));
+  }
+}
+
+size_t Tracer::size() const {
+  return ring_ != nullptr ? ring_->size() : events_.size();
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  if (ring_ != nullptr) ring_->Clear();
+  stats_ = TracerStats{};
+}
+
+void Tracer::ForEach(const std::function<void(const Event&)>& fn) const {
+  if (ring_ != nullptr) {
+    ring_->ForEach(fn);
+  } else {
+    for (const Event& e : events_) fn(e);
+  }
+}
+
+void Tracer::AddFold(EventFold* fold) { folds_.push_back(fold); }
+
+void Tracer::RemoveFold(EventFold* fold) {
+  folds_.erase(std::remove(folds_.begin(), folds_.end(), fold), folds_.end());
 }
 
 std::string Tracer::ToJsonl() const {
   std::string out;
-  for (const Event& e : events_) {
-    out += e.ToJson();
+  ForEach([&](const Event& e) {
+    e.AppendJson(out);
     out += '\n';
-  }
+  });
   return out;
 }
 
 bool Tracer::WriteJsonl(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string text = ToJsonl();
-  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  const bool ok = std::fclose(f) == 0 && written == text.size();
-  return ok;
+  // Stream in bounded chunks: exporting a million-event trace must not
+  // materialize a hundreds-of-MB string first.
+  constexpr size_t kChunk = 64 * 1024;
+  std::string buf;
+  buf.reserve(kChunk + 512);
+  bool ok = true;
+  ForEach([&](const Event& e) {
+    if (!ok) return;
+    e.AppendJson(buf);
+    buf += '\n';
+    if (buf.size() >= kChunk) {
+      ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+      buf.clear();
+    }
+  });
+  if (ok && !buf.empty()) {
+    ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string Tracer::ToBinary() const {
+  if (ring_ != nullptr) return ring_->Serialize(stats_.sampled_out);
+  BinaryTraceWriter writer;
+  writer.AddSampledOut(stats_.sampled_out);
+  for (const Event& e : events_) writer.Add(e);
+  return writer.Finish();
+}
+
+bool Tracer::WriteBinary(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string blob = ToBinary();
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  return std::fclose(f) == 0 && written == blob.size();
 }
 
 // --- JSONL parsing -----------------------------------------------------------
@@ -341,7 +429,7 @@ class LineParser {
       std::string name;
       Status s = ParseString(name);
       if (!s.ok()) return s;
-      for (EventKind k : kAllKinds) {
+      for (EventKind k : kAllEventKinds) {
         if (name == EventKindName(k)) {
           out.kind = k;
           return Status::Ok();

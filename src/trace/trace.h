@@ -19,6 +19,8 @@
 #define HERMES_TRACE_TRACE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -147,6 +149,40 @@ enum class RefuseKind : uint8_t {
 const char* EventKindName(EventKind kind);
 const char* RefuseKindName(RefuseKind kind);
 
+// Every EventKind / RefuseKind value, in declaration order. Shared by the
+// JSONL parser (name -> kind lookup), the binary decoder (range check on
+// the kind byte) and the round-trip tests, so a kind added to the enum but
+// missing here fails loudly in all three places.
+inline constexpr EventKind kAllEventKinds[] = {
+    EventKind::kTxnBegin,       EventKind::kStepStart,
+    EventKind::kStepEnd,        EventKind::kPrepareSend,
+    EventKind::kVoteRecv,       EventKind::kDecisionSend,
+    EventKind::kAckRecv,        EventKind::kTxnEnd,
+    EventKind::kPrepareRecv,    EventKind::kCertReady,
+    EventKind::kCertRefuse,     EventKind::kResubmitStart,
+    EventKind::kResubmitDone,   EventKind::kCommitRetry,
+    EventKind::kLocalCommit,    EventKind::kLocalAbort,
+    EventKind::kUnilateralAbort, EventKind::kLocalTxnBegin,
+    EventKind::kLocalTxnEnd,    EventKind::kSiteCrash,
+    EventKind::kSiteRecover,    EventKind::kInquirySend,
+    EventKind::kInquiryReply,   EventKind::kMsgSend,
+    EventKind::kMsgDrop,        EventKind::kMsgDup,
+    EventKind::kRetransmit,     EventKind::kInjectFailure,
+    EventKind::kFaultEvent,     EventKind::kCgmLock,
+    EventKind::kCgmAdmission,   EventKind::kPaxosBegin,
+    EventKind::kPaxosVote,      EventKind::kPaxosAccept,
+    EventKind::kPaxosDecided,   EventKind::kPaxosPrepare,
+    EventKind::kPaxosPromise,   EventKind::kPaxosElect,
+    EventKind::kShortCommit,    EventKind::kCsnAssign,
+    EventKind::kReconfigBegin,  EventKind::kReconfigHandoff,
+    EventKind::kReconfigDone,   EventKind::kEpochRefused,
+};
+
+inline constexpr RefuseKind kAllRefuseKinds[] = {
+    RefuseKind::kNone, RefuseKind::kInterval, RefuseKind::kExtension,
+    RefuseKind::kDead, RefuseKind::kUnknownTxn, RefuseKind::kSnapshot,
+};
+
 // One trace record. Only `kind` is always meaningful; the other fields are
 // populated per kind as documented on EventKind. Unset fields keep their
 // defaults and are omitted from the JSONL encoding.
@@ -170,14 +206,65 @@ struct Event {
   // One-line JSON object (no trailing newline). Field order is fixed and
   // default-valued fields are omitted, so encoding is deterministic.
   std::string ToJson() const;
+  // Appends ToJson() to `out` without the intermediate allocation.
+  void AppendJson(std::string& out) const;
 };
+
+// A streaming consumer of the event stream as it is recorded. Folds
+// attached to a Tracer see every *stored* event (after sampling, before
+// any ring-buffer eviction), so an analysis built on a fold — the driver's
+// windowed time series, a live span forest — stays complete even when the
+// fixed-size ring has long overwritten the early records.
+class EventFold {
+ public:
+  virtual ~EventFold() = default;
+  virtual void Fold(const Event& e) = 0;
+};
+
+// Storage backend of a Tracer.
+enum class TraceFormat : uint8_t {
+  kJsonl,   // std::vector<Event>, unbounded; exports one JSON object/line
+  kBinary,  // fixed-size ring of fixed-width binary records + dictionary
+};
+
+const char* TraceFormatName(TraceFormat format);
+
+struct TracerOptions {
+  TraceFormat format = TraceFormat::kJsonl;
+  // Capacity of the binary ring in records (kBinary only). When full, the
+  // oldest record is overwritten and counted in stats().dropped — the
+  // trace is a sliding window over the tail of the run.
+  size_t ring_capacity = 1 << 20;
+  // Keep 1 of every `sample_period` global transactions (whole-gtid,
+  // seeded by `sample_seed`): either every event of a transaction is kept
+  // or none is, so span trees built from a sampled trace stay well-formed.
+  // Events without a global transaction id (site crashes, reconfiguration,
+  // transport noise) are always kept. 1 = keep everything.
+  uint32_t sample_period = 1;
+  uint64_t sample_seed = 0;
+};
+
+// Drop accounting: `emitted` counts every Record call; `sampled_out`
+// events were dropped by the per-gtid sampler; `dropped` records were
+// evicted by ring overflow. emitted == stored + sampled_out + dropped, so
+// nothing is ever silently truncated.
+struct TracerStats {
+  int64_t emitted = 0;
+  int64_t dropped = 0;
+  int64_t sampled_out = 0;
+};
+
+class TraceRing;
 
 class Tracer {
  public:
   // `loop` provides the virtual timestamps; it must outlive the tracer.
   // May be null initially when the event loop is created later (the
   // workload driver builds its loop inside Run and rebinds the tracer).
-  explicit Tracer(const sim::EventLoop* loop = nullptr) : loop_(loop) {}
+  explicit Tracer(const sim::EventLoop* loop = nullptr);
+  explicit Tracer(const TracerOptions& options,
+                  const sim::EventLoop* loop = nullptr);
+  ~Tracer();
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -186,21 +273,56 @@ class Tracer {
   // stamps).
   void set_loop(const sim::EventLoop* loop) { loop_ = loop; }
 
-  // Stamps `e.seq` / `e.at` and appends. Callers fill the typed fields.
+  // Stamps `e.seq` (emit index — sampled-out events consume one too, so a
+  // sampled trace shows honest gaps) and `e.at`, then stores the event in
+  // the configured backend. Callers fill the typed fields.
   void Record(Event e);
 
+  // The stored events. Valid in kJsonl mode only; the binary ring has no
+  // materialized Event vector — use ForEach there.
   const std::vector<Event>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  // Number of events currently stored (ring mode: at most ring_capacity).
+  size_t size() const;
+  void Clear();
 
-  // One JSON object per line, in record order.
+  const TracerOptions& options() const { return options_; }
+  const TracerStats& stats() const { return stats_; }
+
+  // Whether the sampler keeps `txn`'s events (always true for period 1 or
+  // non-global ids). Deterministic in (sample_seed, txn).
+  bool KeepsTxn(const TxnId& txn) const;
+
+  // Visits every stored event in record order, decoding binary records on
+  // the fly — the streaming seam the span/series folds consume, with no
+  // JSONL string ever materialized.
+  void ForEach(const std::function<void(const Event&)>& fn) const;
+
+  // Attaches/detaches a streaming fold; attached folds see each stored
+  // event at Record time. Folds are not owned and must outlive their
+  // registration.
+  void AddFold(EventFold* fold);
+  void RemoveFold(EventFold* fold);
+
+  // One JSON object per line, in record order (both backends).
   std::string ToJsonl() const;
-  // Writes ToJsonl() to `path`; returns false on I/O failure.
+  // Streams the JSONL export to `path` in bounded chunks — no monolithic
+  // string is built, so exporting a million-event trace needs O(chunk)
+  // transient memory. Returns false on I/O failure.
   bool WriteJsonl(const std::string& path) const;
+
+  // Serializes the stored events to the binary trace format (magic
+  // "HTRB"; see docs/FORMATS.md) from either backend.
+  std::string ToBinary() const;
+  // Writes ToBinary() to `path`; returns false on I/O failure.
+  bool WriteBinary(const std::string& path) const;
 
  private:
   const sim::EventLoop* loop_;
-  std::vector<Event> events_;
+  TracerOptions options_;
+  TracerStats stats_;
+  std::vector<Event> events_;        // kJsonl backend
+  std::unique_ptr<TraceRing> ring_;  // kBinary backend
+  std::vector<EventFold*> folds_;
 };
 
 // Parses a JSONL trace produced by Tracer::ToJsonl back into events

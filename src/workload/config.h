@@ -4,18 +4,32 @@
 #define HERMES_WORKLOAD_CONFIG_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "cgm/cgm_mdbs.h"
 #include "core/agent.h"
 #include "core/mdbs.h"
 #include "fault/fault_plan.h"
+#include "trace/timeseries.h"
 
 namespace hermes::workload {
 
 enum class System { k2CM, kCGM };
 
 const char* SystemName(System s);
+
+// One periodic mid-run observability flush: a consistent snapshot of the
+// run's metrics (as Prometheus text exposition) and the windowed
+// virtual-time series built so far. Delivered to WorkloadConfig::flush_hook
+// every flush_interval of simulated time — a scrape endpoint for a live
+// run, without waiting for the run to finish.
+struct FlushSnapshot {
+  sim::Time at = 0;             // virtual time of the flush
+  int64_t index = 0;            // 0-based flush number within the run
+  std::string prometheus;       // metrics so far, Prometheus text format
+  trace::TimeSeries series;     // windowed series so far (needs a tracer)
+};
 
 struct WorkloadConfig {
   uint64_t seed = 42;
@@ -122,6 +136,15 @@ struct WorkloadConfig {
   // Optional structured tracer threaded through every component (null =
   // disabled). Not owned; must outlive the run.
   trace::Tracer* tracer = nullptr;
+
+  // --- live observability ----------------------------------------------------
+  // Every `flush_interval` of virtual time the driver delivers a
+  // FlushSnapshot to `flush_hook` (metrics Prometheus text + the windowed
+  // series so far). 0 or an empty hook disables flushing. Flushes happen
+  // at slice boundaries, so they never perturb the simulation: traces are
+  // byte-identical with and without a hook installed.
+  sim::Duration flush_interval = 0;
+  std::function<void(const FlushSnapshot&)> flush_hook;
 
   core::MdbsConfig ToMdbsConfig() const;
   cgm::CgmConfig ToCgmConfig() const;

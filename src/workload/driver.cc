@@ -155,7 +155,17 @@ void ValidateHistory(const std::shared_ptr<RunState>& st, RunResult& result) {
 RunResult Driver::Run(const WorkloadConfig& config) {
   sim::EventLoop loop;
   loop.set_max_events(200'000'000);
-  if (config.tracer != nullptr) config.tracer->set_loop(&loop);
+  // The run's series grows as a streaming fold on the tracer instead of a
+  // post-hoc pass over a materialized event vector, so it stays complete
+  // even when a fixed-size binary ring has evicted the early records —
+  // and works identically for both tracer backends.
+  trace::TimeSeriesBuilder series_builder;
+  trace::TracerStats trace_before;
+  if (config.tracer != nullptr) {
+    config.tracer->set_loop(&loop);
+    trace_before = config.tracer->stats();
+    config.tracer->AddFold(&series_builder);
+  }
 
   std::unique_ptr<core::Mdbs> own_mdbs;
   std::unique_ptr<cgm::CgmMdbs> own_cgm;
@@ -195,12 +205,34 @@ RunResult Driver::Run(const WorkloadConfig& config) {
     }
   }
 
+  // Periodic observability flushes ride the slice boundaries below: they
+  // read state between simulation slices and schedule nothing, so an
+  // installed hook cannot perturb the virtual timeline.
+  int64_t flushes = 0;
+  sim::Time next_flush = config.flush_interval;
+  auto maybe_flush = [&]() {
+    if (config.flush_interval <= 0 || !config.flush_hook) return;
+    if (loop.Now() < next_flush) return;
+    FlushSnapshot snap;
+    snap.at = loop.Now();
+    snap.index = flushes;
+    snap.prometheus =
+        core::MetricsPrometheusText(mdbs->metrics(), mdbs->site_metrics());
+    snap.series = series_builder.Snapshot();
+    config.flush_hook(snap);
+    ++flushes;
+    // Skip ahead past any intervals the run jumped over in one slice.
+    next_flush =
+        (loop.Now() / config.flush_interval + 1) * config.flush_interval;
+  };
+
   // Run in slices so periodic background timers (deadlock detection) do
   // not stretch the measured completion time past the real end of work.
   while (st->done_at < 0 && loop.Now() < config.max_sim_time &&
          !loop.Empty()) {
     loop.RunUntil(std::min(loop.Now() + 100 * sim::kMillisecond,
                            config.max_sim_time));
+    maybe_flush();
   }
   // Let in-flight recovery work (decision re-deliveries, resubmissions,
   // inquiries) drain before judging the history, so runs truncated right
@@ -212,14 +244,24 @@ RunResult Driver::Run(const WorkloadConfig& config) {
     while (!loop.Empty() && loop.Now() < drain_deadline) {
       loop.RunUntil(std::min(loop.Now() + 100 * sim::kMillisecond,
                              drain_deadline));
+      maybe_flush();
     }
   }
 
   RunResult result;
   result.metrics = mdbs->metrics();
   result.site_metrics = mdbs->site_metrics();
+  result.flushes = flushes;
   if (config.tracer != nullptr) {
-    result.series = trace::BuildTimeSeries(config.tracer->events());
+    config.tracer->RemoveFold(&series_builder);
+    result.series = series_builder.Finish();
+    // Tracing self-observability, as a delta so a tracer reused across
+    // runs attributes each run only its own emissions.
+    const trace::TracerStats& ts = config.tracer->stats();
+    result.metrics.trace_events_emitted = ts.emitted - trace_before.emitted;
+    result.metrics.trace_events_dropped = ts.dropped - trace_before.dropped;
+    result.metrics.trace_sampled_out =
+        ts.sampled_out - trace_before.sampled_out;
   }
   result.messages = mdbs->network().messages_sent();
   result.msgs_dropped = mdbs->network().messages_dropped();

@@ -35,6 +35,8 @@ struct RunResult {
   int64_t msgs_reordered = 0;
   sim::Time end_time = 0;
   uint64_t events = 0;
+  // Mid-run observability flushes delivered to config.flush_hook.
+  int64_t flushes = 0;
   // History validation (when record_history).
   bool history_checked = false;
   bool commit_graph_acyclic = true;

@@ -1,0 +1,467 @@
+// Tests of the binary ring-buffer trace backend: record round-trips over
+// every EventKind, ring overflow accounting, per-gtid sampling, streaming
+// folds and format interchangeability (JSONL vs binary captures of the
+// same seeded run), the deterministic multi-run merge, truncation
+// handling, the chunked JSONL writer and the driver's mid-run flush hook.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runner/runner.h"
+#include "trace/binary.h"
+#include "trace/critical_path.h"
+#include "trace/span.h"
+#include "trace/trace.h"
+#include "workload/driver.h"
+
+namespace hermes {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::RefuseKind;
+using trace::Tracer;
+using trace::TracerOptions;
+using trace::TraceFormat;
+
+// An event exercising every encodable field, varied by `i` so consecutive
+// events never collapse to the same record bytes.
+Event FullEvent(EventKind kind, int i) {
+  Event e;
+  e.kind = kind;
+  e.txn = i % 3 == 0   ? TxnId::MakeGlobal(i % 5, 100 + i)
+          : i % 3 == 1 ? TxnId::MakeLocal(i % 5, 200 + i)
+                       : TxnId{};
+  e.site = i % 7;
+  e.peer = i % 2 == 0 ? (i + 1) % 7 : kInvalidSite;
+  e.resubmission = i % 4 == 0 ? i % 3 : -1;
+  e.value = 1000 + i;
+  e.sn = core::SerialNumber{i * 10, i % 5, i % 3};
+  e.refuse = trace::kAllRefuseKinds[static_cast<size_t>(i) %
+                                    std::size(trace::kAllRefuseKinds)];
+  e.ok = i % 2 == 0;
+  if (i % 3 == 0) e.detail = "detail-" + std::to_string(i);
+  if (i % 4 == 0) {
+    e.related = {TxnId::MakeGlobal(1, i), TxnId::MakeLocal(2, i + 1)};
+  }
+  return e;
+}
+
+workload::WorkloadConfig SmallConfig(uint64_t seed) {
+  workload::WorkloadConfig config;
+  config.seed = seed;
+  config.num_sites = 3;
+  config.global_clients = 4;
+  config.target_global_txns = 40;
+  return config;
+}
+
+// --- record round-trip -------------------------------------------------------
+
+TEST(BinaryTrace, RoundTripsEveryEventKind) {
+  trace::BinaryTraceWriter writer;
+  std::vector<Event> original;
+  int i = 0;
+  for (EventKind kind : trace::kAllEventKinds) {
+    Event e = FullEvent(kind, i++);
+    e.seq = static_cast<int64_t>(original.size());
+    e.at = 1000 * static_cast<int64_t>(original.size());
+    original.push_back(e);
+    writer.Add(e);
+  }
+  Result<std::vector<Event>> parsed = trace::ParseBinary(writer.Finish());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t k = 0; k < original.size(); ++k) {
+    EXPECT_EQ((*parsed)[k], original[k])
+        << "kind " << trace::EventKindName(original[k].kind);
+  }
+}
+
+TEST(BinaryTrace, RoundTripsLongDetailAndManyRelated) {
+  Event e = FullEvent(EventKind::kCertRefuse, 0);
+  e.seq = 0;
+  e.at = 42;
+  e.detail = std::string(4096, 'x') + " end";
+  e.related.clear();
+  for (int i = 0; i < 50; ++i) e.related.push_back(TxnId::MakeGlobal(i, i));
+  trace::BinaryTraceWriter writer;
+  writer.Add(e);
+  Result<std::vector<Event>> parsed = trace::ParseBinary(writer.Finish());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0], e);
+}
+
+TEST(BinaryTrace, DictionaryDeduplicatesRepeatedStrings) {
+  trace::BinaryTraceWriter writer;
+  for (int i = 0; i < 100; ++i) {
+    Event e = FullEvent(EventKind::kMsgDrop, 0);
+    e.seq = i;
+    e.at = i;
+    e.detail = "loss";  // one dictionary entry, not 100
+    e.related.clear();
+    writer.Add(e);
+  }
+  const std::string bytes = writer.Finish();
+  // Header + one dictionary entry (u32 len + 4 bytes) + 100 records.
+  EXPECT_EQ(bytes.size(), trace::kBinaryHeaderSize + 4 + 4 +
+                              100 * trace::kBinaryRecordSize);
+}
+
+// --- ring buffer -------------------------------------------------------------
+
+TEST(BinaryTrace, RingOverflowKeepsTailAndCountsDrops) {
+  TracerOptions options;
+  options.format = TraceFormat::kBinary;
+  options.ring_capacity = 8;
+  Tracer tracer(options);
+  for (int i = 0; i < 20; ++i) {
+    tracer.Record(FullEvent(EventKind::kMsgSend, i));
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.stats().emitted, 20);
+  EXPECT_EQ(tracer.stats().dropped, 12);
+  EXPECT_EQ(tracer.stats().sampled_out, 0);
+
+  // The ring holds exactly the 8 newest records, in emit order.
+  std::vector<int64_t> seqs;
+  tracer.ForEach([&](const Event& e) { seqs.push_back(e.seq); });
+  ASSERT_EQ(seqs.size(), 8u);
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], static_cast<int64_t>(12 + i));
+  }
+
+  // The export carries the drop count in its header.
+  trace::BinaryParse parsed = trace::ParseBinaryLenient(tracer.ToBinary());
+  EXPECT_FALSE(parsed.truncated);
+  EXPECT_EQ(parsed.skipped_records, 0);
+  EXPECT_EQ(parsed.dropped, 12);
+  EXPECT_EQ(parsed.events.size(), 8u);
+  EXPECT_EQ(parsed.events.front().seq, 12);
+}
+
+TEST(BinaryTrace, SerializedRingDictionaryOmitsEvictedStrings) {
+  TracerOptions options;
+  options.format = TraceFormat::kBinary;
+  options.ring_capacity = 2;
+  Tracer tracer(options);
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    e.kind = EventKind::kMsgDrop;
+    e.detail = "reason-" + std::to_string(i);
+    tracer.Record(e);
+  }
+  const std::string bytes = tracer.ToBinary();
+  // Only the two surviving details may appear in the export.
+  EXPECT_EQ(bytes.find("reason-0"), std::string::npos);
+  EXPECT_NE(bytes.find("reason-8"), std::string::npos);
+  EXPECT_NE(bytes.find("reason-9"), std::string::npos);
+  Result<std::vector<Event>> parsed = trace::ParseBinary(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].detail, "reason-8");
+  EXPECT_EQ((*parsed)[1].detail, "reason-9");
+}
+
+// --- sampling ----------------------------------------------------------------
+
+TEST(BinaryTrace, SamplingKeepsOrDropsWholeTransactions) {
+  TracerOptions options;
+  options.sample_period = 4;
+  options.sample_seed = 7;
+  Tracer tracer(options);
+  constexpr int kTxns = 64;
+  constexpr int kEventsPerTxn = 5;
+  for (int t = 0; t < kTxns; ++t) {
+    const TxnId txn = TxnId::MakeGlobal(t % 3, t);
+    for (int k = 0; k < kEventsPerTxn; ++k) {
+      Event e;
+      e.kind = EventKind::kStepStart;
+      e.txn = txn;
+      e.value = k;
+      tracer.Record(e);
+    }
+  }
+  // Every transaction is all-in or all-out, matching KeepsTxn.
+  std::set<int64_t> kept;
+  tracer.ForEach([&](const Event& e) { kept.insert(e.txn.seq); });
+  int kept_txns = 0;
+  for (int t = 0; t < kTxns; ++t) {
+    const TxnId txn = TxnId::MakeGlobal(t % 3, t);
+    if (tracer.KeepsTxn(txn)) {
+      ++kept_txns;
+      EXPECT_TRUE(kept.count(t)) << "t=" << t;
+    } else {
+      EXPECT_FALSE(kept.count(t)) << "t=" << t;
+    }
+  }
+  EXPECT_GT(kept_txns, 0);
+  EXPECT_LT(kept_txns, kTxns);
+  EXPECT_EQ(tracer.size(),
+            static_cast<size_t>(kept_txns) * kEventsPerTxn);
+  // emitted == stored + sampled_out + dropped, and seq numbers show
+  // honest gaps: the emit index advances for sampled-out events too.
+  EXPECT_EQ(tracer.stats().emitted, kTxns * kEventsPerTxn);
+  EXPECT_EQ(tracer.stats().sampled_out,
+            static_cast<int64_t>(kTxns - kept_txns) * kEventsPerTxn);
+  EXPECT_EQ(tracer.stats().dropped, 0);
+
+  // Events without a global transaction are never sampled out.
+  Event crash;
+  crash.kind = EventKind::kSiteCrash;
+  crash.site = 1;
+  const int64_t before = tracer.stats().sampled_out;
+  tracer.Record(crash);
+  EXPECT_EQ(tracer.stats().sampled_out, before);
+}
+
+TEST(BinaryTrace, SampledTraceYieldsWellFormedSpanForest) {
+  workload::WorkloadConfig config = SmallConfig(501);
+  TracerOptions sampled;
+  sampled.format = TraceFormat::kBinary;
+  sampled.sample_period = 4;
+  sampled.sample_seed = 11;
+  Tracer sampled_tracer(sampled);
+  config.tracer = &sampled_tracer;
+  workload::Driver::Run(config);
+
+  Tracer full_tracer;
+  config.tracer = &full_tracer;
+  workload::Driver::Run(config);
+
+  const trace::SpanForest sampled_forest =
+      trace::BuildSpanForest(sampled_tracer);
+  const trace::SpanForest full_forest = trace::BuildSpanForest(full_tracer);
+  ASSERT_GT(sampled_forest.roots.size(), 0u);
+  ASSERT_LT(sampled_forest.roots.size(), full_forest.roots.size());
+  // Whole-gtid sampling means every surviving transaction's tree is
+  // complete: each sampled root closed with the same span structure it
+  // has in the unsampled run.
+  for (int32_t root : sampled_forest.roots) {
+    const trace::Span& span = sampled_forest.spans[static_cast<size_t>(root)];
+    EXPECT_TRUE(sampled_tracer.KeepsTxn(span.txn));
+    EXPECT_TRUE(span.closed()) << span.txn.ToString();
+    const trace::Span* full = full_forest.Root(span.txn);
+    ASSERT_NE(full, nullptr) << span.txn.ToString();
+    EXPECT_EQ(span.children.size(), full->children.size())
+        << span.txn.ToString();
+    EXPECT_EQ(span.begin, full->begin);
+    EXPECT_EQ(span.end, full->end);
+    EXPECT_EQ(span.ok, full->ok);
+  }
+}
+
+// --- format interchangeability ----------------------------------------------
+
+TEST(BinaryTrace, JsonlAndBinaryCapturesOfSameRunAgree) {
+  workload::WorkloadConfig config = SmallConfig(502);
+  Tracer jsonl_tracer;
+  config.tracer = &jsonl_tracer;
+  workload::Driver::Run(config);
+
+  TracerOptions binary;
+  binary.format = TraceFormat::kBinary;
+  Tracer binary_tracer(binary);
+  config.tracer = &binary_tracer;
+  workload::Driver::Run(config);
+
+  ASSERT_GT(jsonl_tracer.size(), 0u);
+  ASSERT_EQ(jsonl_tracer.size(), binary_tracer.size());
+  // The JSONL rendering of the binary ring equals the vector backend's.
+  EXPECT_EQ(binary_tracer.ToJsonl(), jsonl_tracer.ToJsonl());
+  // And the derived analyses are byte-identical whichever capture fed
+  // them — the acceptance bar for format interchangeability.
+  EXPECT_EQ(trace::AnalyzeCriticalPath(binary_tracer).ToString(),
+            trace::AnalyzeCriticalPath(jsonl_tracer).ToString());
+  EXPECT_EQ(trace::BuildSpanForest(binary_tracer).ToString(),
+            trace::BuildSpanForest(jsonl_tracer).ToString());
+  // Round-trip through the serialized binary file, too.
+  Result<std::vector<Event>> parsed =
+      trace::ParseBinary(binary_tracer.ToBinary());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(trace::AnalyzeCriticalPath(trace::BuildSpanForest(*parsed))
+                .ToString(),
+            trace::AnalyzeCriticalPath(jsonl_tracer).ToString());
+}
+
+// --- multi-run merge ---------------------------------------------------------
+
+TEST(BinaryTrace, MergeIsIdenticalAcrossWorkerCounts) {
+  std::vector<runner::RunSpec> specs;
+  for (int s = 0; s < 3; ++s) {
+    runner::RunSpec spec;
+    spec.cell = "merge";
+    spec.config = SmallConfig(600 + static_cast<uint64_t>(s));
+    spec.capture_trace = true;
+    spec.trace_options.format = TraceFormat::kBinary;
+    specs.push_back(spec);
+  }
+  Result<std::vector<runner::RunOutput>> serial =
+      runner::RunAll(specs, {.workers = 1});
+  Result<std::vector<runner::RunOutput>> parallel =
+      runner::RunAll(specs, {.workers = 2});
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(runner::Fingerprint((*serial)[i]),
+              runner::Fingerprint((*parallel)[i]))
+        << "run " << i;
+  }
+  Result<std::string> merged_serial = runner::MergeBinaryTraces(*serial);
+  Result<std::string> merged_parallel = runner::MergeBinaryTraces(*parallel);
+  ASSERT_TRUE(merged_serial.ok()) << merged_serial.status().ToString();
+  ASSERT_TRUE(merged_parallel.ok());
+  EXPECT_EQ(*merged_serial, *merged_parallel);
+
+  // The merge is a valid binary trace holding every run's events in
+  // nondecreasing virtual-time order.
+  Result<std::vector<Event>> events = trace::ParseBinary(*merged_serial);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  size_t total = 0;
+  for (const runner::RunOutput& out : *serial) {
+    trace::BinaryParse p = trace::ParseBinaryLenient(out.trace_binary);
+    total += p.events.size();
+  }
+  EXPECT_EQ(events->size(), total);
+  for (size_t i = 1; i < events->size(); ++i) {
+    EXPECT_LE((*events)[i - 1].at, (*events)[i].at) << "index " << i;
+  }
+
+  // A damaged capture fails the merge instead of silently shrinking it.
+  std::vector<runner::RunOutput> damaged = *serial;
+  damaged[1].trace_binary.resize(damaged[1].trace_binary.size() - 7);
+  EXPECT_FALSE(runner::MergeBinaryTraces(damaged).ok());
+}
+
+// --- truncation --------------------------------------------------------------
+
+TEST(BinaryTrace, TruncatedFileYieldsWholeRecordsAndIsCounted) {
+  trace::BinaryTraceWriter writer;
+  for (int i = 0; i < 10; ++i) {
+    Event e = FullEvent(EventKind::kTxnEnd, i);
+    e.seq = i;
+    e.at = i * 100;
+    writer.Add(e);
+  }
+  std::string bytes = writer.Finish();
+  // Cut mid-way through the 7th record.
+  const size_t records_at = bytes.size() - 10 * trace::kBinaryRecordSize;
+  bytes.resize(records_at + 6 * trace::kBinaryRecordSize +
+               trace::kBinaryRecordSize / 2);
+
+  EXPECT_FALSE(trace::ParseBinary(bytes).ok());
+  trace::BinaryParse parsed = trace::ParseBinaryLenient(bytes);
+  EXPECT_TRUE(parsed.truncated);
+  EXPECT_EQ(parsed.records_declared, 10);
+  EXPECT_EQ(parsed.events.size(), 6u);
+  for (size_t i = 0; i < parsed.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i].seq, static_cast<int64_t>(i));
+  }
+  ASSERT_FALSE(parsed.warnings.empty());
+  EXPECT_NE(parsed.warnings.front().find("6 of 10"), std::string::npos)
+      << parsed.warnings.front();
+}
+
+TEST(BinaryTrace, RejectsWrongMagicAndVersion) {
+  EXPECT_FALSE(trace::IsBinaryTrace("{\"kind\":\"txn_begin\"}"));
+  EXPECT_FALSE(trace::ParseBinary("HTRX garbage").ok());
+  trace::BinaryTraceWriter writer;
+  std::string bytes = writer.Finish();
+  EXPECT_TRUE(trace::IsBinaryTrace(bytes));
+  bytes[4] = static_cast<char>(trace::kBinaryTraceVersion + 1);
+  EXPECT_FALSE(trace::ParseBinary(bytes).ok());
+}
+
+// --- chunked JSONL writer ----------------------------------------------------
+
+TEST(BinaryTrace, WriteJsonlStreamsIdenticalBytes) {
+  Tracer tracer;
+  for (int i = 0; i < 5000; ++i) {
+    Event e = FullEvent(EventKind::kStepEnd, i);
+    e.detail = "padding-" + std::string(64, 'p') + std::to_string(i);
+    tracer.Record(e);
+  }
+  const std::string path = testing::TempDir() + "/hermes_trace_chunked.jsonl";
+  ASSERT_TRUE(tracer.WriteJsonl(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string read_back;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    read_back.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(read_back, tracer.ToJsonl());
+}
+
+// --- metrics + flush hook ----------------------------------------------------
+
+TEST(BinaryTrace, TraceCountersReachRunMetrics) {
+  workload::WorkloadConfig config = SmallConfig(503);
+  TracerOptions options;
+  options.format = TraceFormat::kBinary;
+  options.sample_period = 4;
+  options.sample_seed = 3;
+  Tracer tracer(options);
+  config.tracer = &tracer;
+  const workload::RunResult result = workload::Driver::Run(config);
+  EXPECT_EQ(result.metrics.trace_events_emitted, tracer.stats().emitted);
+  EXPECT_EQ(result.metrics.trace_events_dropped, tracer.stats().dropped);
+  EXPECT_EQ(result.metrics.trace_sampled_out, tracer.stats().sampled_out);
+  EXPECT_GT(result.metrics.trace_events_emitted, 0);
+  EXPECT_GT(result.metrics.trace_sampled_out, 0);
+  // The counters ride the generic entry list into Prometheus text.
+  EXPECT_NE(result.PrometheusText().find("hermes_trace_events_emitted"),
+            std::string::npos);
+
+  // An untraced run reports zeros.
+  config.tracer = nullptr;
+  const workload::RunResult untraced = workload::Driver::Run(config);
+  EXPECT_EQ(untraced.metrics.trace_events_emitted, 0);
+  EXPECT_EQ(untraced.metrics.trace_sampled_out, 0);
+}
+
+TEST(BinaryTrace, FlushHookDeliversPeriodicSnapshots) {
+  workload::WorkloadConfig config = SmallConfig(504);
+  Tracer tracer;
+  config.tracer = &tracer;
+  config.flush_interval = 20 * sim::kMillisecond;
+  std::vector<workload::FlushSnapshot> snapshots;
+  config.flush_hook = [&](const workload::FlushSnapshot& snap) {
+    snapshots.push_back(snap);
+  };
+  const workload::RunResult result = workload::Driver::Run(config);
+  ASSERT_GT(result.flushes, 0);
+  ASSERT_EQ(snapshots.size(), static_cast<size_t>(result.flushes));
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].index, static_cast<int64_t>(i));
+    if (i > 0) {
+      EXPECT_GT(snapshots[i].at, snapshots[i - 1].at);
+    }
+    EXPECT_NE(snapshots[i].prometheus.find("hermes_global_committed"),
+              std::string::npos);
+  }
+  // The last snapshot's series is a prefix view: no more windows than the
+  // run's final series.
+  EXPECT_LE(snapshots.back().series.windows.size(),
+            result.series.windows.size());
+
+  // Flushing is observational only: the traced run is byte-identical
+  // with and without a hook installed.
+  workload::WorkloadConfig plain = SmallConfig(504);
+  Tracer plain_tracer;
+  plain.tracer = &plain_tracer;
+  const workload::RunResult plain_result = workload::Driver::Run(plain);
+  EXPECT_EQ(plain_result.flushes, 0);
+  EXPECT_EQ(plain_tracer.ToJsonl(), tracer.ToJsonl());
+}
+
+}  // namespace
+}  // namespace hermes
